@@ -1,0 +1,171 @@
+// Command aposteriori runs the minimally-supervised a-posteriori labeling
+// algorithm (Algorithm 1) on a single recording and prints the produced
+// seizure label, the deviation from the ground truth when available, and
+// a sketch of the distance curve.
+//
+// The recording is either generated from the synthetic catalog
+// (-patient/-seizure/-variant) or loaded from an EDF file with a
+// CHB-MIT-style summary sidecar (-edf DIR -record NAME).
+//
+// Usage:
+//
+//	aposteriori [-patient chb01] [-seizure 1] [-variant 0] [-window SECONDS]
+//	aposteriori -edf ./data -record chb01_sz01_v0 -window 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"selflearn/internal/chbmit"
+	"selflearn/internal/core"
+	"selflearn/internal/edf"
+	"selflearn/internal/eval"
+	"selflearn/internal/features"
+	"selflearn/internal/fixedpoint"
+	"selflearn/internal/signal"
+	"selflearn/internal/stats"
+)
+
+func main() {
+	patient := flag.String("patient", "chb01", "catalog patient id")
+	seizure := flag.Int("seizure", 1, "catalog seizure index (1-based)")
+	variant := flag.Int64("variant", 0, "catalog record variant")
+	edfDir := flag.String("edf", "", "directory containing <record>.edf (+ summary); overrides the catalog")
+	record := flag.String("record", "", "EDF record name (without extension)")
+	window := flag.Float64("window", 0, "average seizure duration W in seconds (0 = patient catalog value)")
+	curve := flag.Bool("curve", true, "print an ASCII sketch of the distance curve")
+	fixed := flag.Bool("fixed", false, "also run the Q15 fixed-point kernel (the Cortex-M3 deployment form) and report agreement")
+	flag.Parse()
+
+	var rec *signal.Recording
+	var avg float64
+	var err error
+	switch {
+	case *edfDir != "":
+		if *record == "" {
+			fmt.Fprintln(os.Stderr, "aposteriori: -edf requires -record")
+			os.Exit(2)
+		}
+		rec, err = edf.LoadRecording(*edfDir, *record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		avg = *window
+		if avg <= 0 {
+			fmt.Fprintln(os.Stderr, "aposteriori: EDF input requires -window > 0 (the expert-provided average seizure duration)")
+			os.Exit(2)
+		}
+	default:
+		p, err := chbmit.PatientByID(*patient)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rec, err = p.SeizureRecord(*seizure, *variant)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		avg = p.AvgSeizureDuration
+		if *window > 0 {
+			avg = *window
+		}
+	}
+
+	fmt.Printf("Recording %s/%s: %.0f s, %d channels at %g Hz\n",
+		rec.PatientID, rec.RecordID, rec.Duration(), len(rec.Channels), rec.SampleRate)
+
+	start := time.Now()
+	m, err := features.Extract10(rec, features.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	extractTime := time.Since(start)
+
+	start = time.Now()
+	iv, res, err := core.LabelMatrix(m, time.Duration(avg*float64(time.Second)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	labelTime := time.Since(start)
+
+	fmt.Printf("Feature extraction: %d windows × %d features in %v\n", m.NumRows(), m.NumFeatures(), extractTime.Round(time.Millisecond))
+	fmt.Printf("A-posteriori labeling (W = %d points) in %v\n", res.Window, labelTime.Round(time.Millisecond))
+	fmt.Printf("Detected seizure label: [%.0f s, %.0f s]\n", iv.Start, iv.End)
+
+	if len(rec.Seizures) > 0 {
+		truth := rec.Seizures[0]
+		d := eval.Delta(truth, iv)
+		dn, err := eval.DeltaNorm(truth, iv, rec.Duration())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("Ground truth:           [%.0f s, %.0f s]\n", truth.Start, truth.End)
+		fmt.Printf("δ = %.1f s, δ_norm = %.4f\n", d, dn)
+	}
+
+	if *fixed {
+		start = time.Now()
+		fx, err := fixedpoint.Label(m.Rows, res.Window, 4)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("Q15 fixed-point kernel: argmax %d (float argmax %d, |Δ| = %d points) in %v\n",
+			fx.Index, res.Index, abs(fx.Index-res.Index), time.Since(start).Round(time.Millisecond))
+	}
+
+	if *curve {
+		fmt.Println("\nDistance curve (64 bins, # = relative magnitude):")
+		printCurve(res.Distances, res.Index)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// printCurve draws a coarse ASCII version of Fig. 2's distance curve.
+func printCurve(d []float64, argmax int) {
+	const bins = 64
+	if len(d) == 0 {
+		return
+	}
+	per := (len(d) + bins - 1) / bins
+	max := stats.Max(d)
+	if max <= 0 {
+		max = 1
+	}
+	for b := 0; b < bins; b++ {
+		lo := b * per
+		if lo >= len(d) {
+			break
+		}
+		hi := lo + per
+		if hi > len(d) {
+			hi = len(d)
+		}
+		seg := d[lo:hi]
+		v := stats.Max(seg)
+		n := int(v / max * 50)
+		mark := " "
+		if argmax >= lo && argmax < hi {
+			mark = "*"
+		}
+		fmt.Printf("%6d s %s|", lo, mark)
+		for i := 0; i < n; i++ {
+			fmt.Print("#")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,132 @@
+// Command eegview renders an ASCII spectrogram of a recording segment —
+// the quickest way to see the ictal low-frequency chirp and the artifact
+// bursts that drive the Table II outliers.
+//
+// Usage:
+//
+//	eegview [-patient chb03] [-seizure 1] [-channel F7T3] [-from S] [-to S] [-maxfreq 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"selflearn/internal/chbmit"
+	"selflearn/internal/dsp/stft"
+	"selflearn/internal/dsp/window"
+	"selflearn/internal/signal"
+)
+
+var shades = []rune(" .:-=+*#%@")
+
+func main() {
+	patient := flag.String("patient", "chb03", "catalog patient id")
+	seizure := flag.Int("seizure", 1, "catalog seizure index")
+	channel := flag.String("channel", signal.ChannelF7T3, "channel to render")
+	from := flag.Float64("from", -1, "segment start in seconds (-1 = 120 s before the seizure)")
+	to := flag.Float64("to", -1, "segment end in seconds (-1 = 120 s after the seizure)")
+	maxFreq := flag.Float64("maxfreq", 30, "highest frequency row in Hz")
+	cols := flag.Int("width", 100, "output width in characters")
+	flag.Parse()
+
+	p, err := chbmit.PatientByID(*patient)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rec, err := p.SeizureRecord(*seizure, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	truth := rec.Seizures[0]
+	lo, hi := *from, *to
+	if lo < 0 {
+		lo = math.Max(0, truth.Start-120)
+	}
+	if hi < 0 {
+		hi = math.Min(rec.Duration(), truth.End+120)
+	}
+	seg, err := rec.Slice(lo, hi)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data := seg.Channel(*channel)
+	if data == nil {
+		fmt.Fprintf(os.Stderr, "eegview: no channel %q\n", *channel)
+		os.Exit(1)
+	}
+	fs := seg.SampleRate
+	hop := int(float64(seg.Samples()) / float64(*cols))
+	if hop < int(fs/4) {
+		hop = int(fs / 4)
+	}
+	sg, err := stft.Compute(data, fs, 1024, hop, window.Hann)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	db := sg.LogCompress(-50)
+
+	fmt.Printf("%s %s [%0.f, %0.f] s — seizure at [%.0f, %.0f] s%s\n",
+		rec.RecordID, *channel, lo, hi, truth.Start, truth.End, outlierNote(p, *seizure))
+	// Render top-down from maxFreq to 0.
+	binsPerRow := int(*maxFreq / sg.BinWidth / 20)
+	if binsPerRow < 1 {
+		binsPerRow = 1
+	}
+	topBin := int(*maxFreq / sg.BinWidth)
+	for row := 19; row >= 0; row-- {
+		binLo := row * binsPerRow
+		binHi := binLo + binsPerRow
+		if binHi > topBin {
+			binHi = topBin
+		}
+		fmt.Printf("%5.1f Hz |", float64(binLo)*sg.BinWidth)
+		for t := 0; t < sg.Frames(); t++ {
+			// Max power across the row's bins.
+			v := -50.0
+			for k := binLo; k < binHi && k < len(db[t]); k++ {
+				if db[t][k] > v {
+					v = db[t][k]
+				}
+			}
+			idx := int((v + 50) / 50 * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			fmt.Print(string(shades[idx]))
+		}
+		fmt.Println()
+	}
+	// Time axis with seizure markers.
+	fmt.Print("         ")
+	for t := 0; t < sg.Frames(); t++ {
+		at := lo + sg.FrameTime(t)
+		switch {
+		case math.Abs(at-truth.Start) < sg.HopSeconds/2:
+			fmt.Print("S")
+		case math.Abs(at-truth.End) < sg.HopSeconds/2:
+			fmt.Print("E")
+		case at >= truth.Start && at <= truth.End:
+			fmt.Print("~")
+		default:
+			fmt.Print(" ")
+		}
+	}
+	fmt.Println()
+	fmt.Println("         S = annotated onset, E = offset, ~ = ictal span")
+}
+
+func outlierNote(p chbmit.Patient, seizureIdx int) string {
+	if seizureIdx >= 1 && seizureIdx <= len(p.Seizures) && p.Seizures[seizureIdx-1].Outlier {
+		return " (artifact-contaminated outlier)"
+	}
+	return ""
+}

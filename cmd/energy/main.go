@@ -1,0 +1,122 @@
+// Command energy reproduces the energy analysis of Section VI-C: Table
+// III (battery lifetime budget at one seizure per day), Fig. 5 (energy
+// share per task) and the lifetime sweeps over seizure frequency.
+//
+// Usage:
+//
+//	energy [-sweep] [-battery MAH]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selflearn/internal/platform"
+)
+
+func main() {
+	sweep := flag.Bool("sweep", true, "print the lifetime sweep over seizure frequency")
+	battery := flag.Float64("battery", platform.BatteryCapacityMAh, "battery capacity in mAh")
+	flag.Parse()
+
+	s, err := platform.Combined(1) // worst case: one seizure per day
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("TABLE III. BATTERY LIFETIME OF THE SYSTEM FOR THE WORST CASE (ONE SEIZURE PER DAY)")
+	fmt.Printf("%-24s %10s %10s %14s %10s\n", "Task", "Current", "Duty", "Avg. current", "Energy")
+	fmt.Printf("%-24s %10s %10s %14s %10s\n", "", "(mA)", "Cycle (%)", "(mA)", "(%)")
+	shares := s.EnergyShares()
+	for i, t := range s.Tasks {
+		fmt.Printf("%-24s %10.3f %9.2f%% %14.3f %9.2f%%\n",
+			t.Name, t.CurrentMA, 100*t.Duty, t.AvgCurrentMA(), 100*shares[i])
+	}
+	fmt.Printf("%-24s %46.2f days\n", "Battery Lifetime", s.LifetimeDays(*battery))
+	fmt.Println("(paper: 2.59 days; shares 9.47 / 85.72 / 4.77 / 0.04 %)")
+	fmt.Println()
+
+	fmt.Println("FIG. 5: PERCENTAGE OF ENERGY CONSUMPTION OF EACH TASK")
+	for i, t := range s.Tasks {
+		bar := ""
+		for j := 0; j < int(shares[i]*60+0.5); j++ {
+			bar += "#"
+		}
+		fmt.Printf("  %-24s %6.2f%% %s\n", t.Name, 100*shares[i], bar)
+	}
+	fmt.Println()
+
+	fmt.Println("Section VI-C lifetime figures")
+	month, err := platform.LabelingOnly(1.0 / 30)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	day, err := platform.LabelingOnly(1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("  labeling only, 1 seizure/month: %7.2f h = %5.2f days (paper: 631.46 h, 26.31 d)\n",
+		month.LifetimeHours(*battery), month.LifetimeHours(*battery)/24)
+	fmt.Printf("  labeling only, 1 seizure/day:   %7.2f h = %5.2f days (paper: 430.16 h, 17.92 d)\n",
+		day.LifetimeHours(*battery), day.LifetimeHours(*battery)/24)
+	det := platform.DetectionOnly()
+	fmt.Printf("  detection only:                 %7.2f h = %5.2f days (paper: 65.15 h, 2.71 d)\n",
+		det.LifetimeHours(*battery), det.LifetimeDays(*battery))
+	cMonth, _ := platform.Combined(1.0 / 30)
+	cDay, _ := platform.Combined(1)
+	fmt.Printf("  combined, 1 seizure/month:      %7.2f h = %5.2f days (paper: 2.71 d)\n",
+		cMonth.LifetimeHours(*battery), cMonth.LifetimeDays(*battery))
+	fmt.Printf("  combined, 1 seizure/day:        %7.2f h = %5.2f days (paper: 2.59 d)\n",
+		cDay.LifetimeHours(*battery), cDay.LifetimeDays(*battery))
+	fmt.Println()
+
+	if *sweep {
+		fmt.Println("Lifetime sweep: combined scenario vs seizure frequency")
+		fmt.Printf("  %-22s %12s %12s\n", "seizures", "duty (%)", "days")
+		for _, f := range []struct {
+			name string
+			perD float64
+		}{
+			{"1 per month", 1.0 / 30},
+			{"1 per 2 weeks", 1.0 / 14},
+			{"1 per week", 1.0 / 7},
+			{"2 per week", 2.0 / 7},
+			{"1 per 2 days", 0.5},
+			{"1 per day", 1},
+		} {
+			sc, err := platform.Combined(f.perD)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			duty, _ := platform.LabelingDuty(f.perD)
+			fmt.Printf("  %-22s %11.2f%% %12.2f\n", f.name, 100*duty, sc.LifetimeDays(*battery))
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Monte-Carlo discharge (Poisson seizure arrivals, 500 trials)")
+	for _, f := range []struct {
+		name string
+		perD float64
+	}{{"1 per month", 1.0 / 30}, {"1 per day", 1}, {"4 per day", 4}} {
+		sim, err := platform.SimulateDischarge(f.perD, *battery, 500, 42)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %-14s mean %.2f days (min %.2f, max %.2f)\n",
+			f.name, sim.MeanDays, sim.MinDays, sim.MaxDays)
+	}
+
+	// Memory sanity per Section VI-C.
+	budget := platform.STM32L151Budget()
+	fmt.Println()
+	fmt.Printf("Memory: hour buffer %d KB, flash %d KB, fits: %v\n",
+		platform.HourBufferKB, budget.FlashKB, budget.FitsHourBuffer(platform.HourBufferKB))
+	kb, _ := platform.FeatureBufferKB(3600, 10, 4)
+	fmt.Printf("        feature-domain hour buffer (3600×10 float32): %d KB\n", kb)
+}

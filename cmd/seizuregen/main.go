@@ -1,0 +1,62 @@
+// Command seizuregen materializes the synthetic CHB-MIT-like corpus as
+// EDF files with CHB-MIT-style summary sidecars, so the other tools (and
+// third-party EDF software) can consume it from disk.
+//
+// Usage:
+//
+//	seizuregen -out ./data [-patient chbNN] [-variant 0] [-duration 4200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selflearn/internal/chbmit"
+	"selflearn/internal/edf"
+)
+
+func main() {
+	out := flag.String("out", "data", "output directory")
+	patient := flag.String("patient", "", "restrict to one patient id")
+	variant := flag.Int64("variant", 0, "record variant seed")
+	list := flag.Bool("list", false, "print the catalog summary and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Print(chbmit.Summary())
+		return
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	patients := chbmit.Patients()
+	if *patient != "" {
+		p, err := chbmit.PatientByID(*patient)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		patients = []chbmit.Patient{p}
+	}
+	total := 0
+	for _, p := range patients {
+		for _, sz := range p.Seizures {
+			rec, err := p.SeizureRecord(sz.Index, *variant)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := edf.SaveRecording(*out, rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s/%s.edf (%.0f s, seizure [%.0f, %.0f], outlier=%v)\n",
+				*out, rec.RecordID, rec.Duration(), rec.Seizures[0].Start, rec.Seizures[0].End, sz.Outlier)
+			total++
+		}
+	}
+	fmt.Printf("%d records written to %s\n", total, *out)
+}

@@ -1,0 +1,18 @@
+// Package selflearn is a from-scratch Go reproduction of "A Self-Learning
+// Methodology for Epileptic Seizure Detection with Minimally-Supervised
+// Edge Labeling" (Pascual, Aminifar, Atienza — DATE 2019).
+//
+// The system labels epileptic seizures on a wearable EEG device with only
+// two pieces of supervision — the patient's confirmation that the last
+// hour contains a seizure, and the expert-provided average seizure
+// duration — and uses the self-labeled data to train a real-time
+// random-forest detector, closing a personalized self-learning loop.
+//
+// The repository is organised as substrates under internal/ (DSP, entropy
+// estimators, synthetic EEG corpus, EDF codec, machine-learning
+// baselines, energy model), the paper's core algorithm in internal/core,
+// the experiment harnesses in internal/eval and internal/pipeline,
+// reproduction binaries under cmd/, and runnable walkthroughs under
+// examples/. See DESIGN.md for the full inventory and EXPERIMENTS.md for
+// paper-versus-measured numbers.
+package selflearn

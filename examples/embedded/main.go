@@ -1,0 +1,111 @@
+// Embedded loop: how the pieces run on the wearable itself. EEG samples
+// arrive one at a time from the AFE; a streaming feature extractor emits
+// a 10-feature row every second; a Goertzel detector tracks theta power
+// in parallel; and when the (deployed, fixed-point) detector's alarm
+// layer confirms a seizure, the device would notify caregivers. The
+// example then shows the a-posteriori path in its fixed-point form — the
+// arithmetic the FPU-less Cortex-M3 actually executes.
+//
+// Run with:
+//
+//	go run ./examples/embedded
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"selflearn/internal/chbmit"
+	"selflearn/internal/core"
+	"selflearn/internal/dsp/goertzel"
+	"selflearn/internal/eval"
+	"selflearn/internal/features"
+	"selflearn/internal/fixedpoint"
+	"selflearn/internal/platform"
+	"selflearn/internal/signal"
+)
+
+func main() {
+	patient, err := chbmit.PatientByID("chb03")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := patient.SeizureRecord(2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := rec.Seizures[0]
+	buf, err := rec.Slice(truth.Start-300, truth.Start+300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := buf.SampleRate
+	c0 := buf.Channel(signal.ChannelF7T3)
+	c1 := buf.Channel(signal.ChannelF8T4)
+
+	// 1. Stream samples through the firmware-style extractor and a
+	//    Goertzel theta-band monitor simultaneously.
+	st, err := features.NewStreamer(fs, features.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	theta, err := goertzel.NewDetector(fs, 5.5, int(fs)) // 1 s blocks at the ictal frequency
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rows [][]float64
+	var thetaPeak float64
+	var thetaPeakAt int
+	second := 0
+	for i := range c0 {
+		if row, ready, err := st.Push(c0[i], c1[i]); err != nil {
+			log.Fatal(err)
+		} else if ready {
+			rows = append(rows, row)
+		}
+		if p, done := theta.Push(c0[i]); done {
+			if p > thetaPeak {
+				thetaPeak, thetaPeakAt = p, second
+			}
+			second++
+		}
+	}
+	fmt.Printf("streamed %d samples -> %d feature rows; Goertzel theta peak at t=%d s (ictal span [%.0f, %.0f] s)\n",
+		len(c0), len(rows), thetaPeakAt, buf.Seizures[0].Start, buf.Seizures[0].End)
+
+	// 2. The patient presses the button: run the a-posteriori labeling —
+	//    first the float64 reference, then the Q15 kernel the MCU runs.
+	m := &features.Matrix{
+		Names:      features.PaperFeatureNames(),
+		Rows:       rows,
+		Window:     features.DefaultConfig().Window,
+		SampleRate: fs,
+	}
+	avg := time.Duration(patient.AvgSeizureDuration * float64(time.Second))
+	label, res, err := core.LabelMatrix(m, avg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fx, err := fixedpoint.Label(rows, res.Window, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := eval.Delta(buf.Seizures[0], label)
+	fmt.Printf("float64 label [%.0f, %.0f] s (δ = %.1f s); Q15 argmax %d vs float %d\n",
+		label.Start, label.End, d, fx.Index, res.Index)
+
+	// 3. What does this cost on the target? The cycle model answers.
+	soft := platform.SoftFloatM3()
+	fixed := platform.FixedPointM3()
+	rtfSoft, err := soft.RealTimeFactor(buf.Duration(), res.Window, 10, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rtfFixed, err := fixed.RealTimeFactor(buf.Duration(), res.Window, 10, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Cortex-M3 real-time factor for this buffer: soft-float %.2f, Q15 %.2f (budget: ≤ 1)\n",
+		rtfSoft, rtfFixed)
+}

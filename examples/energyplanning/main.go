@@ -1,0 +1,93 @@
+// Energy planning: size a wearable deployment with the platform model.
+// Given a patient's seizure frequency and a candidate battery, estimate
+// how long the device runs the full self-learning pipeline between
+// charges and what dominates the budget.
+//
+// Run with:
+//
+//	go run ./examples/energyplanning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"selflearn/internal/platform"
+)
+
+func main() {
+	// Candidate batteries (capacity in mAh).
+	batteries := []struct {
+		name string
+		mAh  float64
+	}{
+		{"coin-stack 240 mAh", 240},
+		{"paper's 570 mAh", platform.BatteryCapacityMAh},
+		{"smartwatch 1200 mAh", 1200},
+	}
+	// Patient profiles by seizure burden.
+	profiles := []struct {
+		name   string
+		perDay float64
+	}{
+		{"well-controlled (1/month)", 1.0 / 30},
+		{"refractory (2/week)", 2.0 / 7},
+		{"severe (1/day)", 1},
+	}
+
+	fmt.Println("Full self-learning pipeline lifetime (days) per battery and seizure burden")
+	fmt.Printf("%-28s", "")
+	for _, b := range batteries {
+		fmt.Printf("%22s", b.name)
+	}
+	fmt.Println()
+	for _, p := range profiles {
+		s, err := platform.Combined(p.perDay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s", p.name)
+		for _, b := range batteries {
+			fmt.Printf("%22.2f", s.LifetimeDays(b.mAh))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	// Where does the energy go for the paper's worst case?
+	s, err := platform.Combined(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("budget at 1 seizure/day (avg current %.3f mA):\n", s.AvgCurrentMA())
+	shares := s.EnergyShares()
+	for i, t := range s.Tasks {
+		fmt.Printf("  %-24s %6.2f %%\n", t.Name, 100*shares[i])
+	}
+	fmt.Println()
+
+	// What would a lighter-duty detector buy? Ablate the detector duty
+	// cycle (e.g. a future detector that needs 1 s instead of 3 s per
+	// 4 s window).
+	fmt.Println("ablation: detector duty cycle vs lifetime (570 mAh, 1 seizure/day)")
+	for _, duty := range []float64{0.75, 0.5, 0.25} {
+		lab, err := platform.LabelingTask(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		det := platform.DetectionTask()
+		det.Duty = duty
+		idle, err := platform.IdleTask(duty + lab.Duty)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc := platform.Scenario{
+			Name:  fmt.Sprintf("detector duty %.0f%%", 100*duty),
+			Tasks: []platform.Task{platform.AcquisitionTask(), det, lab, idle},
+		}
+		if err := sc.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  duty %4.0f%% -> %.2f days\n", 100*duty, sc.LifetimeDays(platform.BatteryCapacityMAh))
+	}
+}

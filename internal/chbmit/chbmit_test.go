@@ -1,0 +1,180 @@
+package chbmit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCatalogShape(t *testing.T) {
+	ps := Patients()
+	if len(ps) != 9 {
+		t.Fatalf("want 9 patients, got %d", len(ps))
+	}
+	wantCounts := []int{7, 3, 7, 4, 5, 3, 5, 4, 7}
+	total := 0
+	for i, p := range ps {
+		if p.Ordinal != i+1 {
+			t.Errorf("patient %d ordinal = %d", i, p.Ordinal)
+		}
+		if len(p.Seizures) != wantCounts[i] {
+			t.Errorf("%s: %d seizures, want %d", p.ID, len(p.Seizures), wantCounts[i])
+		}
+		total += len(p.Seizures)
+		for j, s := range p.Seizures {
+			if s.Index != j+1 {
+				t.Errorf("%s seizure %d has index %d", p.ID, j, s.Index)
+			}
+			if s.Duration <= 0 {
+				t.Errorf("%s seizure %d duration %g", p.ID, j, s.Duration)
+			}
+		}
+	}
+	if total != 45 || TotalSeizures() != 45 {
+		t.Errorf("total seizures = %d, want 45 (as in the paper)", total)
+	}
+}
+
+func TestOutliersMatchTableII(t *testing.T) {
+	ps := Patients()
+	outlierSet := map[[2]int]bool{}
+	for _, p := range ps {
+		for _, s := range p.Seizures {
+			if s.Outlier {
+				outlierSet[[2]int{p.Ordinal, s.Index}] = true
+			}
+		}
+	}
+	want := map[[2]int]bool{{2, 2}: true, {3, 1}: true, {4, 1}: true}
+	if len(outlierSet) != len(want) {
+		t.Fatalf("outliers = %v, want %v", outlierSet, want)
+	}
+	for k := range want {
+		if !outlierSet[k] {
+			t.Errorf("missing outlier patient %d seizure %d", k[0], k[1])
+		}
+	}
+}
+
+func TestAvgDurationIsHonest(t *testing.T) {
+	for _, p := range Patients() {
+		var sum float64
+		for _, s := range p.Seizures {
+			sum += s.Duration
+		}
+		avg := sum / float64(len(p.Seizures))
+		if math.Abs(avg-p.AvgSeizureDuration)/p.AvgSeizureDuration > 0.15 {
+			t.Errorf("%s: actual mean duration %g vs declared %g", p.ID, avg, p.AvgSeizureDuration)
+		}
+	}
+}
+
+func TestPatientByID(t *testing.T) {
+	p, err := PatientByID("chb03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ordinal != 3 {
+		t.Errorf("ordinal = %d", p.Ordinal)
+	}
+	if _, err := PatientByID("chb99"); err == nil {
+		t.Error("unknown patient should error")
+	}
+}
+
+func TestPatientsReturnsCopy(t *testing.T) {
+	a := Patients()
+	a[0].Seizures[0].Duration = 1
+	a[0].ID = "mutated"
+	b := Patients()
+	if b[0].ID == "mutated" || b[0].Seizures[0].Duration == 1 {
+		t.Error("catalog must be immutable through Patients()")
+	}
+}
+
+func TestSeizureRecord(t *testing.T) {
+	p, err := PatientByID("chb01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := p.SeizureRecord(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Duration() != RecordDuration {
+		t.Errorf("duration %g, want %g", rec.Duration(), RecordDuration)
+	}
+	if len(rec.Seizures) != 1 {
+		t.Fatalf("want 1 seizure, got %d", len(rec.Seizures))
+	}
+	sz := rec.Seizures[0]
+	wantDur := p.Seizures[0].Duration
+	if math.Abs(sz.Duration()-wantDur) > 0.01 {
+		t.Errorf("seizure duration %g, want %g", sz.Duration(), wantDur)
+	}
+	// Mid-record placement.
+	if sz.Start < 0.3*RecordDuration || sz.Start > 0.7*RecordDuration {
+		t.Errorf("seizure at %g s should be mid-record", sz.Start)
+	}
+}
+
+func TestSeizureRecordVariants(t *testing.T) {
+	p, _ := PatientByID("chb05")
+	a, err := p.SeizureRecord(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.SeizureRecord(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seizures[0] == b.Seizures[0] && a.Data[0][1000] == b.Data[0][1000] {
+		t.Error("variants should differ")
+	}
+	a2, err := p.SeizureRecord(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seizures[0] != a2.Seizures[0] || a.Data[0][1000] != a2.Data[0][1000] {
+		t.Error("same variant must be reproducible")
+	}
+}
+
+func TestSeizureRecordErrors(t *testing.T) {
+	p, _ := PatientByID("chb02")
+	if _, err := p.SeizureRecord(0, 0); err == nil {
+		t.Error("seizure 0 should fail")
+	}
+	if _, err := p.SeizureRecord(4, 0); err == nil {
+		t.Error("chb02 has only 3 seizures")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := Summary()
+	for _, want := range []string{"9 patients", "45 seizures", "chb01", "chb09", "artifact outlier"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Count(s, "artifact outlier") != 3 {
+		t.Errorf("want 3 outlier annotations:\n%s", s)
+	}
+}
+
+func TestNonSeizureRecord(t *testing.T) {
+	p, _ := PatientByID("chb07")
+	rec, err := p.NonSeizureRecord(600, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Seizures) != 0 {
+		t.Error("non-seizure record must have no annotations")
+	}
+	if rec.Duration() != 600 {
+		t.Errorf("duration %g", rec.Duration())
+	}
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"selflearn/internal/chbmit"
+	"selflearn/internal/features"
+)
+
+// matrixWithBlock builds an L×F noise matrix with a shifted block of
+// length w starting at pos.
+func matrixWithBlock(seed int64, l, f, pos, w int, shift float64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, l)
+	for i := range X {
+		row := make([]float64, f)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			if i >= pos && i < pos+w {
+				row[j] += shift
+			}
+		}
+		X[i] = row
+	}
+	return X
+}
+
+func TestLabelFindsShiftedBlock(t *testing.T) {
+	X := matrixWithBlock(1, 400, 5, 150, 40, 4)
+	res, err := Label(X, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Index - 150; d < -3 || d > 3 {
+		t.Errorf("detected at %d, want ≈150", res.Index)
+	}
+	if len(res.Distances) != 400-40+1 {
+		t.Errorf("distance curve length %d, want %d", len(res.Distances), 361)
+	}
+	if res.Window != 40 {
+		t.Errorf("Window = %d", res.Window)
+	}
+}
+
+func TestLabelNaiveFindsShiftedBlock(t *testing.T) {
+	X := matrixWithBlock(2, 200, 3, 60, 30, 4)
+	res, err := LabelNaive(X, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Index - 60; d < -3 || d > 3 {
+		t.Errorf("detected at %d, want ≈60", res.Index)
+	}
+}
+
+func TestFastMatchesNaiveExactly(t *testing.T) {
+	for _, tc := range []struct{ l, f, w int }{
+		{50, 1, 5}, {80, 3, 10}, {120, 2, 31}, {60, 4, 59}, {64, 2, 8},
+	} {
+		X := matrixWithBlock(int64(tc.l), tc.l, tc.f, tc.l/3, tc.w, 2)
+		fast, err := Label(X, tc.w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := LabelNaive(X, tc.w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Index != naive.Index {
+			t.Errorf("l=%d f=%d w=%d: fast argmax %d != naive %d", tc.l, tc.f, tc.w, fast.Index, naive.Index)
+		}
+		for i := range naive.Distances {
+			diff := math.Abs(fast.Distances[i] - naive.Distances[i])
+			scale := math.Max(1, math.Abs(naive.Distances[i]))
+			if diff > 1e-9*scale {
+				t.Fatalf("l=%d f=%d w=%d: distance[%d] fast %.15g vs naive %.15g",
+					tc.l, tc.f, tc.w, i, fast.Distances[i], naive.Distances[i])
+			}
+		}
+	}
+}
+
+func TestFastMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := 30 + rng.Intn(80)
+		nf := 1 + rng.Intn(4)
+		w := 2 + rng.Intn(l/2)
+		X := make([][]float64, l)
+		for i := range X {
+			row := make([]float64, nf)
+			for j := range row {
+				row[j] = rng.NormFloat64() * float64(1+rng.Intn(5))
+			}
+			X[i] = row
+		}
+		fast, err1 := Label(X, w)
+		naive, err2 := LabelNaive(X, w)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range naive.Distances {
+			diff := math.Abs(fast.Distances[i] - naive.Distances[i])
+			if diff > 1e-8*math.Max(1, math.Abs(naive.Distances[i])) {
+				return false
+			}
+		}
+		if fast.Index == naive.Index {
+			return true
+		}
+		// On featureless noise two window positions can tie to within
+		// floating-point reassociation error; the implementations may
+		// then pick either. The property is that both picks are maximal
+		// to within tolerance.
+		a := naive.Distances[naive.Index]
+		b := naive.Distances[fast.Index]
+		return math.Abs(a-b) <= 1e-8*math.Max(1, math.Abs(a))
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Label(nil, 5); err == nil {
+		t.Error("empty matrix should fail")
+	}
+	if _, err := Label([][]float64{{}, {}}, 1); err == nil {
+		t.Error("zero features should fail")
+	}
+	if _, err := Label([][]float64{{1}, {1, 2}}, 1); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+	X := matrixWithBlock(3, 50, 2, 10, 5, 1)
+	if _, err := Label(X, 0); err == nil {
+		t.Error("w=0 should fail")
+	}
+	if _, err := Label(X, 50); err == nil {
+		t.Error("w=L should fail")
+	}
+	X[3][1] = math.NaN()
+	if _, err := Label(X, 5); err == nil {
+		t.Error("NaN should fail")
+	}
+	X[3][1] = math.Inf(1)
+	if _, err := Label(X, 5); err == nil {
+		t.Error("Inf should fail")
+	}
+	// Same checks on the naive path.
+	if _, err := LabelNaive(nil, 5); err == nil {
+		t.Error("naive empty matrix should fail")
+	}
+}
+
+func TestScaleInvariance(t *testing.T) {
+	// Z-score normalization makes the result invariant to per-feature
+	// affine rescaling.
+	X := matrixWithBlock(4, 150, 3, 50, 20, 3)
+	scaled := make([][]float64, len(X))
+	for i, row := range X {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = v*float64(100*(j+1)) + float64(j)*1e4
+		}
+		scaled[i] = r
+	}
+	a, err := Label(X, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Label(scaled, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Index != b.Index {
+		t.Errorf("affine feature rescaling changed the argmax: %d vs %d", a.Index, b.Index)
+	}
+	for i := range a.Distances {
+		if math.Abs(a.Distances[i]-b.Distances[i]) > 1e-6*math.Max(1, a.Distances[i]) {
+			t.Fatalf("distance curve not scale-invariant at %d", i)
+		}
+	}
+}
+
+func TestConstantFeatureHandled(t *testing.T) {
+	// A zero-variance feature must not produce NaNs (z-score convention:
+	// centered, undivided).
+	X := matrixWithBlock(5, 100, 2, 30, 10, 3)
+	for i := range X {
+		X[i] = append(X[i], 7.5)
+	}
+	res, err := Label(X, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range res.Distances {
+		if math.IsNaN(d) {
+			t.Fatalf("NaN distance at %d", i)
+		}
+	}
+	if d := res.Index - 30; d < -3 || d > 3 {
+		t.Errorf("constant feature distracted the argmax: %d", res.Index)
+	}
+}
+
+func TestDistanceCurvePeaksAtBlock(t *testing.T) {
+	X := matrixWithBlock(6, 300, 4, 100, 30, 5)
+	res, err := Label(X, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := res.Distances[res.Index]
+	// Positions far from the block should score well below the peak.
+	for _, i := range []int{0, 20, 200, 250} {
+		if res.Distances[i] > 0.7*peak {
+			t.Errorf("distance at %d (%g) too close to peak (%g)", i, res.Distances[i], peak)
+		}
+	}
+}
+
+func TestWindowMismatchStillDetects(t *testing.T) {
+	// The supplied W is the patient *average*; the actual event is
+	// shorter. Detection should still land on the event.
+	X := matrixWithBlock(7, 300, 4, 120, 25, 4)
+	res, err := Label(X, 40) // W larger than the true 25
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index < 95 || res.Index > 125 {
+		t.Errorf("argmax %d should fall around the true event at 120 (±W mismatch)", res.Index)
+	}
+}
+
+func TestLabelMatrixEndToEnd(t *testing.T) {
+	// Full pipeline on a catalogue record: synth -> features -> label.
+	p, err := chbmit.PatientByID("chb01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := p.SeizureRecord(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Work on a 20-minute slice around the seizure to keep the test fast.
+	sz := rec.Seizures[0]
+	lo := sz.Start - 600
+	hi := sz.Start + 600
+	sub, err := rec.Slice(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := features.Extract10(sub, features.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, res, err := LabelMatrix(m, time.Duration(p.AvgSeizureDuration*float64(time.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := sub.Seizures[0]
+	delta := (math.Abs(iv.Start-truth.Start) + math.Abs(iv.End-truth.End)) / 2
+	if delta > 30 {
+		t.Errorf("label [%g, %g] vs truth [%g, %g]: δ = %g s too large",
+			iv.Start, iv.End, truth.Start, truth.End, delta)
+	}
+	if res.Window != 60 {
+		t.Errorf("W = %d feature points, want 60 (avg duration 60 s at 1 s hop)", res.Window)
+	}
+}
+
+func TestLabelMatrixErrors(t *testing.T) {
+	if _, _, err := LabelMatrix(nil, time.Minute); err == nil {
+		t.Error("nil matrix should fail")
+	}
+	m := &features.Matrix{}
+	if _, _, err := LabelMatrix(m, time.Minute); err == nil {
+		t.Error("empty matrix should fail")
+	}
+}
+
+func TestStrideCeil(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 4, 3: 4, 4: 4, 5: 8, 8: 8}
+	for in, want := range cases {
+		if got := strideCeil(in); got != want {
+			t.Errorf("strideCeil(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestInsertionSortOrStd(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 2, 31, 32, 33, 100, 1000} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		insertionSortOrStd(xs)
+		for i := 1; i < n; i++ {
+			if xs[i-1] > xs[i] {
+				t.Fatalf("n=%d not sorted at %d", n, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"selflearn/internal/core"
+)
+
+// ExampleLabel demonstrates Algorithm 1 on a toy feature matrix: 200
+// one-feature points of unit noise with a shifted block of 20 points
+// starting at index 80. The argmax of the distance curve recovers the
+// block position.
+func ExampleLabel() {
+	rng := rand.New(rand.NewSource(1))
+	X := make([][]float64, 200)
+	for i := range X {
+		v := rng.NormFloat64()
+		if i >= 80 && i < 100 {
+			v += 5 // the "seizure"
+		}
+		X[i] = []float64{v}
+	}
+	res, err := core.Label(X, 20)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("label starts at point %d (true start 80)\n", res.Index)
+	// Output:
+	// label starts at point 80 (true start 80)
+}
+
+// ExampleLabelK finds two separate events in one buffer.
+func ExampleLabelK() {
+	rng := rand.New(rand.NewSource(2))
+	X := make([][]float64, 400)
+	for i := range X {
+		v := rng.NormFloat64()
+		if (i >= 100 && i < 130) || (i >= 300 && i < 330) {
+			v += 5
+		}
+		X[i] = []float64{v}
+	}
+	results, err := core.LabelK(X, 30, 2, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("found %d events\n", len(results))
+	// Output:
+	// found 2 events
+}

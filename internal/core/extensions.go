@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"selflearn/internal/stats"
+)
+
+// LabelK extends Algorithm 1 to recordings that may contain up to k
+// seizures (the paper assumes exactly one per patient report, and notes
+// the general case as an extension): it computes the distance curve once,
+// then greedily picks the k highest non-overlapping windows whose
+// distance stays above minRelative times the global maximum. Candidates
+// are returned in descending distance order.
+func LabelK(X [][]float64, w, k int, minRelative float64) ([]Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: invalid candidate count %d", k)
+	}
+	if minRelative < 0 || minRelative > 1 {
+		return nil, fmt.Errorf("core: invalid relative threshold %g", minRelative)
+	}
+	base, err := Label(X, w)
+	if err != nil {
+		return nil, err
+	}
+	taken := make([]bool, len(base.Distances))
+	peak := base.Distances[base.Index]
+	var out []Result
+	for len(out) < k {
+		best, bestD := -1, 0.0
+		for i, d := range base.Distances {
+			if taken[i] {
+				continue
+			}
+			if best == -1 || d > bestD {
+				best, bestD = i, d
+			}
+		}
+		if best == -1 || bestD < minRelative*peak {
+			break
+		}
+		out = append(out, Result{Index: best, Window: w, Distances: base.Distances})
+		// Mask positions whose window overlaps the chosen one.
+		lo := best - w + 1
+		if lo < 0 {
+			lo = 0
+		}
+		hi := best + w
+		if hi > len(taken) {
+			hi = len(taken)
+		}
+		for i := lo; i < hi; i++ {
+			taken[i] = true
+		}
+	}
+	return out, nil
+}
+
+// LabelParallel computes the same result as Label with the per-feature
+// distance scans fanned out across CPU cores. It exists for the offline
+// analysis path (a clinician's workstation batch-labeling a large
+// archive); the on-device port is single-core.
+func LabelParallel(X [][]float64, w int) (*Result, error) {
+	if err := validate(X, w); err != nil {
+		return nil, err
+	}
+	l := len(X)
+	f := len(X[0])
+	cols := normalizedColumns(X)
+	nPos := l - w + 1
+	outNorm := float64(l-w) / Stride
+
+	perFeature := make([][]float64, f)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > f {
+		workers = f
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for fi := range jobs {
+				buf := make([]float64, nPos)
+				featureDistances(cols[fi], w, buf)
+				perFeature[fi] = buf
+			}
+		}()
+	}
+	for fi := 0; fi < f; fi++ {
+		jobs <- fi
+	}
+	close(jobs)
+	wg.Wait()
+
+	distances := make([]float64, nPos)
+	for fi := 0; fi < f; fi++ {
+		for i, v := range perFeature[fi] {
+			s := v / (outNorm * float64(w))
+			distances[i] += s * s
+		}
+	}
+	for i := range distances {
+		distances[i] = math.Sqrt(distances[i])
+	}
+	best := stats.ArgMax(distances)
+	return &Result{Index: best, Window: w, Distances: distances}, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// twoBlockMatrix plants two separated shifted blocks.
+func twoBlockMatrix(seed int64, l, f, pos1, pos2, w int, shift float64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, l)
+	for i := range X {
+		row := make([]float64, f)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			if (i >= pos1 && i < pos1+w) || (i >= pos2 && i < pos2+w) {
+				row[j] += shift
+			}
+		}
+		X[i] = row
+	}
+	return X
+}
+
+func TestLabelKFindsBothEvents(t *testing.T) {
+	X := twoBlockMatrix(1, 500, 5, 100, 350, 30, 4)
+	results, err := LabelK(X, 30, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("want 2 candidates, got %d", len(results))
+	}
+	found := map[int]bool{}
+	for _, r := range results {
+		switch {
+		case r.Index >= 95 && r.Index <= 105:
+			found[100] = true
+		case r.Index >= 345 && r.Index <= 355:
+			found[350] = true
+		default:
+			t.Errorf("candidate at %d matches neither event", r.Index)
+		}
+	}
+	if len(found) != 2 {
+		t.Errorf("both events should be found, got %v", found)
+	}
+	// Descending distance order.
+	d0 := results[0].Distances[results[0].Index]
+	d1 := results[1].Distances[results[1].Index]
+	if d0 < d1 {
+		t.Error("candidates must be ordered by distance")
+	}
+}
+
+func TestLabelKThresholdStopsEarly(t *testing.T) {
+	// Single event: the second candidate would be background noise and
+	// must be rejected by the relative threshold.
+	X := matrixWithBlock(2, 400, 5, 150, 40, 5)
+	results, err := LabelK(X, 40, 3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Errorf("noise should not pass a 0.7 relative threshold, got %d candidates", len(results))
+	}
+}
+
+func TestLabelKNoOverlap(t *testing.T) {
+	X := matrixWithBlock(3, 300, 4, 120, 30, 4)
+	results, err := LabelK(X, 30, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(results); i++ {
+		for j := i + 1; j < len(results); j++ {
+			lo1, hi1 := results[i].Index, results[i].Index+30
+			lo2, hi2 := results[j].Index, results[j].Index+30
+			if lo1 < hi2 && lo2 < hi1 {
+				t.Errorf("candidates %d and %d overlap: [%d,%d) vs [%d,%d)",
+					i, j, lo1, hi1, lo2, hi2)
+			}
+		}
+	}
+}
+
+func TestLabelKErrors(t *testing.T) {
+	X := matrixWithBlock(4, 100, 2, 30, 10, 2)
+	if _, err := LabelK(X, 10, 0, 0.5); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := LabelK(X, 10, 2, -0.1); err == nil {
+		t.Error("negative threshold should fail")
+	}
+	if _, err := LabelK(X, 10, 2, 1.5); err == nil {
+		t.Error("threshold > 1 should fail")
+	}
+	if _, err := LabelK(nil, 10, 2, 0.5); err == nil {
+		t.Error("empty matrix should fail")
+	}
+}
+
+func TestLabelParallelMatchesSerial(t *testing.T) {
+	for _, tc := range []struct{ l, f, w int }{
+		{200, 1, 20}, {300, 10, 45}, {150, 3, 10},
+	} {
+		X := matrixWithBlock(int64(tc.l+tc.f), tc.l, tc.f, tc.l/4, tc.w, 3)
+		serial, err := Label(X, tc.w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := LabelParallel(X, tc.w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Index != parallel.Index {
+			t.Errorf("l=%d f=%d: argmax %d vs %d", tc.l, tc.f, serial.Index, parallel.Index)
+		}
+		for i := range serial.Distances {
+			if math.Abs(serial.Distances[i]-parallel.Distances[i]) > 1e-12 {
+				t.Fatalf("distance mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestLabelParallelValidates(t *testing.T) {
+	if _, err := LabelParallel(nil, 5); err == nil {
+		t.Error("empty matrix should fail")
+	}
+	X := matrixWithBlock(5, 50, 2, 10, 5, 2)
+	if _, err := LabelParallel(X, 99); err == nil {
+		t.Error("oversized window should fail")
+	}
+}

@@ -1,0 +1,355 @@
+// Package filter provides IIR (Butterworth biquad) and FIR filters used to
+// condition raw EEG: band-limiting before feature extraction, power-line
+// notch removal, and zero-phase offline filtering for the a-posteriori
+// analysis.
+package filter
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Biquad is a second-order IIR section in direct form II transposed:
+//
+//	y[n] = b0·x[n] + b1·x[n-1] + b2·x[n-2] - a1·y[n-1] - a2·y[n-2]
+//
+// with a0 normalized to 1.
+type Biquad struct {
+	B0, B1, B2 float64
+	A1, A2     float64
+	z1, z2     float64
+}
+
+// Reset clears the filter state.
+func (f *Biquad) Reset() { f.z1, f.z2 = 0, 0 }
+
+// ProcessSample advances the filter by one input sample.
+func (f *Biquad) ProcessSample(x float64) float64 {
+	y := f.B0*x + f.z1
+	f.z1 = f.B1*x - f.A1*y + f.z2
+	f.z2 = f.B2*x - f.A2*y
+	return y
+}
+
+// Process filters xs into a new slice, leaving the filter state updated so
+// streaming callers can continue across chunk boundaries.
+func (f *Biquad) Process(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = f.ProcessSample(x)
+	}
+	return out
+}
+
+func checkFreq(fs, fc float64) error {
+	if fs <= 0 {
+		return fmt.Errorf("filter: invalid sampling rate %g", fs)
+	}
+	if fc <= 0 || fc >= fs/2 {
+		return fmt.Errorf("filter: cutoff %g Hz outside (0, %g)", fc, fs/2)
+	}
+	return nil
+}
+
+// NewLowpass designs a second-order Butterworth lowpass biquad with cutoff
+// fc at sampling rate fs (RBJ audio-EQ cookbook bilinear design with
+// Q = 1/√2).
+func NewLowpass(fs, fc float64) (*Biquad, error) {
+	if err := checkFreq(fs, fc); err != nil {
+		return nil, err
+	}
+	w0 := 2 * math.Pi * fc / fs
+	alpha := math.Sin(w0) / math.Sqrt2
+	cosw := math.Cos(w0)
+	a0 := 1 + alpha
+	return &Biquad{
+		B0: (1 - cosw) / 2 / a0,
+		B1: (1 - cosw) / a0,
+		B2: (1 - cosw) / 2 / a0,
+		A1: -2 * cosw / a0,
+		A2: (1 - alpha) / a0,
+	}, nil
+}
+
+// NewHighpass designs a second-order Butterworth highpass biquad.
+func NewHighpass(fs, fc float64) (*Biquad, error) {
+	if err := checkFreq(fs, fc); err != nil {
+		return nil, err
+	}
+	w0 := 2 * math.Pi * fc / fs
+	alpha := math.Sin(w0) / math.Sqrt2
+	cosw := math.Cos(w0)
+	a0 := 1 + alpha
+	return &Biquad{
+		B0: (1 + cosw) / 2 / a0,
+		B1: -(1 + cosw) / a0,
+		B2: (1 + cosw) / 2 / a0,
+		A1: -2 * cosw / a0,
+		A2: (1 - alpha) / a0,
+	}, nil
+}
+
+// NewBandpass designs a constant-peak-gain bandpass biquad centered at fc
+// with quality factor q.
+func NewBandpass(fs, fc, q float64) (*Biquad, error) {
+	if err := checkFreq(fs, fc); err != nil {
+		return nil, err
+	}
+	if q <= 0 {
+		return nil, fmt.Errorf("filter: invalid Q %g", q)
+	}
+	w0 := 2 * math.Pi * fc / fs
+	alpha := math.Sin(w0) / (2 * q)
+	cosw := math.Cos(w0)
+	a0 := 1 + alpha
+	return &Biquad{
+		B0: alpha / a0,
+		B1: 0,
+		B2: -alpha / a0,
+		A1: -2 * cosw / a0,
+		A2: (1 - alpha) / a0,
+	}, nil
+}
+
+// NewNotch designs a notch biquad at fc (e.g. 50/60 Hz power-line
+// interference) with quality factor q.
+func NewNotch(fs, fc, q float64) (*Biquad, error) {
+	if err := checkFreq(fs, fc); err != nil {
+		return nil, err
+	}
+	if q <= 0 {
+		return nil, fmt.Errorf("filter: invalid Q %g", q)
+	}
+	w0 := 2 * math.Pi * fc / fs
+	alpha := math.Sin(w0) / (2 * q)
+	cosw := math.Cos(w0)
+	a0 := 1 + alpha
+	return &Biquad{
+		B0: 1 / a0,
+		B1: -2 * cosw / a0,
+		B2: 1 / a0,
+		A1: -2 * cosw / a0,
+		A2: (1 - alpha) / a0,
+	}, nil
+}
+
+// Chain is a cascade of biquad sections applied in order.
+type Chain []*Biquad
+
+// Reset clears the state of every section.
+func (c Chain) Reset() {
+	for _, f := range c {
+		f.Reset()
+	}
+}
+
+// Process runs xs through every section in sequence.
+func (c Chain) Process(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	for _, f := range c {
+		out = f.Process(out)
+	}
+	return out
+}
+
+// NewBandLimiter builds the standard EEG conditioning chain: a highpass at
+// low Hz to remove drift and a lowpass at high Hz to remove EMG/noise.
+func NewBandLimiter(fs, low, high float64) (Chain, error) {
+	if low >= high {
+		return nil, fmt.Errorf("filter: band [%g, %g] is empty", low, high)
+	}
+	hp, err := NewHighpass(fs, low)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := NewLowpass(fs, high)
+	if err != nil {
+		return nil, err
+	}
+	return Chain{hp, lp}, nil
+}
+
+// NewButterworthLowpass designs an order-n Butterworth lowpass as a
+// cascade of second-order sections with the classic pole-pair Q values
+// (Q_k = 1/(2·cos θ_k), θ_k the Butterworth pole angles). Order must be
+// even (each biquad realizes one conjugate pole pair).
+func NewButterworthLowpass(order int, fs, fc float64) (Chain, error) {
+	if order < 2 || order%2 != 0 {
+		return nil, fmt.Errorf("filter: order %d must be a positive even number", order)
+	}
+	if err := checkFreq(fs, fc); err != nil {
+		return nil, err
+	}
+	var chain Chain
+	n := order
+	for k := 0; k < n/2; k++ {
+		theta := math.Pi * float64(2*k+1) / float64(2*n)
+		q := 1 / (2 * math.Cos(theta))
+		w0 := 2 * math.Pi * fc / fs
+		alpha := math.Sin(w0) / (2 * q)
+		cosw := math.Cos(w0)
+		a0 := 1 + alpha
+		chain = append(chain, &Biquad{
+			B0: (1 - cosw) / 2 / a0,
+			B1: (1 - cosw) / a0,
+			B2: (1 - cosw) / 2 / a0,
+			A1: -2 * cosw / a0,
+			A2: (1 - alpha) / a0,
+		})
+	}
+	return chain, nil
+}
+
+// NewButterworthHighpass is the highpass counterpart of
+// NewButterworthLowpass.
+func NewButterworthHighpass(order int, fs, fc float64) (Chain, error) {
+	if order < 2 || order%2 != 0 {
+		return nil, fmt.Errorf("filter: order %d must be a positive even number", order)
+	}
+	if err := checkFreq(fs, fc); err != nil {
+		return nil, err
+	}
+	var chain Chain
+	n := order
+	for k := 0; k < n/2; k++ {
+		theta := math.Pi * float64(2*k+1) / float64(2*n)
+		q := 1 / (2 * math.Cos(theta))
+		w0 := 2 * math.Pi * fc / fs
+		alpha := math.Sin(w0) / (2 * q)
+		cosw := math.Cos(w0)
+		a0 := 1 + alpha
+		chain = append(chain, &Biquad{
+			B0: (1 + cosw) / 2 / a0,
+			B1: -(1 + cosw) / a0,
+			B2: (1 + cosw) / 2 / a0,
+			A1: -2 * cosw / a0,
+			A2: (1 - alpha) / a0,
+		})
+	}
+	return chain, nil
+}
+
+// FiltFilt applies the chain forward and backward for zero phase
+// distortion. It is the offline filter used before a-posteriori labeling;
+// state is reset before each pass.
+func FiltFilt(c Chain, xs []float64) []float64 {
+	c.Reset()
+	fwd := c.Process(xs)
+	reverse(fwd)
+	c.Reset()
+	back := c.Process(fwd)
+	reverse(back)
+	c.Reset()
+	return back
+}
+
+func reverse(xs []float64) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Response returns the magnitude response of the chain at frequency f Hz
+// for sampling rate fs.
+func (c Chain) Response(fs, f float64) float64 {
+	w := 2 * math.Pi * f / fs
+	re, im := 1.0, 0.0
+	for _, s := range c {
+		// H(e^{jw}) = (b0 + b1 e^{-jw} + b2 e^{-2jw}) / (1 + a1 e^{-jw} + a2 e^{-2jw})
+		c1, s1 := math.Cos(w), math.Sin(w)
+		c2, s2 := math.Cos(2*w), math.Sin(2*w)
+		numRe := s.B0 + s.B1*c1 + s.B2*c2
+		numIm := -s.B1*s1 - s.B2*s2
+		denRe := 1 + s.A1*c1 + s.A2*c2
+		denIm := -s.A1*s1 - s.A2*s2
+		den := denRe*denRe + denIm*denIm
+		hRe := (numRe*denRe + numIm*denIm) / den
+		hIm := (numIm*denRe - numRe*denIm) / den
+		re, im = re*hRe-im*hIm, re*hIm+im*hRe
+	}
+	return math.Hypot(re, im)
+}
+
+// FIR is a finite impulse response filter defined by its tap vector.
+type FIR struct {
+	Taps []float64
+	hist []float64
+	pos  int
+}
+
+// NewLowpassFIR designs a windowed-sinc (Hamming) lowpass FIR with the
+// given number of taps (made odd if even) and cutoff fc.
+func NewLowpassFIR(fs, fc float64, taps int) (*FIR, error) {
+	if err := checkFreq(fs, fc); err != nil {
+		return nil, err
+	}
+	if taps < 3 {
+		return nil, errors.New("filter: FIR needs at least 3 taps")
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	h := make([]float64, taps)
+	mid := taps / 2
+	fcNorm := fc / fs
+	var sum float64
+	for i := range h {
+		m := float64(i - mid)
+		var v float64
+		if m == 0 {
+			v = 2 * fcNorm
+		} else {
+			v = math.Sin(2*math.Pi*fcNorm*m) / (math.Pi * m)
+		}
+		// Hamming taper.
+		v *= 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(taps-1))
+		h[i] = v
+		sum += v
+	}
+	// Normalize to unity DC gain.
+	for i := range h {
+		h[i] /= sum
+	}
+	return &FIR{Taps: h, hist: make([]float64, taps)}, nil
+}
+
+// Reset clears the FIR delay line.
+func (f *FIR) Reset() {
+	for i := range f.hist {
+		f.hist[i] = 0
+	}
+	f.pos = 0
+}
+
+// ProcessSample advances the FIR by one sample.
+func (f *FIR) ProcessSample(x float64) float64 {
+	f.hist[f.pos] = x
+	var y float64
+	idx := f.pos
+	for _, t := range f.Taps {
+		y += t * f.hist[idx]
+		idx--
+		if idx < 0 {
+			idx = len(f.hist) - 1
+		}
+	}
+	f.pos++
+	if f.pos == len(f.hist) {
+		f.pos = 0
+	}
+	return y
+}
+
+// Process filters xs into a new slice.
+func (f *FIR) Process(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = f.ProcessSample(x)
+	}
+	return out
+}
+
+// GroupDelay returns the constant group delay of the (linear-phase) FIR in
+// samples.
+func (f *FIR) GroupDelay() int { return len(f.Taps) / 2 }

@@ -1,0 +1,345 @@
+package filter
+
+import (
+	"math"
+	"testing"
+)
+
+func sine(freq, fs float64, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * freq * float64(i) / fs)
+	}
+	return xs
+}
+
+// steady-state RMS of the second half of a filtered signal.
+func tailRMS(xs []float64) float64 {
+	tail := xs[len(xs)/2:]
+	var s float64
+	for _, x := range tail {
+		s += x * x
+	}
+	return math.Sqrt(s / float64(len(tail)))
+}
+
+func TestLowpassAttenuatesHighFrequency(t *testing.T) {
+	const fs = 256.0
+	lp, err := NewLowpass(fs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := tailRMS(lp.Process(sine(2, fs, 2048)))
+	lp.Reset()
+	stop := tailRMS(lp.Process(sine(80, fs, 2048)))
+	if pass < 0.5 {
+		t.Errorf("passband RMS %g too low", pass)
+	}
+	if stop > 0.05*pass {
+		t.Errorf("stopband RMS %g not attenuated relative to passband %g", stop, pass)
+	}
+}
+
+func TestHighpassAttenuatesDrift(t *testing.T) {
+	const fs = 256.0
+	hp, err := NewHighpass(fs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DC input should decay to ~0.
+	dc := make([]float64, 2048)
+	for i := range dc {
+		dc[i] = 5
+	}
+	out := hp.Process(dc)
+	if r := tailRMS(out); r > 0.05 {
+		t.Errorf("DC tail RMS %g, want ~0", r)
+	}
+	hp.Reset()
+	if r := tailRMS(hp.Process(sine(20, fs, 2048))); r < 0.5 {
+		t.Errorf("20 Hz should pass a 1 Hz highpass, RMS %g", r)
+	}
+}
+
+func TestBandpassSelectsBand(t *testing.T) {
+	const fs = 256.0
+	bp, err := NewBandpass(fs, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tailRMS(bp.Process(sine(6, fs, 4096)))
+	bp.Reset()
+	out := tailRMS(bp.Process(sine(60, fs, 4096)))
+	if out >= in/3 {
+		t.Errorf("60 Hz RMS %g should be well below 6 Hz RMS %g", out, in)
+	}
+}
+
+func TestNotchRemovesPowerLine(t *testing.T) {
+	const fs = 256.0
+	notch, err := NewNotch(fs, 50, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := tailRMS(notch.Process(sine(50, fs, 8192)))
+	notch.Reset()
+	eeg := tailRMS(notch.Process(sine(6, fs, 8192)))
+	if line > 0.05 {
+		t.Errorf("50 Hz after notch RMS %g, want ~0", line)
+	}
+	if eeg < 0.65 { // unit sine has RMS 1/√2 ≈ 0.707
+		t.Errorf("6 Hz through 50 Hz notch RMS %g, want ≈0.707", eeg)
+	}
+}
+
+func TestDesignErrors(t *testing.T) {
+	if _, err := NewLowpass(0, 10); err == nil {
+		t.Error("fs=0 should error")
+	}
+	if _, err := NewLowpass(256, 0); err == nil {
+		t.Error("fc=0 should error")
+	}
+	if _, err := NewLowpass(256, 128); err == nil {
+		t.Error("fc at Nyquist should error")
+	}
+	if _, err := NewBandpass(256, 10, 0); err == nil {
+		t.Error("Q=0 should error")
+	}
+	if _, err := NewNotch(256, 50, -1); err == nil {
+		t.Error("negative Q should error")
+	}
+	if _, err := NewBandLimiter(256, 30, 10); err == nil {
+		t.Error("inverted band should error")
+	}
+	if _, err := NewBandLimiter(0, 1, 30); err == nil {
+		t.Error("bad fs should error")
+	}
+}
+
+func TestResponseMatchesMeasuredGain(t *testing.T) {
+	const fs = 256.0
+	lp, err := NewLowpass(fs, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Chain{lp}
+	for _, f := range []float64{3, 15, 60} {
+		lp.Reset()
+		measured := tailRMS(c.Process(sine(f, fs, 8192))) * math.Sqrt2
+		predicted := c.Response(fs, f)
+		if math.Abs(measured-predicted) > 0.02 {
+			t.Errorf("f=%g: measured gain %g, response %g", f, measured, predicted)
+		}
+	}
+}
+
+func TestButterworthHalfPowerAtCutoff(t *testing.T) {
+	lp, err := NewLowpass(256, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Chain{lp}.Response(256, 20)
+	if math.Abs(g-1/math.Sqrt2) > 0.01 {
+		t.Errorf("gain at cutoff = %g, want 1/√2", g)
+	}
+	hp, err := NewHighpass(256, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = Chain{hp}.Response(256, 20)
+	if math.Abs(g-1/math.Sqrt2) > 0.01 {
+		t.Errorf("highpass gain at cutoff = %g, want 1/√2", g)
+	}
+}
+
+func TestChainProcessAndReset(t *testing.T) {
+	c, err := NewBandLimiter(256, 0.5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := sine(6, 256, 1024)
+	y1 := c.Process(x)
+	c.Reset()
+	y2 := c.Process(x)
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatal("Reset should make Process deterministic")
+		}
+	}
+}
+
+func TestFiltFiltZeroPhase(t *testing.T) {
+	const fs = 256.0
+	c, err := NewBandLimiter(fs, 0.5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := sine(6, fs, 4096)
+	y := FiltFilt(c, x)
+	if len(y) != len(x) {
+		t.Fatal("length change")
+	}
+	// Zero-phase: peak positions of the filtered passband tone align with
+	// the input (compare in the middle to avoid edge transients).
+	mid := len(x) / 2
+	bestIn, bestOut := mid, mid
+	for i := mid - 20; i < mid+20; i++ {
+		if x[i] > x[bestIn] {
+			bestIn = i
+		}
+		if y[i] > y[bestOut] {
+			bestOut = i
+		}
+	}
+	if d := bestIn - bestOut; d < -1 || d > 1 {
+		t.Errorf("filtfilt phase shift of %d samples, want ~0", d)
+	}
+}
+
+func TestFIRLowpass(t *testing.T) {
+	const fs = 256.0
+	fir, err := NewLowpassFIR(fs, 10, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := tailRMS(fir.Process(sine(2, fs, 2048)))
+	fir.Reset()
+	stop := tailRMS(fir.Process(sine(80, fs, 2048)))
+	if stop > 0.02*pass {
+		t.Errorf("FIR stopband %g vs passband %g", stop, pass)
+	}
+}
+
+func TestFIRUnityDCGain(t *testing.T) {
+	fir, err := NewLowpassFIR(256, 10, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, tap := range fir.Taps {
+		sum += tap
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("tap sum = %g, want 1", sum)
+	}
+}
+
+func TestFIREvenTapsPromoted(t *testing.T) {
+	fir, err := NewLowpassFIR(256, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fir.Taps)%2 != 1 {
+		t.Errorf("tap count %d should be odd", len(fir.Taps))
+	}
+	if fir.GroupDelay() != len(fir.Taps)/2 {
+		t.Error("group delay should be (taps-1)/2")
+	}
+}
+
+func TestFIRErrors(t *testing.T) {
+	if _, err := NewLowpassFIR(256, 10, 2); err == nil {
+		t.Error("too few taps should error")
+	}
+	if _, err := NewLowpassFIR(256, 300, 33); err == nil {
+		t.Error("cutoff above Nyquist should error")
+	}
+}
+
+func TestFIRLinearPhaseSymmetry(t *testing.T) {
+	fir, err := NewLowpassFIR(256, 25, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(fir.Taps)
+	for i := 0; i < n/2; i++ {
+		if math.Abs(fir.Taps[i]-fir.Taps[n-1-i]) > 1e-12 {
+			t.Fatalf("taps not symmetric at %d", i)
+		}
+	}
+}
+
+func TestButterworthCascadeOrder(t *testing.T) {
+	const fs = 256.0
+	lp4, err := NewButterworthLowpass(4, fs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lp4) != 2 {
+		t.Fatalf("order 4 should yield 2 sections, got %d", len(lp4))
+	}
+	// Butterworth property: -3 dB at the cutoff regardless of order.
+	if g := lp4.Response(fs, 20); math.Abs(g-1/math.Sqrt2) > 0.01 {
+		t.Errorf("4th-order gain at cutoff %g, want 1/√2", g)
+	}
+	// Roll-off steeper than 2nd order: at 2·fc, |H| ≈ (1/√(1+(2)^(2n))).
+	lp2, err := NewButterworthLowpass(2, fs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := lp2.Response(fs, 40)
+	g4 := lp4.Response(fs, 40)
+	if g4 >= g2/2 {
+		t.Errorf("4th order at 2fc (%g) should be far below 2nd order (%g)", g4, g2)
+	}
+	// Passband flatness.
+	if g := lp4.Response(fs, 2); g < 0.99 {
+		t.Errorf("passband gain %g", g)
+	}
+}
+
+func TestButterworthHighpassCascade(t *testing.T) {
+	const fs = 256.0
+	hp4, err := NewButterworthHighpass(4, fs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := hp4.Response(fs, 1); math.Abs(g-1/math.Sqrt2) > 0.01 {
+		t.Errorf("gain at cutoff %g, want 1/√2", g)
+	}
+	if g := hp4.Response(fs, 0.1); g > 0.01 {
+		t.Errorf("deep stopband gain %g", g)
+	}
+	if g := hp4.Response(fs, 30); g < 0.99 {
+		t.Errorf("passband gain %g", g)
+	}
+}
+
+func TestButterworthOrderValidation(t *testing.T) {
+	if _, err := NewButterworthLowpass(3, 256, 10); err == nil {
+		t.Error("odd order should fail")
+	}
+	if _, err := NewButterworthLowpass(0, 256, 10); err == nil {
+		t.Error("order 0 should fail")
+	}
+	if _, err := NewButterworthHighpass(5, 256, 10); err == nil {
+		t.Error("odd order highpass should fail")
+	}
+	if _, err := NewButterworthLowpass(4, 256, 200); err == nil {
+		t.Error("cutoff beyond Nyquist should fail")
+	}
+}
+
+func TestBiquadStreamingEquivalence(t *testing.T) {
+	// Chunked processing must equal one-shot processing (state carries).
+	lp, err := NewLowpass(256, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := sine(8, 256, 1000)
+	oneShot := lp.Process(x)
+	lp.Reset()
+	var chunked []float64
+	for i := 0; i < len(x); i += 97 {
+		end := i + 97
+		if end > len(x) {
+			end = len(x)
+		}
+		chunked = append(chunked, lp.Process(x[i:end])...)
+	}
+	for i := range oneShot {
+		if math.Abs(oneShot[i]-chunked[i]) > 1e-12 {
+			t.Fatalf("streaming mismatch at %d", i)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package goertzel implements the Goertzel algorithm: single-bin DFT
+// power evaluation in O(N) per frequency with two multiplies per sample.
+// On FPU-less MCUs it is the standard way to compute a handful of band
+// powers without paying for a full FFT, so it is the natural embedded
+// backend for the paper's delta/theta band-power features.
+package goertzel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Power returns |X(f)|² of xs at analysis frequency f Hz for sampling
+// rate fs, equivalent to the squared magnitude of the corresponding DFT
+// bin (when f aligns with a bin center).
+func Power(xs []float64, fs, f float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("goertzel: empty signal")
+	}
+	if fs <= 0 {
+		return 0, fmt.Errorf("goertzel: invalid sampling rate %g", fs)
+	}
+	if f < 0 || f > fs/2 {
+		return 0, fmt.Errorf("goertzel: frequency %g outside [0, %g]", f, fs/2)
+	}
+	w := 2 * math.Pi * f / fs
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, x := range xs {
+		s0 = x + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	// Standard non-phase form.
+	return s1*s1 + s2*s2 - coeff*s1*s2, nil
+}
+
+// BandPower integrates Goertzel bin powers across [low, high) Hz on the
+// DFT grid of len(xs) samples, one-sided (bins folded ×2 except DC and
+// Nyquist), scaled to match the PSD integral convention of
+// internal/dsp/spectrum for a rectangular window: dividing by fs·N and
+// multiplying by the bin width fs/N cancels to 1/N².
+func BandPower(xs []float64, fs, low, high float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("goertzel: empty signal")
+	}
+	if fs <= 0 {
+		return 0, fmt.Errorf("goertzel: invalid sampling rate %g", fs)
+	}
+	if low < 0 || high <= low || high > fs/2+1e-9 {
+		return 0, fmt.Errorf("goertzel: invalid band [%g, %g)", low, high)
+	}
+	n := len(xs)
+	binWidth := fs / float64(n)
+	var sum float64
+	for k := 0; k <= n/2; k++ {
+		fk := float64(k) * binWidth
+		if fk < low || fk >= high {
+			continue
+		}
+		p, err := Power(xs, fs, fk)
+		if err != nil {
+			return 0, err
+		}
+		if k != 0 && k != n/2 {
+			p *= 2
+		}
+		sum += p
+	}
+	return sum / float64(n) / float64(n), nil
+}
+
+// Detector is a streaming single-frequency Goertzel filter: feed samples,
+// read the running power of a fixed-length block. It is the form an ISR
+// on the wearable would run.
+type Detector struct {
+	coeff   float64
+	s1, s2  float64
+	block   int
+	counted int
+}
+
+// NewDetector builds a streaming detector for frequency f at rate fs
+// with the given block length.
+func NewDetector(fs, f float64, block int) (*Detector, error) {
+	if fs <= 0 || f < 0 || f > fs/2 {
+		return nil, fmt.Errorf("goertzel: invalid configuration fs=%g f=%g", fs, f)
+	}
+	if block < 1 {
+		return nil, fmt.Errorf("goertzel: invalid block %d", block)
+	}
+	return &Detector{coeff: 2 * math.Cos(2*math.Pi*f/fs), block: block}, nil
+}
+
+// Push feeds one sample. When the block completes it returns the block
+// power and true, and resets for the next block.
+func (d *Detector) Push(x float64) (float64, bool) {
+	s0 := x + d.coeff*d.s1 - d.s2
+	d.s2 = d.s1
+	d.s1 = s0
+	d.counted++
+	if d.counted < d.block {
+		return 0, false
+	}
+	p := d.s1*d.s1 + d.s2*d.s2 - d.coeff*d.s1*d.s2
+	d.s1, d.s2, d.counted = 0, 0, 0
+	return p, true
+}

@@ -1,0 +1,211 @@
+// Package spectrum estimates power spectral densities and EEG band powers.
+// The paper's most discriminative features — total and relative delta
+// ([0.5, 4] Hz) and theta ([4, 8] Hz) band power — are computed here from
+// Welch/periodogram estimates.
+package spectrum
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"selflearn/internal/dsp/fft"
+	"selflearn/internal/dsp/window"
+)
+
+// Band is a frequency interval in Hz, inclusive of Low, exclusive of High.
+type Band struct {
+	Name string
+	Low  float64 // Hz
+	High float64 // Hz
+}
+
+// The standard clinical EEG bands. Delta and Theta are the bands the
+// paper's backward elimination retained.
+var (
+	Delta = Band{"delta", 0.5, 4}
+	Theta = Band{"theta", 4, 8}
+	Alpha = Band{"alpha", 8, 13}
+	Beta  = Band{"beta", 13, 30}
+	Gamma = Band{"gamma", 30, 100}
+)
+
+// ClinicalBands lists the five standard bands in ascending frequency.
+func ClinicalBands() []Band {
+	return []Band{Delta, Theta, Alpha, Beta, Gamma}
+}
+
+// PSD is a one-sided power spectral density estimate.
+type PSD struct {
+	// Power[k] is the density at frequency Freq(k), in signal-units²/Hz.
+	Power []float64
+	// BinWidth is the frequency spacing between consecutive bins in Hz.
+	BinWidth float64
+}
+
+// Freq returns the frequency of bin k in Hz.
+func (p *PSD) Freq(k int) float64 { return float64(k) * p.BinWidth }
+
+// TotalPower integrates the PSD over all frequencies.
+func (p *PSD) TotalPower() float64 {
+	var s float64
+	for _, v := range p.Power {
+		s += v
+	}
+	return s * p.BinWidth
+}
+
+// BandPower integrates the PSD over band b. Bins whose center frequency
+// lies in [b.Low, b.High) contribute.
+func (p *PSD) BandPower(b Band) float64 {
+	var s float64
+	for k := range p.Power {
+		f := p.Freq(k)
+		if f >= b.Low && f < b.High {
+			s += p.Power[k]
+		}
+	}
+	return s * p.BinWidth
+}
+
+// RelativeBandPower returns BandPower(b)/TotalPower, or 0 when the total
+// power is zero.
+func (p *PSD) RelativeBandPower(b Band) float64 {
+	tot := p.TotalPower()
+	if tot == 0 {
+		return 0
+	}
+	return p.BandPower(b) / tot
+}
+
+// Periodogram estimates the one-sided PSD of xs sampled at fs Hz using a
+// single tapered FFT. The signal is zero-padded to the next power of two.
+func Periodogram(xs []float64, fs float64, taper window.Func) (*PSD, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("spectrum: empty signal")
+	}
+	if fs <= 0 {
+		return nil, fmt.Errorf("spectrum: invalid sampling rate %g", fs)
+	}
+	n := len(xs)
+	tapered := window.Apply(taper, xs)
+	spec, err := fft.ForwardReal(tapered)
+	if err != nil {
+		return nil, err
+	}
+	nfft := len(spec)
+	wp := window.Power(taper, n)
+	if wp == 0 {
+		wp = 1
+	}
+	// One-sided PSD with taper power correction. The denominator uses the
+	// original (pre-padding) length so that total power matches the
+	// time-domain mean square of the tapered signal.
+	scale := 1 / (fs * float64(n) * wp)
+	half := nfft/2 + 1
+	power := make([]float64, half)
+	for k := 0; k < half; k++ {
+		re, im := real(spec[k]), imag(spec[k])
+		p := (re*re + im*im) * scale
+		if k != 0 && k != nfft/2 {
+			p *= 2 // fold negative frequencies
+		}
+		power[k] = p
+	}
+	return &PSD{Power: power, BinWidth: fs / float64(nfft)}, nil
+}
+
+// Welch estimates the PSD by averaging periodograms of segments of length
+// segLen with 50% overlap. When the signal is shorter than segLen it falls
+// back to a single periodogram.
+func Welch(xs []float64, fs float64, segLen int, taper window.Func) (*PSD, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("spectrum: empty signal")
+	}
+	if segLen <= 0 {
+		return nil, fmt.Errorf("spectrum: invalid segment length %d", segLen)
+	}
+	if len(xs) < segLen {
+		return Periodogram(xs, fs, taper)
+	}
+	hop := segLen / 2
+	if hop == 0 {
+		hop = 1
+	}
+	var acc *PSD
+	var count int
+	for start := 0; start+segLen <= len(xs); start += hop {
+		p, err := Periodogram(xs[start:start+segLen], fs, taper)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = p
+		} else {
+			for k := range acc.Power {
+				acc.Power[k] += p.Power[k]
+			}
+		}
+		count++
+	}
+	for k := range acc.Power {
+		acc.Power[k] /= float64(count)
+	}
+	return acc, nil
+}
+
+// BandPowers computes the total power in each band of bands from a single
+// periodogram of xs. It is the convenience entry point used by the
+// feature extractor.
+func BandPowers(xs []float64, fs float64, bands []Band) ([]float64, error) {
+	psd, err := Periodogram(xs, fs, window.Hann)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(bands))
+	for i, b := range bands {
+		out[i] = psd.BandPower(b)
+	}
+	return out, nil
+}
+
+// SpectralEdgeFrequency returns the frequency below which fraction q of
+// the total spectral power lies (e.g. SEF95 with q = 0.95).
+func SpectralEdgeFrequency(p *PSD, q float64) float64 {
+	if q <= 0 || q > 1 || len(p.Power) == 0 {
+		return math.NaN()
+	}
+	total := 0.0
+	for _, v := range p.Power {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * total
+	cum := 0.0
+	for k, v := range p.Power {
+		cum += v
+		if cum >= target {
+			return p.Freq(k)
+		}
+	}
+	return p.Freq(len(p.Power) - 1)
+}
+
+// PeakFrequency returns the frequency of the strongest PSD bin at or above
+// minFreq (to let callers skip the DC bin).
+func PeakFrequency(p *PSD, minFreq float64) float64 {
+	best, bestP := math.NaN(), -1.0
+	for k, v := range p.Power {
+		f := p.Freq(k)
+		if f < minFreq {
+			continue
+		}
+		if v > bestP {
+			bestP = v
+			best = f
+		}
+	}
+	return best
+}

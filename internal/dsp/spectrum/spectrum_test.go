@@ -1,0 +1,251 @@
+package spectrum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"selflearn/internal/dsp/window"
+)
+
+func sine(freq, fs float64, n int, amp float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = amp * math.Sin(2*math.Pi*freq*float64(i)/fs)
+	}
+	return xs
+}
+
+func TestPeriodogramPeakAtToneFrequency(t *testing.T) {
+	const fs = 256.0
+	xs := sine(6, fs, 1024, 1) // theta-band tone
+	psd, err := Periodogram(xs, fs, window.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := PeakFrequency(psd, 1)
+	if math.Abs(peak-6) > psd.BinWidth {
+		t.Errorf("peak at %g Hz, want 6 Hz (bin width %g)", peak, psd.BinWidth)
+	}
+}
+
+func TestPeriodogramParseval(t *testing.T) {
+	// Total PSD power must match the time-domain mean square for a
+	// rectangular window (no taper loss).
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 512)
+	var msq float64
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		msq += xs[i] * xs[i]
+	}
+	msq /= float64(len(xs))
+	psd, err := Periodogram(xs, 256, window.Rectangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := psd.TotalPower(); math.Abs(got-msq) > 1e-6*msq {
+		t.Errorf("TotalPower = %g, want mean square %g", got, msq)
+	}
+}
+
+func TestBandPowerConcentration(t *testing.T) {
+	const fs = 256.0
+	xs := sine(6, fs, 2048, 2)
+	psd, err := Periodogram(xs, fs, window.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := psd.BandPower(Theta)
+	rel := psd.RelativeBandPower(Theta)
+	if rel < 0.95 {
+		t.Errorf("theta tone: relative theta power %g, want > 0.95", rel)
+	}
+	if theta <= psd.BandPower(Alpha) {
+		t.Error("theta power should dominate alpha for a 6 Hz tone")
+	}
+}
+
+func TestRelativeBandPowersSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	psd, err := Periodogram(xs, 256, window.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bands covering the whole one-sided axis should account for all power.
+	full := Band{"full", 0, 129}
+	if math.Abs(psd.RelativeBandPower(full)-1) > 1e-12 {
+		t.Errorf("full-band relative power = %g, want 1", psd.RelativeBandPower(full))
+	}
+}
+
+func TestRelativeBandPowerZeroSignal(t *testing.T) {
+	psd, err := Periodogram(make([]float64, 64), 256, window.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psd.RelativeBandPower(Theta) != 0 {
+		t.Error("zero signal should have zero relative band power")
+	}
+}
+
+func TestPeriodogramErrors(t *testing.T) {
+	if _, err := Periodogram(nil, 256, window.Hann); err == nil {
+		t.Error("empty signal should error")
+	}
+	if _, err := Periodogram([]float64{1, 2}, 0, window.Hann); err == nil {
+		t.Error("zero sampling rate should error")
+	}
+	if _, err := Welch(nil, 256, 128, window.Hann); err == nil {
+		t.Error("Welch empty signal should error")
+	}
+	if _, err := Welch([]float64{1, 2, 3}, 256, 0, window.Hann); err == nil {
+		t.Error("Welch invalid segment should error")
+	}
+}
+
+func TestWelchReducesVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	single, err := Periodogram(xs, 256, window.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	welch, err := Welch(xs, 256, 512, window.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	varOf := func(ps []float64) float64 {
+		var m float64
+		for _, p := range ps {
+			m += p
+		}
+		m /= float64(len(ps))
+		var v float64
+		for _, p := range ps {
+			v += (p - m) * (p - m)
+		}
+		return v / float64(len(ps))
+	}
+	if varOf(welch.Power) >= varOf(single.Power) {
+		t.Error("Welch averaging should reduce PSD variance for white noise")
+	}
+}
+
+func TestWelchShortFallsBackToPeriodogram(t *testing.T) {
+	xs := sine(6, 256, 100, 1)
+	w, err := Welch(xs, 256, 512, window.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Periodogram(xs, 256, window.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Power) != len(p.Power) {
+		t.Fatal("short-signal Welch should equal single periodogram")
+	}
+	for k := range w.Power {
+		if math.Abs(w.Power[k]-p.Power[k]) > 1e-15 {
+			t.Fatal("short-signal Welch should equal single periodogram bin-for-bin")
+		}
+	}
+}
+
+func TestBandPowers(t *testing.T) {
+	xs := sine(10, 256, 1024, 1) // alpha tone
+	bp, err := BandPowers(xs, 256, ClinicalBands())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bp) != 5 {
+		t.Fatalf("want 5 band powers, got %d", len(bp))
+	}
+	// Alpha (index 2) should dominate.
+	for i, p := range bp {
+		if i != 2 && p >= bp[2] {
+			t.Errorf("band %d power %g should be below alpha %g", i, p, bp[2])
+		}
+	}
+}
+
+func TestSpectralEdgeFrequency(t *testing.T) {
+	xs := sine(6, 256, 2048, 1)
+	psd, err := Periodogram(xs, 256, window.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sef := SpectralEdgeFrequency(psd, 0.95)
+	if math.Abs(sef-6) > 1 {
+		t.Errorf("SEF95 of a 6 Hz tone = %g, want ≈6", sef)
+	}
+	if !math.IsNaN(SpectralEdgeFrequency(psd, 0)) {
+		t.Error("q=0 should be NaN")
+	}
+	if !math.IsNaN(SpectralEdgeFrequency(psd, 1.5)) {
+		t.Error("q>1 should be NaN")
+	}
+}
+
+func TestClinicalBandsOrdered(t *testing.T) {
+	bands := ClinicalBands()
+	for i := 1; i < len(bands); i++ {
+		if bands[i].Low != bands[i-1].High {
+			t.Errorf("band %s should start where %s ends", bands[i].Name, bands[i-1].Name)
+		}
+	}
+	if bands[0].Low != 0.5 || bands[0].High != 4 {
+		t.Error("delta band must be [0.5, 4] Hz as in the paper")
+	}
+	if bands[1].Low != 4 || bands[1].High != 8 {
+		t.Error("theta band must be [4, 8] Hz as in the paper")
+	}
+}
+
+func TestWindowCoefficients(t *testing.T) {
+	if window.Coefficients(window.Hann, 0) != nil {
+		t.Error("n=0 should be nil")
+	}
+	w1 := window.Coefficients(window.Blackman, 1)
+	if len(w1) != 1 || w1[0] != 1 {
+		t.Errorf("n=1 window should be [1], got %v", w1)
+	}
+	h := window.Coefficients(window.Hann, 9)
+	if math.Abs(h[0]) > 1e-12 || math.Abs(h[8]) > 1e-12 {
+		t.Error("hann endpoints should be 0")
+	}
+	if math.Abs(h[4]-1) > 1e-12 {
+		t.Error("hann midpoint should be 1")
+	}
+	// Symmetry for all types.
+	for _, f := range []window.Func{window.Rectangular, window.Hann, window.Hamming, window.Blackman} {
+		w := window.Coefficients(f, 33)
+		for i := range w {
+			if math.Abs(w[i]-w[len(w)-1-i]) > 1e-12 {
+				t.Errorf("%v window asymmetric at %d", f, i)
+			}
+		}
+	}
+}
+
+func TestWindowNames(t *testing.T) {
+	names := map[window.Func]string{
+		window.Rectangular: "rectangular",
+		window.Hann:        "hann",
+		window.Hamming:     "hamming",
+		window.Blackman:    "blackman",
+		window.Func(99):    "unknown",
+	}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("String() = %q, want %q", f.String(), want)
+		}
+	}
+}

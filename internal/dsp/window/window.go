@@ -1,0 +1,84 @@
+// Package window provides the taper functions applied before spectral
+// estimation (periodogram / Welch) in the feature-extraction front end.
+package window
+
+import "math"
+
+// Func identifies a window (taper) function.
+type Func int
+
+// Supported window functions.
+const (
+	Rectangular Func = iota
+	Hann
+	Hamming
+	Blackman
+)
+
+// String returns the conventional name of the window function.
+func (f Func) String() string {
+	switch f {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	default:
+		return "unknown"
+	}
+}
+
+// Coefficients returns the n window coefficients for f. It returns nil
+// when n <= 0. For n == 1 all windows degenerate to [1].
+func Coefficients(f Func, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	den := float64(n - 1)
+	for i := range w {
+		x := float64(i) / den
+		switch f {
+		case Hann:
+			w[i] = 0.5 - 0.5*math.Cos(2*math.Pi*x)
+		case Hamming:
+			w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*x)
+		case Blackman:
+			w[i] = 0.42 - 0.5*math.Cos(2*math.Pi*x) + 0.08*math.Cos(4*math.Pi*x)
+		default:
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+// Apply multiplies xs element-wise by window f and returns a new slice.
+func Apply(f Func, xs []float64) []float64 {
+	w := Coefficients(f, len(xs))
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * w[i]
+	}
+	return out
+}
+
+// Power returns the mean squared coefficient of window f at length n,
+// used to correct PSD estimates for the power lost to tapering.
+func Power(f Func, n int) float64 {
+	w := Coefficients(f, n)
+	if w == nil {
+		return 0
+	}
+	var s float64
+	for _, v := range w {
+		s += v * v
+	}
+	return s / float64(n)
+}

@@ -1,0 +1,400 @@
+// Package edf reads and writes the European Data Format (EDF), the format
+// the CHB-MIT corpus is distributed in. Signals are stored as 16-bit
+// integers with per-channel physical scaling; one data record holds one
+// second of samples.
+//
+// Seizure annotations travel in a companion summary file (ReadSummary /
+// WriteSummary) mirroring how CHB-MIT publishes its expert labels in
+// chbNN-summary.txt sidecars rather than in the EDF itself.
+package edf
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"selflearn/internal/signal"
+)
+
+const (
+	headerSize       = 256
+	signalHeaderSize = 256
+	digMin           = -32768
+	digMax           = 32767
+)
+
+// Write encodes rec as EDF. Each data record spans one second; the
+// recording is truncated to a whole number of seconds. Channel data is
+// scaled into the full 16-bit digital range using per-channel physical
+// extrema.
+func Write(w io.Writer, rec *signal.Recording) error {
+	if err := rec.Validate(); err != nil {
+		return fmt.Errorf("edf: %w", err)
+	}
+	if rec.SampleRate != math.Trunc(rec.SampleRate) {
+		return fmt.Errorf("edf: non-integer sample rate %g not supported", rec.SampleRate)
+	}
+	spr := int(rec.SampleRate) // samples per record per channel
+	nRecords := rec.Samples() / spr
+	if nRecords == 0 {
+		return errors.New("edf: recording shorter than one data record")
+	}
+	ns := len(rec.Channels)
+
+	bw := bufio.NewWriter(w)
+	pad := func(s string, n int) {
+		if len(s) > n {
+			s = s[:n]
+		}
+		bw.WriteString(s)
+		for i := len(s); i < n; i++ {
+			bw.WriteByte(' ')
+		}
+	}
+	// Fixed header.
+	pad("0", 8)
+	pad(rec.PatientID, 80)
+	pad(rec.RecordID, 80)
+	pad("01.01.20", 8)
+	pad("00.00.00", 8)
+	pad(strconv.Itoa(headerSize+ns*signalHeaderSize), 8)
+	pad("", 44)
+	pad(strconv.Itoa(nRecords), 8)
+	pad("1", 8) // one second per record
+	pad(strconv.Itoa(ns), 4)
+
+	// Per-channel physical extrema and scale factors.
+	physMin := make([]float64, ns)
+	physMax := make([]float64, ns)
+	for c := range rec.Data {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range rec.Data[c][:nRecords*spr] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if lo == hi { // degenerate channel: widen to avoid zero division
+			lo, hi = lo-1, hi+1
+		}
+		// Use the header's string representation (8 ASCII chars) as the
+		// authoritative extrema so encoder and decoder share the exact
+		// same scale. Widen outward so all samples stay in range.
+		lo = math.Floor(lo*10) / 10
+		hi = math.Ceil(hi*10) / 10
+		loR, err := strconv.ParseFloat(formatFloat(lo), 64)
+		if err != nil {
+			return fmt.Errorf("edf: cannot encode physical minimum %g", lo)
+		}
+		hiR, err := strconv.ParseFloat(formatFloat(hi), 64)
+		if err != nil {
+			return fmt.Errorf("edf: cannot encode physical maximum %g", hi)
+		}
+		physMin[c], physMax[c] = loR, hiR
+	}
+	// Signal headers, field by field across all signals.
+	for _, name := range rec.Channels {
+		pad(name, 16)
+	}
+	for range rec.Channels {
+		pad("AgAgCl electrode", 80)
+	}
+	for range rec.Channels {
+		pad("uV", 8)
+	}
+	for c := range rec.Channels {
+		pad(formatFloat(physMin[c]), 8)
+	}
+	for c := range rec.Channels {
+		pad(formatFloat(physMax[c]), 8)
+	}
+	for range rec.Channels {
+		pad(strconv.Itoa(digMin), 8)
+	}
+	for range rec.Channels {
+		pad(strconv.Itoa(digMax), 8)
+	}
+	for range rec.Channels {
+		pad("", 80)
+	}
+	for range rec.Channels {
+		pad(strconv.Itoa(spr), 8)
+	}
+	for range rec.Channels {
+		pad("", 32)
+	}
+
+	// Data records: int16 little-endian, channel-major within a record.
+	buf := make([]byte, 2)
+	for r := 0; r < nRecords; r++ {
+		for c := 0; c < ns; c++ {
+			scale := (physMax[c] - physMin[c]) / float64(digMax-digMin)
+			base := r * spr
+			for i := 0; i < spr; i++ {
+				v := rec.Data[c][base+i]
+				d := int(math.Round((v-physMin[c])/scale)) + digMin
+				if d < digMin {
+					d = digMin
+				}
+				if d > digMax {
+					d = digMax
+				}
+				buf[0] = byte(uint16(int16(d)))
+				buf[1] = byte(uint16(int16(d)) >> 8)
+				bw.Write(buf)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func formatFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 1, 64)
+	if len(s) > 8 {
+		s = strconv.FormatFloat(v, 'g', 3, 64)
+		if len(s) > 8 {
+			s = s[:8]
+		}
+	}
+	return s
+}
+
+// Read decodes an EDF stream produced by Write (or any single-rate,
+// non-annotated EDF with one-second records).
+func Read(r io.Reader) (*signal.Recording, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, headerSize)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("edf: short header: %w", err)
+	}
+	field := func(off, n int) string { return strings.TrimSpace(string(head[off : off+n])) }
+	if v := field(0, 8); v != "0" {
+		return nil, fmt.Errorf("edf: unsupported version %q", v)
+	}
+	patient := field(8, 80)
+	recID := field(88, 80)
+	nRecords, err := strconv.Atoi(field(236, 8))
+	if err != nil || nRecords <= 0 {
+		return nil, fmt.Errorf("edf: bad record count %q", field(236, 8))
+	}
+	recDur, err := strconv.ParseFloat(field(244, 8), 64)
+	if err != nil || recDur <= 0 {
+		return nil, fmt.Errorf("edf: bad record duration %q", field(244, 8))
+	}
+	ns, err := strconv.Atoi(field(252, 4))
+	if err != nil || ns <= 0 {
+		return nil, fmt.Errorf("edf: bad signal count %q", field(252, 4))
+	}
+
+	sig := make([]byte, ns*signalHeaderSize)
+	if _, err := io.ReadFull(br, sig); err != nil {
+		return nil, fmt.Errorf("edf: short signal header: %w", err)
+	}
+	// Signal header layout: consecutive blocks of ns fields.
+	offset := 0
+	readBlock := func(width int) []string {
+		out := make([]string, ns)
+		for i := 0; i < ns; i++ {
+			out[i] = strings.TrimSpace(string(sig[offset : offset+width]))
+			offset += width
+		}
+		return out
+	}
+	labels := readBlock(16)
+	readBlock(80) // transducer
+	readBlock(8)  // dimension
+	physMinS := readBlock(8)
+	physMaxS := readBlock(8)
+	digMinS := readBlock(8)
+	digMaxS := readBlock(8)
+	readBlock(80) // prefiltering
+	sprS := readBlock(8)
+	readBlock(32) // reserved
+
+	physMin := make([]float64, ns)
+	physMax := make([]float64, ns)
+	dMin := make([]int, ns)
+	dMax := make([]int, ns)
+	spr := make([]int, ns)
+	for i := 0; i < ns; i++ {
+		if physMin[i], err = strconv.ParseFloat(physMinS[i], 64); err != nil {
+			return nil, fmt.Errorf("edf: bad physical minimum %q", physMinS[i])
+		}
+		if physMax[i], err = strconv.ParseFloat(physMaxS[i], 64); err != nil {
+			return nil, fmt.Errorf("edf: bad physical maximum %q", physMaxS[i])
+		}
+		if dMin[i], err = strconv.Atoi(digMinS[i]); err != nil {
+			return nil, fmt.Errorf("edf: bad digital minimum %q", digMinS[i])
+		}
+		if dMax[i], err = strconv.Atoi(digMaxS[i]); err != nil {
+			return nil, fmt.Errorf("edf: bad digital maximum %q", digMaxS[i])
+		}
+		if dMax[i] <= dMin[i] {
+			return nil, fmt.Errorf("edf: signal %d digital range [%d, %d] invalid", i, dMin[i], dMax[i])
+		}
+		if spr[i], err = strconv.Atoi(sprS[i]); err != nil || spr[i] <= 0 {
+			return nil, fmt.Errorf("edf: bad samples-per-record %q", sprS[i])
+		}
+	}
+	for i := 1; i < ns; i++ {
+		if spr[i] != spr[0] {
+			return nil, errors.New("edf: mixed per-channel rates not supported")
+		}
+	}
+	fs := float64(spr[0]) / recDur
+
+	rec := &signal.Recording{
+		PatientID:  patient,
+		RecordID:   recID,
+		SampleRate: fs,
+		Channels:   labels,
+	}
+	total := nRecords * spr[0]
+	for i := 0; i < ns; i++ {
+		rec.Data = append(rec.Data, make([]float64, 0, total))
+	}
+	raw := make([]byte, 2*spr[0])
+	for r := 0; r < nRecords; r++ {
+		for c := 0; c < ns; c++ {
+			if _, err := io.ReadFull(br, raw); err != nil {
+				return nil, fmt.Errorf("edf: truncated data record %d: %w", r, err)
+			}
+			scale := (physMax[c] - physMin[c]) / float64(dMax[c]-dMin[c])
+			for i := 0; i < spr[0]; i++ {
+				d := int16(uint16(raw[2*i]) | uint16(raw[2*i+1])<<8)
+				v := physMin[c] + scale*float64(int(d)-dMin[c])
+				rec.Data[c] = append(rec.Data[c], v)
+			}
+		}
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, fmt.Errorf("edf: decoded recording invalid: %w", err)
+	}
+	return rec, nil
+}
+
+// WriteSummary emits the CHB-MIT-style sidecar annotation listing for
+// rec: one "Seizure n Start/End Time" pair per annotated seizure, in
+// seconds.
+func WriteSummary(w io.Writer, rec *signal.Recording) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "File Name: %s\n", rec.RecordID)
+	fmt.Fprintf(bw, "Number of Seizures in File: %d\n", len(rec.Seizures))
+	for i, s := range rec.Seizures {
+		fmt.Fprintf(bw, "Seizure %d Start Time: %.3f seconds\n", i+1, s.Start)
+		fmt.Fprintf(bw, "Seizure %d End Time: %.3f seconds\n", i+1, s.End)
+	}
+	return bw.Flush()
+}
+
+// ReadSummary parses a summary produced by WriteSummary and returns the
+// seizure intervals.
+func ReadSummary(r io.Reader) ([]signal.Interval, error) {
+	sc := bufio.NewScanner(r)
+	var starts, ends []float64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		var secs float64
+		switch {
+		case strings.Contains(line, "Start Time:"):
+			if _, err := fmt.Sscanf(afterColon(line), "%f", &secs); err != nil {
+				return nil, fmt.Errorf("edf: bad start line %q", line)
+			}
+			starts = append(starts, secs)
+		case strings.Contains(line, "End Time:"):
+			if _, err := fmt.Sscanf(afterColon(line), "%f", &secs); err != nil {
+				return nil, fmt.Errorf("edf: bad end line %q", line)
+			}
+			ends = append(ends, secs)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(starts) != len(ends) {
+		return nil, fmt.Errorf("edf: %d starts but %d ends", len(starts), len(ends))
+	}
+	var out []signal.Interval
+	for i := range starts {
+		iv := signal.Interval{Start: starts[i], End: ends[i]}
+		if !iv.Valid() {
+			return nil, fmt.Errorf("edf: invalid seizure interval %v", iv)
+		}
+		out = append(out, iv)
+	}
+	return out, nil
+}
+
+func afterColon(s string) string {
+	if i := strings.Index(s, ":"); i >= 0 {
+		return strings.TrimSpace(s[i+1:])
+	}
+	return s
+}
+
+// SaveRecording writes rec to dir as <RecordID>.edf plus a
+// <RecordID>-summary.txt annotation sidecar.
+func SaveRecording(dir string, rec *signal.Recording) error {
+	if rec.RecordID == "" {
+		return errors.New("edf: recording needs a RecordID to be saved")
+	}
+	f, err := os.Create(filepath.Join(dir, rec.RecordID+".edf"))
+	if err != nil {
+		return err
+	}
+	if err := Write(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	s, err := os.Create(filepath.Join(dir, rec.RecordID+"-summary.txt"))
+	if err != nil {
+		return err
+	}
+	if err := WriteSummary(s, rec); err != nil {
+		s.Close()
+		return err
+	}
+	return s.Close()
+}
+
+// LoadRecording reads <name>.edf and, when present, its annotation
+// sidecar from dir.
+func LoadRecording(dir, name string) (*signal.Recording, error) {
+	f, err := os.Open(filepath.Join(dir, name+".edf"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rec, err := Read(f)
+	if err != nil {
+		return nil, err
+	}
+	s, err := os.Open(filepath.Join(dir, name+"-summary.txt"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return rec, nil
+		}
+		return nil, err
+	}
+	defer s.Close()
+	ivs, err := ReadSummary(s)
+	if err != nil {
+		return nil, err
+	}
+	rec.Seizures = ivs
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,299 @@
+package edf
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"selflearn/internal/signal"
+	"selflearn/internal/synth"
+)
+
+func testRecording(t *testing.T, seconds float64) *signal.Recording {
+	t.Helper()
+	rec, err := synth.Generate(synth.RecordConfig{
+		PatientID:  "chb01",
+		RecordID:   "chb01_03",
+		Seed:       11,
+		Duration:   seconds,
+		Background: synth.DefaultBackground(),
+		Seizures: []synth.SeizureEvent{
+			{Start: seconds / 3, Duration: seconds / 10, Config: synth.DefaultSeizure()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rec := testRecording(t, 60)
+	var buf bytes.Buffer
+	if err := Write(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PatientID != rec.PatientID || got.RecordID != rec.RecordID {
+		t.Errorf("identity fields lost: %q %q", got.PatientID, got.RecordID)
+	}
+	if got.SampleRate != rec.SampleRate {
+		t.Errorf("sample rate %g, want %g", got.SampleRate, rec.SampleRate)
+	}
+	if len(got.Channels) != 2 || got.Channels[0] != signal.ChannelF7T3 || got.Channels[1] != signal.ChannelF8T4 {
+		t.Errorf("channels = %v", got.Channels)
+	}
+	if got.Samples() != rec.Samples() {
+		t.Fatalf("samples %d, want %d", got.Samples(), rec.Samples())
+	}
+	// 16-bit quantization error must stay below ~2 quantization steps.
+	for c := range rec.Data {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range rec.Data[c] {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		step := (hi - lo) / 65535
+		var worst float64
+		for i := range rec.Data[c] {
+			worst = math.Max(worst, math.Abs(got.Data[c][i]-rec.Data[c][i]))
+		}
+		if worst > 2*step {
+			t.Errorf("channel %d: worst error %g exceeds 2 LSB (%g)", c, worst, 2*step)
+		}
+	}
+}
+
+func TestWriteTruncatesPartialSecond(t *testing.T) {
+	rec := testRecording(t, 61)
+	rec.Data[0] = rec.Data[0][:60*256+100]
+	rec.Data[1] = rec.Data[1][:60*256+100]
+	rec.Seizures = nil // the clipped seizure may now exceed the truncated data
+	var buf bytes.Buffer
+	if err := Write(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Samples() != 60*256 {
+		t.Errorf("samples = %d, want %d (whole seconds only)", got.Samples(), 60*256)
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, &signal.Recording{SampleRate: 256}); err == nil {
+		t.Error("invalid recording should fail")
+	}
+	rec := testRecording(t, 10)
+	rec.SampleRate = 255.5
+	rec.Seizures = nil
+	if err := Write(&bytes.Buffer{}, rec); err == nil {
+		t.Error("non-integer rate should fail")
+	}
+	short := &signal.Recording{
+		SampleRate: 256,
+		Channels:   []string{"a"},
+		Data:       [][]float64{make([]float64, 100)},
+	}
+	if err := Write(&bytes.Buffer{}, short); err == nil {
+		t.Error("sub-second recording should fail")
+	}
+}
+
+func TestWriteConstantChannel(t *testing.T) {
+	rec := &signal.Recording{
+		PatientID:  "p",
+		RecordID:   "r",
+		SampleRate: 256,
+		Channels:   []string{"flat"},
+		Data:       [][]float64{make([]float64, 512)},
+	}
+	for i := range rec.Data[0] {
+		rec.Data[0][i] = 5
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got.Data[0] {
+		if math.Abs(v-5) > 0.001 {
+			t.Fatalf("flat channel decoded to %g", v)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not an edf")); err == nil {
+		t.Error("short stream should fail")
+	}
+	junk := make([]byte, 256)
+	for i := range junk {
+		junk[i] = 'x'
+	}
+	if _, err := Read(bytes.NewReader(junk)); err == nil {
+		t.Error("garbage header should fail")
+	}
+}
+
+func TestReadTruncatedData(t *testing.T) {
+	rec := testRecording(t, 10)
+	var buf bytes.Buffer
+	if err := Write(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-1000]
+	if _, err := Read(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated data should fail")
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	rec := testRecording(t, 120)
+	rec.Seizures = []signal.Interval{{Start: 10.5, End: 55.25}, {Start: 80, End: 99}}
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := ReadSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 2 {
+		t.Fatalf("want 2 intervals, got %d", len(ivs))
+	}
+	for i := range ivs {
+		if math.Abs(ivs[i].Start-rec.Seizures[i].Start) > 0.001 ||
+			math.Abs(ivs[i].End-rec.Seizures[i].End) > 0.001 {
+			t.Errorf("interval %d = %v, want %v", i, ivs[i], rec.Seizures[i])
+		}
+	}
+}
+
+func TestReadSummaryErrors(t *testing.T) {
+	if _, err := ReadSummary(strings.NewReader("Seizure 1 Start Time: abc seconds\n")); err == nil {
+		t.Error("bad number should fail")
+	}
+	if _, err := ReadSummary(strings.NewReader("Seizure 1 Start Time: 5 seconds\n")); err == nil {
+		t.Error("unbalanced start/end should fail")
+	}
+	if _, err := ReadSummary(strings.NewReader(
+		"Seizure 1 Start Time: 50 seconds\nSeizure 1 End Time: 10 seconds\n")); err == nil {
+		t.Error("inverted interval should fail")
+	}
+	ivs, err := ReadSummary(strings.NewReader("File Name: x\nNumber of Seizures in File: 0\n"))
+	if err != nil || len(ivs) != 0 {
+		t.Error("empty summary should parse to no intervals")
+	}
+}
+
+func TestSaveLoadRecording(t *testing.T) {
+	dir := t.TempDir()
+	rec := testRecording(t, 30)
+	if err := SaveRecording(dir, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRecording(dir, rec.RecordID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Seizures) != 1 {
+		t.Fatalf("annotations not restored: %v", got.Seizures)
+	}
+	if math.Abs(got.Seizures[0].Start-rec.Seizures[0].Start) > 0.001 {
+		t.Errorf("seizure start %g, want %g", got.Seizures[0].Start, rec.Seizures[0].Start)
+	}
+	if _, err := LoadRecording(dir, "missing"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestSaveRequiresRecordID(t *testing.T) {
+	rec := testRecording(t, 10)
+	rec.RecordID = ""
+	if err := SaveRecording(t.TempDir(), rec); err == nil {
+		t.Error("empty RecordID should fail")
+	}
+}
+
+func TestLoadWithoutSummaryIsOK(t *testing.T) {
+	dir := t.TempDir()
+	rec := testRecording(t, 10)
+	rec.Seizures = nil
+	rec.RecordID = "plain"
+	if err := SaveRecording(dir, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRecording(dir, "plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Seizures) != 0 {
+		t.Error("expected no annotations")
+	}
+}
+
+func TestHeaderSizes(t *testing.T) {
+	// The EDF header must be exactly 256 + ns·256 bytes.
+	rec := testRecording(t, 5)
+	rec.Seizures = nil
+	var buf bytes.Buffer
+	if err := Write(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	wantHeader := 256 + 2*256
+	wantTotal := wantHeader + 5 /*records*/ *2 /*channels*/ *256 /*samples*/ *2 /*bytes*/
+	if buf.Len() != wantTotal {
+		t.Errorf("stream length %d, want %d", buf.Len(), wantTotal)
+	}
+	head := buf.Bytes()[:8]
+	if strings.TrimSpace(string(head)) != "0" {
+		t.Errorf("version field = %q", head)
+	}
+}
+
+func TestRandomRecordingsRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 5; trial++ {
+		n := (rng.Intn(10) + 2) * 256
+		rec := &signal.Recording{
+			PatientID:  "px",
+			RecordID:   "rx",
+			SampleRate: 256,
+			Channels:   []string{"c1", "c2", "c3"},
+		}
+		for c := 0; c < 3; c++ {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = rng.NormFloat64() * 100
+			}
+			rec.Data = append(rec.Data, d)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range rec.Data {
+			for i := range rec.Data[c] {
+				if math.Abs(got.Data[c][i]-rec.Data[c][i]) > 0.05 {
+					t.Fatalf("trial %d channel %d sample %d error %g",
+						trial, c, i, got.Data[c][i]-rec.Data[c][i])
+				}
+			}
+		}
+	}
+}

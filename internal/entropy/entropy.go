@@ -1,0 +1,270 @@
+// Package entropy implements the nonlinearity measures the paper extracts
+// from DWT subbands: permutation entropy (Bandt–Pompe), Rényi entropy,
+// and sample entropy, plus Shannon and approximate entropy for the
+// extended feature bank.
+package entropy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"selflearn/internal/stats"
+)
+
+// Shannon returns the Shannon entropy (nats) of the probability
+// distribution ps. Zero-probability entries are ignored; the distribution
+// is assumed normalized. Empty input returns 0.
+func Shannon(ps []float64) float64 {
+	var h float64
+	for _, p := range ps {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// Renyi returns the Rényi entropy of order alpha (nats) of the
+// distribution ps. alpha must be positive and != 1; alpha == 1 falls back
+// to Shannon (its limit). Empty input returns 0.
+func Renyi(ps []float64, alpha float64) (float64, error) {
+	if alpha <= 0 {
+		return 0, fmt.Errorf("entropy: Rényi order must be positive, got %g", alpha)
+	}
+	if alpha == 1 {
+		return Shannon(ps), nil
+	}
+	var s float64
+	for _, p := range ps {
+		if p > 0 {
+			s += math.Pow(p, alpha)
+		}
+	}
+	if s == 0 {
+		return 0, nil
+	}
+	return math.Log(s) / (1 - alpha), nil
+}
+
+// RenyiSignal computes the Rényi entropy of order alpha of a signal by
+// histogramming it into nbins amplitude bins. This is how the paper's
+// "third level Rényi entropy" feature is realised on DWT coefficients.
+func RenyiSignal(xs []float64, alpha float64, nbins int) (float64, error) {
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	if nbins <= 0 {
+		return 0, fmt.Errorf("entropy: invalid bin count %d", nbins)
+	}
+	ps := stats.Probabilities(stats.Histogram(xs, nbins))
+	return Renyi(ps, alpha)
+}
+
+// ShannonSignal computes the Shannon entropy of a signal via an nbins
+// amplitude histogram.
+func ShannonSignal(xs []float64, nbins int) (float64, error) {
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	if nbins <= 0 {
+		return 0, fmt.Errorf("entropy: invalid bin count %d", nbins)
+	}
+	return Shannon(stats.Probabilities(stats.Histogram(xs, nbins))), nil
+}
+
+// Permutation returns the permutation entropy of order n (embedding
+// dimension) with unit delay, normalized to [0, 1] by log(n!). It follows
+// Bandt and Pompe, "Permutation Entropy: A Natural Complexity Measure for
+// Time Series". The paper uses n = 5 and n = 7 on DWT subbands.
+//
+// Signals shorter than n return 0 (no ordinal patterns exist). Ties are
+// broken by temporal order, the standard convention.
+func Permutation(xs []float64, n int) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("entropy: permutation order must be >= 2, got %d", n)
+	}
+	if n > 12 {
+		return 0, fmt.Errorf("entropy: permutation order %d too large (max 12)", n)
+	}
+	if len(xs) < n {
+		return 0, nil
+	}
+	counts := make(map[uint64]int)
+	idx := make([]int, n)
+	total := 0
+	for start := 0; start+n <= len(xs); start++ {
+		win := xs[start : start+n]
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return win[idx[a]] < win[idx[b]] })
+		// Encode the permutation as a base-n integer (n <= 12 fits easily).
+		var code uint64
+		for _, v := range idx {
+			code = code*uint64(n) + uint64(v)
+		}
+		counts[code]++
+		total++
+	}
+	// Accumulate in a deterministic order: map iteration order is random
+	// in Go and would otherwise perturb the last float bits run-to-run.
+	cs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		cs = append(cs, c)
+	}
+	sort.Ints(cs)
+	var h float64
+	for _, c := range cs {
+		p := float64(c) / float64(total)
+		h -= p * math.Log(p)
+	}
+	// Normalize by the maximum attainable entropy log(n!).
+	maxH := logFactorial(n)
+	if maxH == 0 {
+		return 0, nil
+	}
+	return h / maxH, nil
+}
+
+func logFactorial(n int) float64 {
+	var s float64
+	for i := 2; i <= n; i++ {
+		s += math.Log(float64(i))
+	}
+	return s
+}
+
+// Sample returns the sample entropy SampEn(m, r) of xs following
+// Richman–Moorman as used by Chen et al. (paper reference [27]): the
+// negative logarithm of the conditional probability that sequences
+// matching for m points (Chebyshev distance <= r) also match for m+1
+// points. Self-matches are excluded.
+//
+// r is an absolute tolerance; use SampleK to express it as k·σ as the
+// paper does (k = 0.2 and k = 0.35). Degenerate inputs (too short, or no
+// matches) return 0.
+func Sample(xs []float64, m int, r float64) (float64, error) {
+	if m < 1 {
+		return 0, fmt.Errorf("entropy: sample entropy m must be >= 1, got %d", m)
+	}
+	if r < 0 {
+		return 0, fmt.Errorf("entropy: sample entropy tolerance must be >= 0, got %g", r)
+	}
+	n := len(xs)
+	if n < m+2 {
+		return 0, nil
+	}
+	// B: matches of length m, A: matches of length m+1, over pairs i<j.
+	var a, b int
+	nTempl := n - m // templates of length m (those of length m+1 number n-m-1)
+	for i := 0; i < nTempl-1; i++ {
+		for j := i + 1; j < nTempl; j++ {
+			// Chebyshev distance over the m-length templates.
+			match := true
+			for k := 0; k < m; k++ {
+				if math.Abs(xs[i+k]-xs[j+k]) > r {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			b++
+			if i+m < n && j+m < n && math.Abs(xs[i+m]-xs[j+m]) <= r {
+				a++
+			}
+		}
+	}
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	return -math.Log(float64(a) / float64(b)), nil
+}
+
+// SampleK returns Sample(xs, m, k·σ(xs)), the paper's parameterisation
+// ("sixth level sample entropy for k = 0.2 and k = 0.35").
+func SampleK(xs []float64, m int, k float64) (float64, error) {
+	if k < 0 {
+		return 0, fmt.Errorf("entropy: sample entropy k must be >= 0, got %g", k)
+	}
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	return Sample(xs, m, k*stats.StdDev(xs))
+}
+
+// Multiscale returns the multiscale sample entropy of xs: SampEn(m, r)
+// computed on coarse-grained versions of the signal at scales 1..scales
+// (scale τ averages non-overlapping blocks of τ samples). Complex
+// physiological signals keep their entropy across scales; white noise
+// loses it — a standard EEG complexity profile (Costa et al.).
+func Multiscale(xs []float64, m int, r float64, scales int) ([]float64, error) {
+	if scales < 1 {
+		return nil, fmt.Errorf("entropy: invalid scale count %d", scales)
+	}
+	out := make([]float64, scales)
+	for tau := 1; tau <= scales; tau++ {
+		coarse := coarseGrain(xs, tau)
+		h, err := Sample(coarse, m, r)
+		if err != nil {
+			return nil, err
+		}
+		out[tau-1] = h
+	}
+	return out, nil
+}
+
+func coarseGrain(xs []float64, tau int) []float64 {
+	if tau <= 1 {
+		return xs
+	}
+	n := len(xs) / tau
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < tau; j++ {
+			s += xs[i*tau+j]
+		}
+		out[i] = s / float64(tau)
+	}
+	return out
+}
+
+// Approximate returns the approximate entropy ApEn(m, r) of xs
+// (Pincus). Unlike sample entropy it counts self-matches, making it
+// biased but defined for all inputs. Degenerate inputs return 0.
+func Approximate(xs []float64, m int, r float64) (float64, error) {
+	if m < 1 {
+		return 0, fmt.Errorf("entropy: approximate entropy m must be >= 1, got %d", m)
+	}
+	if r < 0 {
+		return 0, fmt.Errorf("entropy: approximate entropy tolerance must be >= 0, got %g", r)
+	}
+	if len(xs) < m+1 {
+		return 0, nil
+	}
+	phi := func(m int) float64 {
+		n := len(xs) - m + 1
+		var sum float64
+		for i := 0; i < n; i++ {
+			count := 0
+			for j := 0; j < n; j++ {
+				match := true
+				for k := 0; k < m; k++ {
+					if math.Abs(xs[i+k]-xs[j+k]) > r {
+						match = false
+						break
+					}
+				}
+				if match {
+					count++
+				}
+			}
+			sum += math.Log(float64(count) / float64(n))
+		}
+		return sum / float64(n)
+	}
+	return phi(m) - phi(m+1), nil
+}

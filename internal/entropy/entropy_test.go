@@ -1,0 +1,398 @@
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", what, got, want, tol)
+	}
+}
+
+func TestShannonUniform(t *testing.T) {
+	approx(t, Shannon([]float64{0.25, 0.25, 0.25, 0.25}), math.Log(4), 1e-12, "uniform Shannon")
+	approx(t, Shannon([]float64{1}), 0, 1e-12, "deterministic Shannon")
+	approx(t, Shannon(nil), 0, 0, "empty Shannon")
+	approx(t, Shannon([]float64{0.5, 0, 0.5}), math.Log(2), 1e-12, "Shannon skips zeros")
+}
+
+func TestRenyiLimits(t *testing.T) {
+	ps := []float64{0.5, 0.25, 0.25}
+	// alpha -> 1 recovers Shannon.
+	h1, err := Renyi(ps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, h1, Shannon(ps), 1e-12, "Rényi alpha=1")
+	hNear, err := Renyi(ps, 1.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, hNear, Shannon(ps), 1e-3, "Rényi alpha→1 limit")
+	// Uniform distribution: all orders give log(n).
+	uni := []float64{0.25, 0.25, 0.25, 0.25}
+	for _, a := range []float64{0.5, 2, 3} {
+		h, err := Renyi(uni, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, h, math.Log(4), 1e-12, "uniform Rényi")
+	}
+}
+
+func TestRenyiOrder2(t *testing.T) {
+	ps := []float64{0.5, 0.5}
+	h, err := Renyi(ps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, h, math.Log(2), 1e-12, "collision entropy of fair coin")
+}
+
+func TestRenyiErrors(t *testing.T) {
+	if _, err := Renyi([]float64{1}, 0); err == nil {
+		t.Error("alpha=0 should error")
+	}
+	if _, err := Renyi([]float64{1}, -2); err == nil {
+		t.Error("negative alpha should error")
+	}
+	h, err := Renyi(nil, 2)
+	if err != nil || h != 0 {
+		t.Error("empty distribution should give 0")
+	}
+}
+
+func TestRenyiMonotoneInAlpha(t *testing.T) {
+	// Rényi entropy is non-increasing in alpha.
+	f := func(a, b, c float64) bool {
+		pa, pb, pc := math.Abs(a)+0.01, math.Abs(b)+0.01, math.Abs(c)+0.01
+		if math.IsInf(pa+pb+pc, 0) || math.IsNaN(pa+pb+pc) {
+			return true
+		}
+		tot := pa + pb + pc
+		ps := []float64{pa / tot, pb / tot, pc / tot}
+		h1, err1 := Renyi(ps, 0.5)
+		h2, err2 := Renyi(ps, 2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return h1 >= h2-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenyiSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	noisy := make([]float64, 4096)
+	for i := range noisy {
+		noisy[i] = rng.Float64()
+	}
+	hNoise, err := RenyiSignal(noisy, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform noise across 16 bins approaches log 16.
+	approx(t, hNoise, math.Log(16), 0.1, "uniform-noise Rényi")
+
+	constant := make([]float64, 128)
+	hConst, err := RenyiSignal(constant, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, hConst, 0, 1e-12, "constant-signal Rényi")
+
+	if _, err := RenyiSignal(noisy, 2, 0); err == nil {
+		t.Error("invalid bins should error")
+	}
+	h, err := RenyiSignal(nil, 2, 8)
+	if err != nil || h != 0 {
+		t.Error("empty signal should give 0")
+	}
+}
+
+func TestShannonSignal(t *testing.T) {
+	if _, err := ShannonSignal([]float64{1, 2}, -1); err == nil {
+		t.Error("invalid bins should error")
+	}
+	h, err := ShannonSignal(nil, 8)
+	if err != nil || h != 0 {
+		t.Error("empty signal should give 0")
+	}
+}
+
+func TestPermutationMonotoneSequence(t *testing.T) {
+	// A strictly increasing sequence has a single ordinal pattern: H = 0.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	for _, n := range []int{3, 5, 7} {
+		h, err := Permutation(xs, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, h, 0, 1e-12, "monotone permutation entropy")
+	}
+}
+
+func TestPermutationNoiseNearOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	h, err := Permutation(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.98 || h > 1.0+1e-9 {
+		t.Errorf("white-noise permutation entropy = %g, want ≈1", h)
+	}
+}
+
+func TestPermutationPeriodicBelowNoise(t *testing.T) {
+	// A regular oscillation uses fewer ordinal patterns than noise.
+	per := make([]float64, 4096)
+	for i := range per {
+		per[i] = math.Sin(2 * math.Pi * float64(i) / 16)
+	}
+	hp, err := Permutation(per, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	noise := make([]float64, 4096)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	hn, err := Permutation(noise, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp >= hn {
+		t.Errorf("periodic PE %g should be below noise PE %g", hp, hn)
+	}
+}
+
+func TestPermutationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 64)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		for _, n := range []int{3, 5, 7} {
+			h, err := Permutation(xs, n)
+			if err != nil || h < 0 || h > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermutationShortAndErrors(t *testing.T) {
+	h, err := Permutation([]float64{1, 2}, 5)
+	if err != nil || h != 0 {
+		t.Error("too-short signal should give 0 without error")
+	}
+	if _, err := Permutation([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("order 1 should error")
+	}
+	if _, err := Permutation([]float64{1, 2, 3}, 13); err == nil {
+		t.Error("order 13 should error")
+	}
+}
+
+func TestPermutationPaperOrders(t *testing.T) {
+	// The paper's configuration uses n=5 and n=7 on short subbands
+	// (level-7 detail of a 1024-sample window has 8 coefficients) — the
+	// implementation must handle that gracefully.
+	xs := []float64{0.3, -1.2, 0.8, 0.1, -0.4, 2.2, -0.9, 0.5}
+	for _, n := range []int{5, 7} {
+		h, err := Permutation(xs, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h < 0 || h > 1 {
+			t.Errorf("n=%d entropy %g outside [0,1]", n, h)
+		}
+	}
+}
+
+func TestSampleEntropyRegularVsRandom(t *testing.T) {
+	per := make([]float64, 512)
+	for i := range per {
+		per[i] = math.Sin(2 * math.Pi * float64(i) / 32)
+	}
+	hPer, err := SampleK(per, 2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	noise := make([]float64, 512)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	hNoise, err := SampleK(noise, 2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hPer >= hNoise {
+		t.Errorf("periodic SampEn %g should be below noise SampEn %g", hPer, hNoise)
+	}
+}
+
+func TestSampleEntropyToleranceMonotone(t *testing.T) {
+	// Larger tolerance -> more matches -> lower entropy (k=0.35 <= k=0.2).
+	rng := rand.New(rand.NewSource(13))
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	h02, err := SampleK(xs, 2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h035, err := SampleK(xs, 2, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h035 > h02 {
+		t.Errorf("SampEn(k=0.35)=%g should not exceed SampEn(k=0.2)=%g", h035, h02)
+	}
+}
+
+func TestSampleEntropyDegenerate(t *testing.T) {
+	h, err := Sample([]float64{1, 2}, 2, 0.5)
+	if err != nil || h != 0 {
+		t.Error("too-short input should give 0")
+	}
+	// Constant signal: everything matches, -log(1) = 0.
+	constant := make([]float64, 64)
+	h, err = Sample(constant, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, h, 0, 1e-12, "constant SampEn")
+	if _, err := Sample([]float64{1, 2, 3}, 0, 0.1); err == nil {
+		t.Error("m=0 should error")
+	}
+	if _, err := Sample([]float64{1, 2, 3}, 2, -1); err == nil {
+		t.Error("negative tolerance should error")
+	}
+	if _, err := SampleK([]float64{1, 2, 3}, 2, -0.1); err == nil {
+		t.Error("negative k should error")
+	}
+	h, err = SampleK(nil, 2, 0.2)
+	if err != nil || h != 0 {
+		t.Error("empty SampleK should give 0")
+	}
+}
+
+func TestApproximateEntropy(t *testing.T) {
+	per := make([]float64, 256)
+	for i := range per {
+		per[i] = math.Sin(2 * math.Pi * float64(i) / 16)
+	}
+	rng := rand.New(rand.NewSource(21))
+	noise := make([]float64, 256)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	hPer, err := Approximate(per, 2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hNoise, err := Approximate(noise, 2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hPer >= hNoise {
+		t.Errorf("periodic ApEn %g should be below noise ApEn %g", hPer, hNoise)
+	}
+}
+
+func TestApproximateErrors(t *testing.T) {
+	if _, err := Approximate([]float64{1, 2, 3}, 0, 0.1); err == nil {
+		t.Error("m=0 should error")
+	}
+	if _, err := Approximate([]float64{1, 2, 3}, 2, -0.5); err == nil {
+		t.Error("negative r should error")
+	}
+	h, err := Approximate([]float64{1}, 2, 0.1)
+	if err != nil || h != 0 {
+		t.Error("short input should give 0")
+	}
+}
+
+func TestMultiscaleWhiteNoiseDecreases(t *testing.T) {
+	// Coarse-graining averages white noise toward zero variance at a
+	// fixed absolute tolerance r, so its SampEn profile falls with
+	// scale; that decline is the classic multiscale signature.
+	rng := rand.New(rand.NewSource(31))
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	prof, err := Multiscale(xs, 2, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 5 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	if prof[4] >= prof[0] {
+		t.Errorf("white-noise multiscale entropy should fall: scale1 %g vs scale5 %g", prof[0], prof[4])
+	}
+	for i, h := range prof {
+		if h < 0 {
+			t.Errorf("scale %d entropy %g negative", i+1, h)
+		}
+	}
+}
+
+func TestMultiscaleErrors(t *testing.T) {
+	if _, err := Multiscale([]float64{1, 2, 3}, 2, 0.2, 0); err == nil {
+		t.Error("0 scales should fail")
+	}
+	if _, err := Multiscale([]float64{1, 2, 3}, 0, 0.2, 2); err == nil {
+		t.Error("invalid m should propagate")
+	}
+}
+
+func TestCoarseGrainIdentityAtScale1(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := coarseGrain(xs, 1); &got[0] != &xs[0] {
+		t.Error("scale 1 should return the input")
+	}
+	c2 := coarseGrain(xs, 2)
+	if len(c2) != 2 || c2[0] != 1.5 || c2[1] != 3.5 {
+		t.Errorf("coarseGrain scale 2 = %v", c2)
+	}
+}
+
+func TestSampleEntropyNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 120)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		h, err := SampleK(xs, 2, 0.2)
+		return err == nil && h >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

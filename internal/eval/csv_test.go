@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleResult() *CorpusResult {
+	return &CorpusResult{
+		Patients: []PatientResult{
+			{
+				PatientID: "chb01", Ordinal: 1,
+				Seizures: []SeizureResult{
+					{PatientID: "chb01", Ordinal: 1, Index: 1, MeanDelta: 4.25, GeoDeltaNorm: 0.998, Deltas: []float64{4, 4.5}},
+					{PatientID: "chb01", Ordinal: 1, Index: 2, Outlier: true, MeanDelta: 432.5, GeoDeltaNorm: 0.75, Deltas: []float64{432.5}},
+				},
+			},
+		},
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	if rows[0].PatientID != "chb01" || rows[0].Index != 1 {
+		t.Errorf("row 0 identity: %+v", rows[0])
+	}
+	if math.Abs(rows[0].MeanDelta-4.25) > 1e-9 {
+		t.Errorf("mean δ %g", rows[0].MeanDelta)
+	}
+	if len(rows[0].Deltas) != 2 || math.Abs(rows[0].Deltas[1]-4.5) > 1e-9 {
+		t.Errorf("sample deltas %v", rows[0].Deltas)
+	}
+	if !rows[1].Outlier {
+		t.Error("outlier flag lost")
+	}
+}
+
+func TestWriteCSVNil(t *testing.T) {
+	if err := WriteCSV(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil result should fail")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong,header\n1,2\n",
+		"patient,ordinal,seizure,outlier,mean_delta_s,geo_delta_norm,sample_deltas_s\nchb01,x,1,false,1,1,\n",
+		"patient,ordinal,seizure,outlier,mean_delta_s,geo_delta_norm,sample_deltas_s\nchb01,1,1,notabool,1,1,\n",
+		"patient,ordinal,seizure,outlier,mean_delta_s,geo_delta_norm,sample_deltas_s\nchb01,1,1,false,xx,1,\n",
+		"patient,ordinal,seizure,outlier,mean_delta_s,geo_delta_norm,sample_deltas_s\nchb01,1,1,false,1,1,3;bad\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestCSVHeaderStable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	want := "patient,ordinal,seizure,outlier,mean_delta_s,geo_delta_norm,sample_deltas_s"
+	if first != want {
+		t.Errorf("header = %q", first)
+	}
+}

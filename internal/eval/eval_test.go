@@ -1,0 +1,363 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"selflearn/internal/chbmit"
+	"selflearn/internal/signal"
+)
+
+func TestDelta(t *testing.T) {
+	truth := signal.Interval{Start: 100, End: 160}
+	cases := []struct {
+		det  signal.Interval
+		want float64
+	}{
+		{signal.Interval{Start: 100, End: 160}, 0},
+		{signal.Interval{Start: 110, End: 170}, 10},
+		{signal.Interval{Start: 90, End: 150}, 10},
+		{signal.Interval{Start: 95, End: 175}, 10},
+		{signal.Interval{Start: 400, End: 460}, 300},
+	}
+	for _, c := range cases {
+		if got := Delta(truth, c.det); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Delta(%v) = %g, want %g", c.det, got, c.want)
+		}
+	}
+	// Symmetry in the roles is not required, but shift invariance is.
+	a := Delta(truth, signal.Interval{Start: 130, End: 190})
+	b := Delta(signal.Interval{Start: 0, End: 60}, signal.Interval{Start: 30, End: 90})
+	if math.Abs(a-b) > 1e-12 {
+		t.Error("Delta should be shift invariant")
+	}
+}
+
+func TestDeltaNorm(t *testing.T) {
+	truth := signal.Interval{Start: 100, End: 160}
+	// Perfect detection -> 1.
+	dn, err := DeltaNorm(truth, truth, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn != 1 {
+		t.Errorf("perfect δ_norm = %g", dn)
+	}
+	// Mid-seizure at 130; N = max(1800-130, 130) = 1670.
+	det := signal.Interval{Start: 110, End: 170}
+	dn, err = DeltaNorm(truth, det, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - 20.0/(2*1670)
+	if math.Abs(dn-want) > 1e-12 {
+		t.Errorf("δ_norm = %g, want %g", dn, want)
+	}
+	if _, err := DeltaNorm(truth, det, 0); err == nil {
+		t.Error("zero signal length should fail")
+	}
+}
+
+func TestDeltaNormClampsAtZero(t *testing.T) {
+	// A detection beyond the worst case must clamp at 0, not go negative.
+	truth := signal.Interval{Start: 10, End: 20}
+	det := signal.Interval{Start: 1e6, End: 1e6 + 10}
+	dn, err := DeltaNorm(truth, det, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn != 0 {
+		t.Errorf("δ_norm = %g, want clamp at 0", dn)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	good := DefaultOptions()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultOptions()
+	bad.SamplesPerSeizure = 0
+	if bad.Validate() == nil {
+		t.Error("0 samples should fail")
+	}
+	bad = DefaultOptions()
+	bad.CropMin = 0
+	if bad.Validate() == nil {
+		t.Error("0 crop min should fail")
+	}
+	bad = DefaultOptions()
+	bad.CropMax = bad.CropMin - 1
+	if bad.Validate() == nil {
+		t.Error("inverted crop range should fail")
+	}
+	bad = DefaultOptions()
+	bad.CropMax = 1e9
+	if bad.Validate() == nil {
+		t.Error("crop beyond record should fail")
+	}
+	bad = DefaultOptions()
+	bad.EdgeMargin = -5
+	if bad.Validate() == nil {
+		t.Error("negative margin should fail")
+	}
+	bad = DefaultOptions()
+	bad.NumFeatures = 99
+	if bad.Validate() == nil {
+		t.Error("excessive feature count should fail")
+	}
+}
+
+func TestEvaluateSeizureCleanCase(t *testing.T) {
+	// A clean (non-outlier) seizure should label within tens of seconds.
+	p, err := chbmit.PatientByID("chb01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.SamplesPerSeizure = 3
+	sr, err := EvaluateSeizure(p, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Deltas) != 3 {
+		t.Fatalf("want 3 samples, got %d", len(sr.Deltas))
+	}
+	if sr.MeanDelta > 45 {
+		t.Errorf("clean seizure mean δ = %g s, want small", sr.MeanDelta)
+	}
+	if sr.GeoDeltaNorm < 0.95 {
+		t.Errorf("clean seizure δ_norm = %g, want > 0.95", sr.GeoDeltaNorm)
+	}
+	if sr.Outlier {
+		t.Error("chb01 seizure 1 is not an outlier")
+	}
+}
+
+func TestEvaluateSeizureOutlierCase(t *testing.T) {
+	// The artifact-contaminated seizure should be hijacked by the burst
+	// and produce a large δ (hundreds of seconds), as in Table II.
+	p, err := chbmit.PatientByID("chb03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.SamplesPerSeizure = 3
+	sr, err := EvaluateSeizure(p, 1, opts) // patient 3, seizure 1 = outlier
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Outlier {
+		t.Fatal("chb03 seizure 1 should be flagged outlier")
+	}
+	if sr.MeanDelta < 120 {
+		t.Errorf("outlier seizure mean δ = %g s, want hundreds (artifact hijack)", sr.MeanDelta)
+	}
+}
+
+func TestEvaluateSeizureErrors(t *testing.T) {
+	p, _ := chbmit.PatientByID("chb01")
+	opts := DefaultOptions()
+	opts.SamplesPerSeizure = 1
+	if _, err := EvaluateSeizure(p, 0, opts); err == nil {
+		t.Error("seizure 0 should fail")
+	}
+	if _, err := EvaluateSeizure(p, 99, opts); err == nil {
+		t.Error("unknown seizure should fail")
+	}
+	bad := opts
+	bad.SamplesPerSeizure = 0
+	if _, err := EvaluateSeizure(p, 1, bad); err == nil {
+		t.Error("invalid options should fail")
+	}
+}
+
+func TestEvaluateCorpusSmall(t *testing.T) {
+	// One patient, few samples: exercises the aggregation chain.
+	p, err := chbmit.PatientByID("chb09")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Patients = []chbmit.Patient{p}
+	opts.SamplesPerSeizure = 2
+	res, err := EvaluateCorpus(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patients) != 1 {
+		t.Fatalf("patients = %d", len(res.Patients))
+	}
+	pr := res.Patients[0]
+	if len(pr.Seizures) != 7 {
+		t.Fatalf("chb09 should have 7 seizures, got %d", len(pr.Seizures))
+	}
+	if math.IsNaN(pr.MedianDelta) || pr.MedianDelta < 0 {
+		t.Errorf("median δ = %g", pr.MedianDelta)
+	}
+	if pr.MedianDeltaNorm <= 0 || pr.MedianDeltaNorm > 1 {
+		t.Errorf("median δ_norm = %g", pr.MedianDeltaNorm)
+	}
+	if res.OverallDelta != pr.MedianDelta {
+		t.Error("single-patient overall should equal the patient median")
+	}
+	if got := len(res.AllSeizures()); got != 7 {
+		t.Errorf("AllSeizures = %d", got)
+	}
+	w := res.WithinSeconds(1e9)
+	if w != 1 {
+		t.Errorf("WithinSeconds(inf) = %g", w)
+	}
+	if res.WithinSeconds(-1) != 0 {
+		t.Error("WithinSeconds(-1) should be 0")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	p, _ := chbmit.PatientByID("chb06")
+	opts := DefaultOptions()
+	opts.Patients = []chbmit.Patient{p}
+	opts.SamplesPerSeizure = 2
+	serial, err := EvaluateCorpus(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = true
+	parallel, err := EvaluateCorpus(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.OverallDelta != parallel.OverallDelta ||
+		serial.OverallDeltaNorm != parallel.OverallDeltaNorm {
+		t.Errorf("parallel evaluation diverged: %g/%g vs %g/%g",
+			parallel.OverallDelta, parallel.OverallDeltaNorm,
+			serial.OverallDelta, serial.OverallDeltaNorm)
+	}
+	for i := range serial.Patients {
+		for j := range serial.Patients[i].Seizures {
+			a := serial.Patients[i].Seizures[j]
+			b := parallel.Patients[i].Seizures[j]
+			if a.MeanDelta != b.MeanDelta {
+				t.Fatalf("seizure %d/%d diverged", i, j)
+			}
+		}
+	}
+}
+
+func TestWithinSecondsEmpty(t *testing.T) {
+	var res CorpusResult
+	if !math.IsNaN(res.WithinSeconds(10)) {
+		t.Error("empty corpus should give NaN")
+	}
+}
+
+func TestDeterministicSeeding(t *testing.T) {
+	p, _ := chbmit.PatientByID("chb05")
+	opts := DefaultOptions()
+	opts.SamplesPerSeizure = 2
+	a, err := EvaluateSeizure(p, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluateSeizure(p, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Deltas {
+		if a.Deltas[i] != b.Deltas[i] {
+			t.Fatal("same seed must reproduce sample deltas")
+		}
+	}
+	opts.Seed = 999
+	c, err := EvaluateSeizure(p, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Deltas {
+		if a.Deltas[i] != c.Deltas[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should draw different crops")
+	}
+}
+
+func TestVariantsSpreadSamples(t *testing.T) {
+	p, _ := chbmit.PatientByID("chb06")
+	opts := DefaultOptions()
+	opts.SamplesPerSeizure = 4
+	opts.Variants = 2
+	sr, err := EvaluateSeizure(p, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Deltas) != 4 {
+		t.Fatalf("want 4 samples across 2 variants, got %d", len(sr.Deltas))
+	}
+	if sr.MeanDelta > 60 {
+		t.Errorf("cross-variant mean δ = %g s", sr.MeanDelta)
+	}
+	bad := DefaultOptions()
+	bad.Variants = -1
+	if bad.Validate() == nil {
+		t.Error("negative variants should fail")
+	}
+}
+
+func TestWScaleRobustness(t *testing.T) {
+	// Algorithm 1's only clinical parameter is the expert-provided
+	// average seizure duration. A ±50 % misestimate should degrade δ
+	// gracefully, not break detection: the argmax still lands on the
+	// seizure, and δ grows roughly with the induced end-point error.
+	p, _ := chbmit.PatientByID("chb08")
+	base := DefaultOptions()
+	base.SamplesPerSeizure = 2
+	exact, err := EvaluateSeizure(p, 2, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scale := range []float64{0.5, 1.5} {
+		opts := base
+		opts.WScale = scale
+		sr, err := EvaluateSeizure(p, 2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Expected extra δ from the window-length mismatch alone:
+		// |W·scale − true duration|/2 contributes to the end error.
+		mismatch := p.AvgSeizureDuration * math.Abs(scale-1) / 2
+		if sr.MeanDelta > exact.MeanDelta+mismatch+30 {
+			t.Errorf("scale %g: δ %g vs exact %g (+mismatch %g): detection broke",
+				scale, sr.MeanDelta, exact.MeanDelta, mismatch)
+		}
+		if sr.MeanDelta > 300 {
+			t.Errorf("scale %g hijacked the argmax: δ = %g", scale, sr.MeanDelta)
+		}
+	}
+	bad := base
+	bad.WScale = -1
+	if bad.Validate() == nil {
+		t.Error("negative WScale should fail")
+	}
+	bad.WScale = 50
+	if bad.Validate() == nil {
+		t.Error("absurd WScale should fail")
+	}
+}
+
+func TestNumFeaturesAblationPath(t *testing.T) {
+	p, _ := chbmit.PatientByID("chb01")
+	opts := DefaultOptions()
+	opts.SamplesPerSeizure = 1
+	opts.NumFeatures = 3 // only the F7T3 band powers
+	sr, err := EvaluateSeizure(p, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Deltas) != 1 {
+		t.Fatal("sample count mismatch")
+	}
+}

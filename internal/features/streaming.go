@@ -1,0 +1,130 @@
+package features
+
+import (
+	"errors"
+	"fmt"
+
+	"selflearn/internal/signal"
+)
+
+// Streamer computes the paper's 10-feature rows sample by sample, the
+// way the wearable's firmware does: two synchronized channel streams
+// feed ring buffers of one analysis window (4 s); every hop (1 s) a
+// feature row is emitted. Feeding an entire recording through a Streamer
+// yields exactly the matrix Extract10 computes in batch.
+type Streamer struct {
+	cfg        Config
+	fs         float64
+	winSamples int
+	hopSamples int
+	buf0, buf1 []float64 // ring buffers, winSamples long
+	pos        int       // next write slot
+	filled     int       // samples buffered so far (caps at winSamples)
+	sinceEmit  int       // samples since the last emitted row
+	rows       int       // rows emitted
+	scratch0   []float64
+	scratch1   []float64
+}
+
+// NewStreamer builds a streaming extractor for sampling rate fs.
+func NewStreamer(fs float64, cfg Config) (*Streamer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if fs <= 0 {
+		return nil, fmt.Errorf("features: invalid sampling rate %g", fs)
+	}
+	win := cfg.Window.SamplesPerWindow(fs)
+	hop := cfg.Window.HopSamples(fs)
+	if win <= 0 || hop <= 0 {
+		return nil, fmt.Errorf("features: degenerate window %d/%d at %g Hz", win, hop, fs)
+	}
+	return &Streamer{
+		cfg:        cfg,
+		fs:         fs,
+		winSamples: win,
+		hopSamples: hop,
+		buf0:       make([]float64, win),
+		buf1:       make([]float64, win),
+		scratch0:   make([]float64, win),
+		scratch1:   make([]float64, win),
+	}, nil
+}
+
+// RowsEmitted returns how many feature rows have been produced.
+func (s *Streamer) RowsEmitted() int { return s.rows }
+
+// Push feeds one synchronized sample pair (F7T3, F8T4). When a full
+// window boundary is reached it returns the freshly computed feature row
+// and ready = true; otherwise row is nil.
+func (s *Streamer) Push(v0, v1 float64) (row []float64, ready bool, err error) {
+	s.buf0[s.pos] = v0
+	s.buf1[s.pos] = v1
+	s.pos = (s.pos + 1) % s.winSamples
+	if s.filled < s.winSamples {
+		s.filled++
+		if s.filled == s.winSamples {
+			// First complete window.
+			return s.emit()
+		}
+		return nil, false, nil
+	}
+	s.sinceEmit++
+	if s.sinceEmit == s.hopSamples {
+		return s.emit()
+	}
+	return nil, false, nil
+}
+
+// emit linearizes the rings into scratch buffers and computes the row.
+func (s *Streamer) emit() ([]float64, bool, error) {
+	// Oldest sample sits at s.pos.
+	n := copy(s.scratch0, s.buf0[s.pos:])
+	copy(s.scratch0[n:], s.buf0[:s.pos])
+	n = copy(s.scratch1, s.buf1[s.pos:])
+	copy(s.scratch1[n:], s.buf1[:s.pos])
+	row, err := windowFeatures10(s.scratch0, s.scratch1, s.fs, s.cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	s.sinceEmit = 0
+	s.rows++
+	return row, true, nil
+}
+
+// Reset clears the stream state.
+func (s *Streamer) Reset() {
+	s.pos, s.filled, s.sinceEmit, s.rows = 0, 0, 0, 0
+}
+
+// StreamRecording pushes an entire recording through a fresh Streamer and
+// collects the emitted rows into a Matrix; it is the streaming
+// counterpart of Extract10 and produces an identical result.
+func StreamRecording(rec *signal.Recording, cfg Config) (*Matrix, error) {
+	c0, c1, err := requireTwoChannels(rec)
+	if err != nil {
+		return nil, err
+	}
+	st, err := NewStreamer(rec.SampleRate, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(c0) < st.winSamples {
+		return nil, errors.New("features: recording shorter than one window")
+	}
+	m := &Matrix{
+		Names:      PaperFeatureNames(),
+		Window:     cfg.Window,
+		SampleRate: rec.SampleRate,
+	}
+	for i := range c0 {
+		row, ready, err := st.Push(c0[i], c1[i])
+		if err != nil {
+			return nil, err
+		}
+		if ready {
+			m.Rows = append(m.Rows, row)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,126 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"selflearn/internal/synth"
+)
+
+func TestStreamerMatchesBatchExactly(t *testing.T) {
+	rec, err := synth.Generate(synth.RecordConfig{
+		PatientID:  "chb01",
+		RecordID:   "stream",
+		Seed:       77,
+		Duration:   60,
+		Background: synth.DefaultBackground(),
+		Seizures: []synth.SeizureEvent{
+			{Start: 20, Duration: 15, Config: synth.DefaultSeizure()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Extract10(rec, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := StreamRecording(rec, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.NumRows() != batch.NumRows() {
+		t.Fatalf("streamed %d rows vs batch %d", streamed.NumRows(), batch.NumRows())
+	}
+	for i := range batch.Rows {
+		for f := range batch.Rows[i] {
+			if batch.Rows[i][f] != streamed.Rows[i][f] {
+				t.Fatalf("row %d feature %d: stream %g vs batch %g",
+					i, f, streamed.Rows[i][f], batch.Rows[i][f])
+			}
+		}
+	}
+}
+
+func TestStreamerEmissionTiming(t *testing.T) {
+	st, err := NewStreamer(256, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := 0
+	for i := 0; i < 10*256; i++ {
+		_, ready, err := st.Push(math.Sin(float64(i)/5), math.Cos(float64(i)/5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ready {
+			emitted++
+			// First emission after exactly one full window (1024
+			// samples), then every 256 samples.
+			wantAt := 1024 + (emitted-1)*256
+			if i+1 != wantAt {
+				t.Fatalf("emission %d at sample %d, want %d", emitted, i+1, wantAt)
+			}
+		}
+	}
+	if emitted != 7 { // (2560-1024)/256+1
+		t.Errorf("emitted %d rows in 10 s, want 7", emitted)
+	}
+	if st.RowsEmitted() != emitted {
+		t.Error("RowsEmitted out of sync")
+	}
+}
+
+func TestStreamerReset(t *testing.T) {
+	st, err := NewStreamer(256, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1500; i++ {
+		if _, _, err := st.Push(1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Reset()
+	if st.RowsEmitted() != 0 {
+		t.Error("reset should clear the row count")
+	}
+	// After reset, needs a full window again before emitting.
+	count := 0
+	for i := 0; i < 1023; i++ {
+		_, ready, err := st.Push(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ready {
+			count++
+		}
+	}
+	if count != 0 {
+		t.Error("no row should emit before a full window after reset")
+	}
+}
+
+func TestNewStreamerErrors(t *testing.T) {
+	if _, err := NewStreamer(0, DefaultConfig()); err == nil {
+		t.Error("fs=0 should fail")
+	}
+	bad := DefaultConfig()
+	bad.Level = 0
+	if _, err := NewStreamer(256, bad); err == nil {
+		t.Error("bad config should fail")
+	}
+}
+
+func TestStreamRecordingErrors(t *testing.T) {
+	rec, err := synth.Generate(synth.RecordConfig{
+		PatientID: "p", RecordID: "r", Seed: 1, Duration: 2,
+		Background: synth.DefaultBackground(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StreamRecording(rec, DefaultConfig()); err == nil {
+		t.Error("2 s recording (shorter than a window) should fail")
+	}
+}

@@ -1,0 +1,232 @@
+package fixedpoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"selflearn/internal/core"
+)
+
+func TestFromFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 0.5, -0.5, 0.25, -0.999, 0.999} {
+		q := FromFloat(v)
+		if math.Abs(q.Float()-v) > 1.0/(1<<15) {
+			t.Errorf("round trip of %g -> %g", v, q.Float())
+		}
+	}
+}
+
+func TestFromFloatSaturates(t *testing.T) {
+	if FromFloat(2.0) != MaxQ15 {
+		t.Error("2.0 should saturate high")
+	}
+	if FromFloat(-2.0) != MinQ15 {
+		t.Error("-2.0 should saturate low")
+	}
+	if FromFloat(1.0) != MaxQ15 {
+		t.Error("1.0 is just out of Q15 range and must saturate")
+	}
+	if FromFloat(-1.0) != MinQ15 {
+		t.Error("-1.0 is exactly MinQ15")
+	}
+}
+
+func TestSatAddSub(t *testing.T) {
+	if SatAdd(MaxQ15, 1) != MaxQ15 {
+		t.Error("add should saturate high")
+	}
+	if SatAdd(MinQ15, -1) != MinQ15 {
+		t.Error("add should saturate low")
+	}
+	if SatSub(MinQ15, 1) != MinQ15 {
+		t.Error("sub should saturate low")
+	}
+	if SatSub(MaxQ15, -1) != MaxQ15 {
+		t.Error("sub should saturate high")
+	}
+	if SatAdd(FromFloat(0.25), FromFloat(0.5)) != FromFloat(0.75) {
+		t.Error("plain addition wrong")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, b := FromFloat(0.5), FromFloat(0.5)
+	if got := Mul(a, b).Float(); math.Abs(got-0.25) > 1e-4 {
+		t.Errorf("0.5·0.5 = %g", got)
+	}
+	// MinQ15 · MinQ15 = +1.0 which must saturate.
+	if Mul(MinQ15, MinQ15) != MaxQ15 {
+		t.Error("(-1)·(-1) must saturate to MaxQ15")
+	}
+}
+
+func TestMulCommutativeProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		return Mul(Q15(a), Q15(b)) == Mul(Q15(b), Q15(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbs(t *testing.T) {
+	if Abs(FromFloat(-0.5)) != FromFloat(0.5) {
+		t.Error("abs wrong")
+	}
+	if Abs(MinQ15) != MaxQ15 {
+		t.Error("abs(MinQ15) must saturate (DSP convention)")
+	}
+	if Abs(0) != 0 {
+		t.Error("abs(0)")
+	}
+}
+
+func TestAccumulateAbsDiff(t *testing.T) {
+	var acc Q31
+	acc = AccumulateAbsDiff(acc, FromFloat(0.5), FromFloat(-0.5))
+	if int64(acc) != int64(FromFloat(0.5))-int64(FromFloat(-0.5)) {
+		t.Errorf("acc = %d", acc)
+	}
+	acc2 := AccumulateAbsDiff(0, FromFloat(-0.5), FromFloat(0.5))
+	if acc != acc2 {
+		t.Error("abs diff must be symmetric")
+	}
+}
+
+func TestQuantizeColumns(t *testing.T) {
+	cols := [][]float64{
+		{0, 1, 2, 3, 4},
+		{5, 5, 5, 5, 5}, // constant
+	}
+	q, scales, err := QuantizeColumns(cols, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 2 || len(scales) != 2 {
+		t.Fatal("shape")
+	}
+	for _, v := range q[1] {
+		if v != 0 {
+			t.Error("constant column should quantize to zero")
+		}
+	}
+	// First column: symmetric around mean.
+	if q[0][0] != -q[0][4] {
+		t.Errorf("symmetric values should quantize symmetrically: %d vs %d", q[0][0], q[0][4])
+	}
+	if _, _, err := QuantizeColumns(nil, 4); err == nil {
+		t.Error("empty columns should fail")
+	}
+	if _, _, err := QuantizeColumns(cols, 0); err == nil {
+		t.Error("zero sigma scale should fail")
+	}
+}
+
+func blockMatrix(seed int64, l, f, pos, w int, shift float64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, l)
+	for i := range X {
+		row := make([]float64, f)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			if i >= pos && i < pos+w {
+				row[j] += shift
+			}
+		}
+		X[i] = row
+	}
+	return X
+}
+
+func TestLabelFindsBlock(t *testing.T) {
+	X := blockMatrix(1, 300, 6, 110, 30, 3)
+	res, err := Label(X, 30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Index - 110; d < -3 || d > 3 {
+		t.Errorf("fixed-point argmax at %d, want ≈110", res.Index)
+	}
+	if len(res.Distances) != 300-30+1 {
+		t.Errorf("distances length %d", len(res.Distances))
+	}
+}
+
+func TestLabelAgreesWithFloat(t *testing.T) {
+	// The headline property: Q15 quantization must not move the argmax
+	// materially relative to the float64 implementation.
+	for seed := int64(0); seed < 8; seed++ {
+		l := 200
+		w := 25
+		pos := 40 + int(seed)*15
+		X := blockMatrix(seed, l, 5, pos, w, 2.5)
+		fx, err := Label(X, w, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl, err := core.Label(X, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := fx.Index - fl.Index; d < -2 || d > 2 {
+			t.Errorf("seed %d: fixed %d vs float %d", seed, fx.Index, fl.Index)
+		}
+	}
+}
+
+func TestLabelSaturationHelpsArtifacts(t *testing.T) {
+	// A gigantic artifact saturates in Q15 but must still dominate the
+	// argmax (saturation clips magnitude, not ordering).
+	X := blockMatrix(3, 300, 4, 0, 1, 0) // plain noise
+	for i := 200; i < 230; i++ {
+		for j := range X[i] {
+			X[i][j] += 1000 // absurd artifact
+		}
+	}
+	res, err := Label(X, 30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index < 190 || res.Index > 210 {
+		t.Errorf("saturated artifact not found: argmax %d", res.Index)
+	}
+}
+
+func TestLabelErrors(t *testing.T) {
+	if _, err := Label(nil, 5, 4); err == nil {
+		t.Error("empty matrix should fail")
+	}
+	if _, err := Label([][]float64{{}, {}}, 1, 4); err == nil {
+		t.Error("no features should fail")
+	}
+	if _, err := Label([][]float64{{1}, {1, 2}}, 1, 4); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	X := blockMatrix(4, 50, 2, 10, 5, 1)
+	if _, err := Label(X, 0, 4); err == nil {
+		t.Error("w=0 should fail")
+	}
+	if _, err := Label(X, 50, 4); err == nil {
+		t.Error("w=L should fail")
+	}
+	if _, err := Label(X, 5, -1); err == nil {
+		t.Error("negative sigma scale should fail")
+	}
+}
+
+func TestQ31AccumulatorHeadroom(t *testing.T) {
+	// Worst case: every |diff| is full scale (65535) for an hour-scale
+	// scan (3600 windows × 900 outside points); the accumulator must not
+	// overflow.
+	var acc Q31
+	const steps = 3600 * 900 / 4
+	for i := 0; i < 1000; i++ {
+		acc = AccumulateAbsDiff(acc, MaxQ15, MinQ15)
+	}
+	perStep := int64(acc) / 1000
+	if perStep*steps < 0 {
+		t.Error("Q31 accumulator would overflow on worst-case hour scan")
+	}
+}

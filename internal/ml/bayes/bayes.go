@@ -1,0 +1,84 @@
+// Package bayes implements a Gaussian naive-Bayes classifier baseline.
+package bayes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"selflearn/internal/stats"
+)
+
+// NB is a trained Gaussian naive-Bayes model.
+type NB struct {
+	priorPos            float64
+	meanPos, meanNeg    []float64
+	varPos, varNeg      []float64
+	logPrior, logPrior0 float64
+}
+
+// Train fits per-class Gaussian feature models.
+func Train(X [][]float64, y []bool) (*NB, error) {
+	if len(X) == 0 {
+		return nil, errors.New("bayes: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("bayes: %d samples but %d labels", len(X), len(y))
+	}
+	nf := len(X[0])
+	var pos, neg [][]float64
+	for i, r := range X {
+		if len(r) != nf {
+			return nil, fmt.Errorf("bayes: ragged row %d", i)
+		}
+		if y[i] {
+			pos = append(pos, r)
+		} else {
+			neg = append(neg, r)
+		}
+	}
+	if len(pos) == 0 || len(neg) == 0 {
+		return nil, errors.New("bayes: need both classes in the training set")
+	}
+	m := &NB{
+		priorPos: float64(len(pos)) / float64(len(X)),
+		meanPos:  make([]float64, nf), meanNeg: make([]float64, nf),
+		varPos: make([]float64, nf), varNeg: make([]float64, nf),
+	}
+	m.logPrior = math.Log(m.priorPos)
+	m.logPrior0 = math.Log(1 - m.priorPos)
+	fill := func(rows [][]float64, mean, vr []float64) {
+		col := make([]float64, len(rows))
+		for f := 0; f < nf; f++ {
+			for i, r := range rows {
+				col[i] = r[f]
+			}
+			mean[f] = stats.Mean(col)
+			v := stats.Variance(col)
+			if v < 1e-9 {
+				v = 1e-9 // variance floor keeps the likelihood finite
+			}
+			vr[f] = v
+		}
+	}
+	fill(pos, m.meanPos, m.varPos)
+	fill(neg, m.meanNeg, m.varNeg)
+	return m, nil
+}
+
+// LogOdds returns log P(pos|x) − log P(neg|x).
+func (m *NB) LogOdds(x []float64) float64 {
+	ll := m.logPrior - m.logPrior0
+	for f := range x {
+		ll += logGauss(x[f], m.meanPos[f], m.varPos[f]) - logGauss(x[f], m.meanNeg[f], m.varNeg[f])
+	}
+	return ll
+}
+
+func logGauss(x, mean, variance float64) float64 {
+	d := x - mean
+	return -0.5*math.Log(2*math.Pi*variance) - d*d/(2*variance)
+}
+
+// Predict returns the MAP class of x.
+func (m *NB) Predict(x []float64) bool { return m.LogOdds(x) >= 0 }

@@ -1,0 +1,109 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func blobs(n int, sep float64, seed int64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range X {
+		y[i] = i%2 == 0
+		base := 0.0
+		if y[i] {
+			base = sep
+		}
+		X[i] = []float64{base + rng.NormFloat64(), base + rng.NormFloat64()}
+	}
+	return X, y
+}
+
+func TestAccuracy(t *testing.T) {
+	X, y := blobs(600, 4, 1)
+	m, err := Train(X[:400], y[:400])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for i := 400; i < 600; i++ {
+		if m.Predict(X[i]) == y[i] {
+			ok++
+		}
+	}
+	if ok < 190 {
+		t.Errorf("held-out accuracy %d/200", ok)
+	}
+}
+
+func TestLogOddsSign(t *testing.T) {
+	X, y := blobs(400, 4, 2)
+	m, err := Train(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LogOdds([]float64{4, 4}) <= 0 {
+		t.Error("positive region should have positive log-odds")
+	}
+	if m.LogOdds([]float64{0, 0}) >= 0 {
+		t.Error("negative region should have negative log-odds")
+	}
+}
+
+func TestVarianceFloor(t *testing.T) {
+	// A constant feature in one class must not blow up the likelihood.
+	X := [][]float64{{1, 5}, {1, 6}, {2, 5}, {3, 0}, {4, 1}, {5, 0}}
+	y := []bool{true, true, true, false, false, false}
+	m, err := Train(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := m.LogOdds([]float64{1, 5})
+	if math.IsNaN(lo) || math.IsInf(lo, 0) {
+		t.Errorf("LogOdds = %g", lo)
+	}
+	if !m.Predict([]float64{1.5, 5.5}) {
+		t.Error("clear positive misclassified")
+	}
+}
+
+func TestPriorInfluence(t *testing.T) {
+	// Strongly imbalanced classes shift the decision threshold.
+	rng := rand.New(rand.NewSource(3))
+	var X [][]float64
+	var y []bool
+	for i := 0; i < 1000; i++ {
+		pos := i%20 == 0 // 5% positives
+		base := 0.0
+		if pos {
+			base = 2
+		}
+		X = append(X, []float64{base + rng.NormFloat64()})
+		y = append(y, pos)
+	}
+	m, err := Train(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The midpoint (1.0) belongs to the majority class under these priors.
+	if m.Predict([]float64{1.0}) {
+		t.Error("prior should pull the midpoint toward the majority class")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Train(nil, nil); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, err := Train([][]float64{{1}}, []bool{true, false}); err == nil {
+		t.Error("label mismatch should fail")
+	}
+	if _, err := Train([][]float64{{1}, {2}}, []bool{true, true}); err == nil {
+		t.Error("single-class training should fail")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []bool{true, false}); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+}

@@ -1,0 +1,251 @@
+// Package cluster implements k-means and k-medoids, the unsupervised
+// seizure-detection baselines the paper cites (Smart & Chen, reference
+// [17], report k-means and k-medoids as the best unsupervised methods).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Result holds a clustering of the input rows.
+type Result struct {
+	// Assignments[i] is the cluster of row i.
+	Assignments []int
+	// Centers[c] is the centroid (k-means) or medoid row value
+	// (k-medoids) of cluster c.
+	Centers [][]float64
+	// Inertia is the summed squared distance of rows to their centers.
+	Inertia float64
+	// Iterations actually performed.
+	Iterations int
+}
+
+func validate(X [][]float64, k int) error {
+	if len(X) == 0 {
+		return errors.New("cluster: empty input")
+	}
+	if k < 1 || k > len(X) {
+		return fmt.Errorf("cluster: invalid k %d for %d rows", k, len(X))
+	}
+	nf := len(X[0])
+	for i, r := range X {
+		if len(r) != nf {
+			return fmt.Errorf("cluster: ragged row %d", i)
+		}
+	}
+	return nil
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// KMeans clusters X into k groups with Lloyd's algorithm and k-means++
+// seeding. maxIter bounds the Lloyd iterations.
+func KMeans(X [][]float64, k, maxIter int, seed int64) (*Result, error) {
+	if err := validate(X, k); err != nil {
+		return nil, err
+	}
+	if maxIter < 1 {
+		return nil, fmt.Errorf("cluster: invalid maxIter %d", maxIter)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := seedPlusPlus(X, k, rng)
+	assign := make([]int, len(X))
+	res := &Result{}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, x := range X {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := sqDist(x, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		nf := len(X[0])
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, nf)
+		}
+		for i, x := range X {
+			c := assign[i]
+			counts[c]++
+			for f, v := range x {
+				sums[c][f] += v
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random row.
+				centers[c] = append([]float64(nil), X[rng.Intn(len(X))]...)
+				continue
+			}
+			for f := range sums[c] {
+				sums[c][f] /= float64(counts[c])
+			}
+			centers[c] = sums[c]
+		}
+		res.Iterations = iter + 1
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	res.Assignments = assign
+	res.Centers = centers
+	for i, x := range X {
+		res.Inertia += sqDist(x, centers[assign[i]])
+	}
+	return res, nil
+}
+
+// seedPlusPlus picks k initial centers with the k-means++ distribution.
+func seedPlusPlus(X [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centers := make([][]float64, 0, k)
+	centers = append(centers, append([]float64(nil), X[rng.Intn(len(X))]...))
+	d2 := make([]float64, len(X))
+	for len(centers) < k {
+		var total float64
+		for i, x := range X {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := sqDist(x, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points coincide with existing centers; duplicate one.
+			centers = append(centers, append([]float64(nil), X[rng.Intn(len(X))]...))
+			continue
+		}
+		target := rng.Float64() * total
+		var cum float64
+		pick := len(X) - 1
+		for i, d := range d2 {
+			cum += d
+			if cum >= target {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, append([]float64(nil), X[pick]...))
+	}
+	return centers
+}
+
+// KMedoids clusters X into k groups with the PAM-style alternating
+// algorithm: assign to nearest medoid, then for each cluster choose the
+// row minimizing total in-cluster distance.
+func KMedoids(X [][]float64, k, maxIter int, seed int64) (*Result, error) {
+	if err := validate(X, k); err != nil {
+		return nil, err
+	}
+	if maxIter < 1 {
+		return nil, fmt.Errorf("cluster: invalid maxIter %d", maxIter)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	medoids := rng.Perm(len(X))[:k]
+	assign := make([]int, len(X))
+	res := &Result{}
+	for iter := 0; iter < maxIter; iter++ {
+		for i, x := range X {
+			best, bestD := 0, math.Inf(1)
+			for c, mi := range medoids {
+				if d := sqDist(x, X[mi]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+		}
+		changed := false
+		for c := range medoids {
+			var members []int
+			for i := range X {
+				if assign[i] == c {
+					members = append(members, i)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			bestM, bestCost := medoids[c], math.Inf(1)
+			for _, cand := range members {
+				var cost float64
+				for _, m := range members {
+					cost += math.Sqrt(sqDist(X[cand], X[m]))
+				}
+				if cost < bestCost {
+					bestCost, bestM = cost, cand
+				}
+			}
+			if bestM != medoids[c] {
+				medoids[c] = bestM
+				changed = true
+			}
+		}
+		res.Iterations = iter + 1
+		if !changed {
+			break
+		}
+	}
+	// Final assignment against the settled medoids.
+	for i, x := range X {
+		best, bestD := 0, math.Inf(1)
+		for c, mi := range medoids {
+			if d := sqDist(x, X[mi]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+	}
+	res.Assignments = assign
+	for _, mi := range medoids {
+		res.Centers = append(res.Centers, append([]float64(nil), X[mi]...))
+	}
+	for i, x := range X {
+		res.Inertia += sqDist(x, res.Centers[assign[i]])
+	}
+	return res, nil
+}
+
+// BinaryFromClusters converts a 2-clustering into binary labels by
+// calling the smaller cluster positive (seizures are rare events). It
+// errors unless the result has exactly two clusters.
+func BinaryFromClusters(res *Result) ([]bool, error) {
+	if res == nil || len(res.Centers) != 2 {
+		return nil, errors.New("cluster: need a 2-clustering")
+	}
+	count := [2]int{}
+	for _, a := range res.Assignments {
+		if a < 0 || a > 1 {
+			return nil, fmt.Errorf("cluster: assignment %d out of range", a)
+		}
+		count[a]++
+	}
+	minor := 0
+	if count[1] < count[0] {
+		minor = 1
+	}
+	out := make([]bool, len(res.Assignments))
+	for i, a := range res.Assignments {
+		out[i] = a == minor
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func twoBlobs(n int, sep float64, seed int64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	truth := make([]bool, n)
+	for i := range X {
+		truth[i] = i%4 == 0 // 25% minority
+		base := 0.0
+		if truth[i] {
+			base = sep
+		}
+		X[i] = []float64{base + rng.NormFloat64()*0.5, base + rng.NormFloat64()*0.5}
+	}
+	return X, truth
+}
+
+func agreement(assign []int, truth []bool) float64 {
+	// Best-of-two-mapping accuracy.
+	match := 0
+	for i := range assign {
+		if (assign[i] == 1) == truth[i] {
+			match++
+		}
+	}
+	acc := float64(match) / float64(len(truth))
+	if acc < 0.5 {
+		acc = 1 - acc
+	}
+	return acc
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	X, truth := twoBlobs(400, 6, 1)
+	res, err := KMeans(X, 2, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := agreement(res.Assignments, truth); acc < 0.98 {
+		t.Errorf("k-means blob recovery %g", acc)
+	}
+	if len(res.Centers) != 2 || res.Iterations < 1 {
+		t.Errorf("result malformed: %d centers, %d iterations", len(res.Centers), res.Iterations)
+	}
+	if res.Inertia <= 0 {
+		t.Errorf("inertia = %g", res.Inertia)
+	}
+}
+
+func TestKMedoidsRecoversBlobs(t *testing.T) {
+	X, truth := twoBlobs(300, 6, 2)
+	res, err := KMedoids(X, 2, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := agreement(res.Assignments, truth); acc < 0.97 {
+		t.Errorf("k-medoids blob recovery %g", acc)
+	}
+	// Medoids are actual data rows.
+	for _, c := range res.Centers {
+		found := false
+		for _, x := range X {
+			if x[0] == c[0] && x[1] == c[1] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Error("medoid is not a data row")
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	X, _ := twoBlobs(200, 4, 3)
+	a, err := KMeans(X, 2, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(X, 2, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("same seed must reproduce the clustering")
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	X, _ := twoBlobs(10, 2, 4)
+	if _, err := KMeans(nil, 2, 10, 1); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := KMeans(X, 0, 10, 1); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := KMeans(X, 11, 10, 1); err == nil {
+		t.Error("k>n should fail")
+	}
+	if _, err := KMeans(X, 2, 0, 1); err == nil {
+		t.Error("maxIter=0 should fail")
+	}
+	if _, err := KMedoids(X, 0, 10, 1); err == nil {
+		t.Error("k-medoids k=0 should fail")
+	}
+	if _, err := KMedoids(X, 2, 0, 1); err == nil {
+		t.Error("k-medoids maxIter=0 should fail")
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, 1, 5, 1); err == nil {
+		t.Error("ragged input should fail")
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	X := [][]float64{{0, 0}, {5, 5}, {10, 10}}
+	res, err := KMeans(X, 3, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-9 {
+		t.Errorf("k=n should give zero inertia, got %g", res.Inertia)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	X := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	res, err := KMeans(X, 2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 4 {
+		t.Error("all points must be assigned")
+	}
+}
+
+func TestBinaryFromClusters(t *testing.T) {
+	X, truth := twoBlobs(400, 6, 5)
+	res, err := KMeans(X, 2, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := BinaryFromClusters(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The minority cluster is the seizure class; it should mostly match
+	// the 25% minority truth.
+	match := 0
+	for i := range labels {
+		if labels[i] == truth[i] {
+			match++
+		}
+	}
+	if float64(match)/float64(len(labels)) < 0.95 {
+		t.Errorf("minority mapping agreement %d/%d", match, len(labels))
+	}
+	if _, err := BinaryFromClusters(nil); err == nil {
+		t.Error("nil result should fail")
+	}
+	three, err := KMeans(X, 3, 50, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BinaryFromClusters(three); err == nil {
+		t.Error("3-clustering should fail")
+	}
+}

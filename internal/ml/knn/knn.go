@@ -1,0 +1,90 @@
+// Package knn implements a k-nearest-neighbour classifier baseline with
+// z-scored Euclidean distance.
+package knn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"selflearn/internal/stats"
+)
+
+// KNN is a lazy k-nearest-neighbour classifier.
+type KNN struct {
+	k     int
+	X     [][]float64
+	y     []bool
+	mean  []float64
+	scale []float64
+}
+
+// Train stores the (standardized) training set.
+func Train(X [][]float64, y []bool, k int) (*KNN, error) {
+	if len(X) == 0 {
+		return nil, errors.New("knn: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("knn: %d samples but %d labels", len(X), len(y))
+	}
+	if k < 1 || k > len(X) {
+		return nil, fmt.Errorf("knn: invalid k %d for %d samples", k, len(X))
+	}
+	nf := len(X[0])
+	m := &KNN{k: k, y: append([]bool(nil), y...), mean: make([]float64, nf), scale: make([]float64, nf)}
+	col := make([]float64, len(X))
+	for f := 0; f < nf; f++ {
+		for i := range X {
+			col[i] = X[i][f]
+		}
+		m.mean[f] = stats.Mean(col)
+		sd := stats.StdDev(col)
+		if sd == 0 {
+			sd = 1
+		}
+		m.scale[f] = sd
+	}
+	for _, r := range X {
+		if len(r) != nf {
+			return nil, errors.New("knn: ragged training matrix")
+		}
+		z := make([]float64, nf)
+		for f := range z {
+			z[f] = (r[f] - m.mean[f]) / m.scale[f]
+		}
+		m.X = append(m.X, z)
+	}
+	return m, nil
+}
+
+// Prob returns the positive fraction among the k nearest neighbours.
+func (m *KNN) Prob(x []float64) float64 {
+	z := make([]float64, len(m.mean))
+	for f := range z {
+		z[f] = (x[f] - m.mean[f]) / m.scale[f]
+	}
+	type nd struct {
+		d   float64
+		pos bool
+	}
+	ds := make([]nd, len(m.X))
+	for i, t := range m.X {
+		var s float64
+		for f := range t {
+			d := t[f] - z[f]
+			s += d * d
+		}
+		ds[i] = nd{s, m.y[i]}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
+	pos := 0
+	for _, n := range ds[:m.k] {
+		if n.pos {
+			pos++
+		}
+	}
+	return float64(pos) / float64(m.k)
+}
+
+// Predict returns the majority class among the k nearest neighbours.
+func (m *KNN) Predict(x []float64) bool { return m.Prob(x) >= 0.5 }

@@ -1,0 +1,106 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func blobs(n int, sep float64, seed int64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range X {
+		y[i] = i%2 == 0
+		base := 0.0
+		if y[i] {
+			base = sep
+		}
+		X[i] = []float64{base + rng.NormFloat64(), base + rng.NormFloat64()}
+	}
+	return X, y
+}
+
+func TestAccuracy(t *testing.T) {
+	X, y := blobs(400, 4, 1)
+	m, err := Train(X[:300], y[:300], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for i := 300; i < 400; i++ {
+		if m.Predict(X[i]) == y[i] {
+			ok++
+		}
+	}
+	if ok < 95 {
+		t.Errorf("held-out accuracy %d/100", ok)
+	}
+}
+
+func TestK1MemorizesTraining(t *testing.T) {
+	X, y := blobs(100, 2, 2)
+	m, err := Train(X, y, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if m.Predict(X[i]) != y[i] {
+			t.Fatal("1-NN must memorize its training points")
+		}
+	}
+}
+
+func TestProbRange(t *testing.T) {
+	X, y := blobs(200, 3, 3)
+	m, err := Train(X, y, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Prob([]float64{1.5, 1.5})
+	if p < 0 || p > 1 {
+		t.Errorf("Prob = %g", p)
+	}
+	if m.Prob([]float64{3, 3}) <= m.Prob([]float64{0, 0}) {
+		t.Error("Prob should be higher in the positive region")
+	}
+}
+
+func TestScaleInvariance(t *testing.T) {
+	X, y := blobs(300, 4, 4)
+	scaled := make([][]float64, len(X))
+	for i := range X {
+		scaled[i] = []float64{X[i][0] * 1e5, X[i][1] * 1e-4}
+	}
+	a, err := Train(X, y, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(scaled, y, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if a.Predict(X[i]) != b.Predict(scaled[i]) {
+			t.Fatal("z-scored kNN should be scale invariant")
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	X, y := blobs(10, 2, 5)
+	if _, err := Train(nil, nil, 3); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, err := Train(X, y[:5], 3); err == nil {
+		t.Error("label mismatch should fail")
+	}
+	if _, err := Train(X, y, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := Train(X, y, 11); err == nil {
+		t.Error("k>n should fail")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []bool{true, false}, 1); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+}

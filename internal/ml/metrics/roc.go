@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ROCPoint is one operating point of a receiver operating characteristic
+// curve.
+type ROCPoint struct {
+	Threshold float64
+	// FPR is the false positive rate (1 − specificity).
+	FPR float64
+	// TPR is the true positive rate (sensitivity).
+	TPR float64
+}
+
+// ROC computes the ROC curve from probability scores and binary labels.
+// The returned points run from the most conservative operating point
+// (0, 0) to the most permissive (1, 1) in FPR order.
+func ROC(scores []float64, labels []bool) ([]ROCPoint, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("metrics: %d scores but %d labels", len(scores), len(labels))
+	}
+	if len(scores) == 0 {
+		return nil, errors.New("metrics: empty inputs")
+	}
+	var pos, neg int
+	for _, l := range labels {
+		if l {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, errors.New("metrics: ROC needs both classes")
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	points := []ROCPoint{{Threshold: scores[idx[0]] + 1, FPR: 0, TPR: 0}}
+	tp, fp := 0, 0
+	for i := 0; i < len(idx); {
+		// Process ties together so the curve is well-defined.
+		j := i
+		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+			if labels[idx[j]] {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		points = append(points, ROCPoint{
+			Threshold: scores[idx[i]],
+			FPR:       float64(fp) / float64(neg),
+			TPR:       float64(tp) / float64(pos),
+		})
+		i = j
+	}
+	return points, nil
+}
+
+// AUC returns the area under the ROC curve by trapezoidal integration.
+func AUC(scores []float64, labels []bool) (float64, error) {
+	pts, err := ROC(scores, labels)
+	if err != nil {
+		return 0, err
+	}
+	var area float64
+	for i := 1; i < len(pts); i++ {
+		area += (pts[i].FPR - pts[i-1].FPR) * (pts[i].TPR + pts[i-1].TPR) / 2
+	}
+	return area, nil
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestROCPerfectSeparation(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-1) > 1e-12 {
+		t.Errorf("perfect AUC = %g", auc)
+	}
+	pts, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].FPR != 0 || pts[0].TPR != 0 {
+		t.Error("curve should start at (0,0)")
+	}
+	last := pts[len(pts)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Error("curve should end at (1,1)")
+	}
+}
+
+func TestROCAntiPerfect(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0) > 1e-12 {
+		t.Errorf("inverted AUC = %g, want 0", auc)
+	}
+}
+
+func TestROCRandomScoresHalfAUC(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Intn(2) == 0
+	}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.02 {
+		t.Errorf("random AUC = %g, want ≈0.5", auc)
+	}
+}
+
+func TestROCTiesHandled(t *testing.T) {
+	// All scores identical: a single diagonal step, AUC = 0.5.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("tied-score AUC = %g, want 0.5", auc)
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	if _, err := ROC([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := ROC(nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := ROC([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Error("single class should fail")
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	scores := make([]float64, 500)
+	labels := make([]bool, 500)
+	for i := range scores {
+		labels[i] = i%3 == 0
+		scores[i] = rng.Float64()
+		if labels[i] {
+			scores[i] += 0.3
+		}
+	}
+	pts, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FPR < pts[i-1].FPR || pts[i].TPR < pts[i-1].TPR {
+			t.Fatal("ROC curve must be monotone")
+		}
+	}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.6 {
+		t.Errorf("shifted scores should beat chance, AUC = %g", auc)
+	}
+}

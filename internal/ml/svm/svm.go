@@ -1,0 +1,139 @@
+// Package svm implements a linear support-vector machine trained with the
+// Pegasos stochastic sub-gradient algorithm. It is one of the supervised
+// baselines the related-work section positions the methodology against.
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"selflearn/internal/stats"
+)
+
+// Config controls Pegasos training.
+type Config struct {
+	// Lambda is the L2 regularization strength.
+	Lambda float64
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// Seed drives the sampling order.
+	Seed int64
+}
+
+// DefaultConfig returns a reasonable configuration for feature-window
+// classification.
+func DefaultConfig() Config {
+	return Config{Lambda: 1e-4, Epochs: 20, Seed: 1}
+}
+
+// SVM is a trained linear classifier with z-score input normalization.
+type SVM struct {
+	w     []float64
+	bias  float64
+	mean  []float64
+	scale []float64
+}
+
+// Train fits the SVM on X and binary labels y.
+func Train(X [][]float64, y []bool, cfg Config) (*SVM, error) {
+	if len(X) == 0 {
+		return nil, errors.New("svm: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("svm: %d samples but %d labels", len(X), len(y))
+	}
+	if cfg.Lambda <= 0 {
+		return nil, fmt.Errorf("svm: invalid lambda %g", cfg.Lambda)
+	}
+	if cfg.Epochs < 1 {
+		return nil, fmt.Errorf("svm: invalid epochs %d", cfg.Epochs)
+	}
+	nf := len(X[0])
+	for i, r := range X {
+		if len(r) != nf {
+			return nil, fmt.Errorf("svm: ragged row %d", i)
+		}
+	}
+	m := &SVM{
+		w:     make([]float64, nf),
+		mean:  make([]float64, nf),
+		scale: make([]float64, nf),
+	}
+	// Standardize features for SGD conditioning.
+	col := make([]float64, len(X))
+	for f := 0; f < nf; f++ {
+		for i := range X {
+			col[i] = X[i][f]
+		}
+		m.mean[f] = stats.Mean(col)
+		sd := stats.StdDev(col)
+		if sd == 0 {
+			sd = 1
+		}
+		m.scale[f] = sd
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := 0
+	buf := make([]float64, nf)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for range X {
+			t++
+			i := rng.Intn(len(X))
+			m.standardize(X[i], buf)
+			label := -1.0
+			if y[i] {
+				label = 1.0
+			}
+			eta := 1 / (cfg.Lambda * float64(t))
+			margin := label * (dot(m.w, buf) + m.bias)
+			// w <- (1 - eta*lambda) w [+ eta*label*x when margin < 1]
+			decay := 1 - eta*cfg.Lambda
+			for f := range m.w {
+				m.w[f] *= decay
+			}
+			if margin < 1 {
+				for f := range m.w {
+					m.w[f] += eta * label * buf[f]
+				}
+				m.bias += eta * label
+			}
+		}
+	}
+	return m, nil
+}
+
+func (m *SVM) standardize(x, out []float64) {
+	for f := range out {
+		out[f] = (x[f] - m.mean[f]) / m.scale[f]
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Score returns the signed decision value for x (positive = seizure).
+func (m *SVM) Score(x []float64) float64 {
+	buf := make([]float64, len(m.w))
+	m.standardize(x, buf)
+	return dot(m.w, buf) + m.bias
+}
+
+// Predict returns the class of x.
+func (m *SVM) Predict(x []float64) bool { return m.Score(x) >= 0 }
+
+// Margin returns 2/‖w‖, the geometric margin width (infinite for a zero
+// weight vector).
+func (m *SVM) Margin() float64 {
+	n := math.Sqrt(dot(m.w, m.w))
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return 2 / n
+}

@@ -1,0 +1,135 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func blobs(n int, sep float64, seed int64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range X {
+		y[i] = i%2 == 0
+		base := 0.0
+		if y[i] {
+			base = sep
+		}
+		X[i] = []float64{base + rng.NormFloat64(), base + rng.NormFloat64()}
+	}
+	return X, y
+}
+
+func accuracy(m *SVM, X [][]float64, y []bool) float64 {
+	ok := 0
+	for i := range X {
+		if m.Predict(X[i]) == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(y))
+}
+
+func TestSeparableAccuracy(t *testing.T) {
+	X, y := blobs(600, 5, 1)
+	m, err := Train(X[:400], y[:400], DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, X[400:], y[400:]); acc < 0.95 {
+		t.Errorf("held-out accuracy %g", acc)
+	}
+}
+
+func TestScoreSign(t *testing.T) {
+	X, y := blobs(400, 5, 2)
+	m, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Score([]float64{5, 5}) <= m.Score([]float64{0, 0}) {
+		t.Error("positive-region score should exceed negative-region score")
+	}
+}
+
+func TestMargin(t *testing.T) {
+	X, y := blobs(400, 6, 3)
+	m, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mar := m.Margin()
+	if math.IsNaN(mar) || mar <= 0 {
+		t.Errorf("margin = %g", mar)
+	}
+	zero := &SVM{w: []float64{0, 0}}
+	if !math.IsInf(zero.Margin(), 1) {
+		t.Error("zero weights should give infinite margin")
+	}
+}
+
+func TestScaleRobustness(t *testing.T) {
+	// Internal standardization should handle widely-scaled features.
+	X, y := blobs(400, 5, 4)
+	for i := range X {
+		X[i][0] *= 1e6
+		X[i][1] *= 1e-3
+	}
+	m, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m, X, y); acc < 0.9 {
+		t.Errorf("accuracy with scaled features %g", acc)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	X, y := blobs(200, 4, 5)
+	a, _ := Train(X, y, DefaultConfig())
+	b, _ := Train(X, y, DefaultConfig())
+	for i := range a.w {
+		if a.w[i] != b.w[i] {
+			t.Fatal("same seed must give identical weights")
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Train(nil, nil, DefaultConfig()); err == nil {
+		t.Error("empty set should fail")
+	}
+	X, y := blobs(10, 2, 6)
+	if _, err := Train(X, y[:4], DefaultConfig()); err == nil {
+		t.Error("label mismatch should fail")
+	}
+	bad := DefaultConfig()
+	bad.Lambda = 0
+	if _, err := Train(X, y, bad); err == nil {
+		t.Error("zero lambda should fail")
+	}
+	bad = DefaultConfig()
+	bad.Epochs = 0
+	if _, err := Train(X, y, bad); err == nil {
+		t.Error("zero epochs should fail")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []bool{true, false}, DefaultConfig()); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+}
+
+func TestConstantFeatureNoNaN(t *testing.T) {
+	X, y := blobs(100, 4, 7)
+	for i := range X {
+		X[i] = append(X[i], 3.0) // constant column
+	}
+	m, err := Train(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Score(X[0])
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		t.Errorf("score = %g with constant feature", s)
+	}
+}

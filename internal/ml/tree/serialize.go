@@ -1,0 +1,90 @@
+package tree
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// nodeDTO is the JSON shape of a tree node (array-encoded tree for
+// compactness: children refer to indices).
+type nodeDTO struct {
+	Leaf      bool    `json:"leaf"`
+	Positive  bool    `json:"positive,omitempty"`
+	Prob      float64 `json:"prob,omitempty"`
+	Feature   int     `json:"feature,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	Left      int     `json:"left,omitempty"`
+	Right     int     `json:"right,omitempty"`
+}
+
+type treeDTO struct {
+	NumFeatures int       `json:"num_features"`
+	Nodes       []nodeDTO `json:"nodes"`
+}
+
+// MarshalJSON encodes the tree as an index-linked node array, a compact
+// format suitable for flashing onto the wearable.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	if t.root == nil {
+		return nil, errors.New("tree: empty tree")
+	}
+	dto := treeDTO{NumFeatures: t.nFeatures}
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		idx := len(dto.Nodes)
+		dto.Nodes = append(dto.Nodes, nodeDTO{})
+		if n.leaf {
+			dto.Nodes[idx] = nodeDTO{Leaf: true, Positive: n.positive, Prob: n.prob}
+			return idx
+		}
+		d := nodeDTO{Feature: n.feature, Threshold: n.threshold}
+		d.Left = walk(n.left)
+		d.Right = walk(n.right)
+		dto.Nodes[idx] = d
+		return idx
+	}
+	walk(t.root)
+	return json.Marshal(dto)
+}
+
+// UnmarshalJSON decodes a tree produced by MarshalJSON, validating the
+// node links.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var dto treeDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return err
+	}
+	if len(dto.Nodes) == 0 {
+		return errors.New("tree: no nodes")
+	}
+	if dto.NumFeatures < 1 {
+		return fmt.Errorf("tree: invalid feature count %d", dto.NumFeatures)
+	}
+	nodes := make([]*node, len(dto.Nodes))
+	for i := range nodes {
+		nodes[i] = &node{}
+	}
+	for i, d := range dto.Nodes {
+		if d.Leaf {
+			nodes[i].leaf = true
+			nodes[i].positive = d.Positive
+			nodes[i].prob = d.Prob
+			continue
+		}
+		if d.Left <= i || d.Right <= i || d.Left >= len(nodes) || d.Right >= len(nodes) {
+			return fmt.Errorf("tree: node %d has invalid child links %d/%d", i, d.Left, d.Right)
+		}
+		if d.Feature < 0 || d.Feature >= dto.NumFeatures {
+			return fmt.Errorf("tree: node %d splits on invalid feature %d", i, d.Feature)
+		}
+		nodes[i].feature = d.Feature
+		nodes[i].threshold = d.Threshold
+		nodes[i].left = nodes[d.Left]
+		nodes[i].right = nodes[d.Right]
+	}
+	t.root = nodes[0]
+	t.nFeatures = dto.NumFeatures
+	t.nodes = len(nodes)
+	return nil
+}

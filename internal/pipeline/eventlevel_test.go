@@ -1,0 +1,66 @@
+package pipeline
+
+import (
+	"testing"
+
+	"selflearn/internal/chbmit"
+)
+
+func TestEventLevelStudySmall(t *testing.T) {
+	p, err := chbmit.PatientByID("chb09") // 7 seizures: 2 train, 5 test
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastOptions()
+	res, err := EventLevelStudy([]chbmit.Patient{p}, opts, 2, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerPatient) != 1 {
+		t.Fatalf("patients = %d", len(res.PerPatient))
+	}
+	pl := res.PerPatient[0]
+	if pl.Events != 5 {
+		t.Errorf("held-out events = %d, want 5", pl.Events)
+	}
+	if res.EventSensitivity < 0.8 {
+		t.Errorf("event sensitivity %.2f, want >= 0.8", res.EventSensitivity)
+	}
+	if res.FalseAlarmsPerHour > 6 {
+		t.Errorf("false alarms/hour %.1f too high", res.FalseAlarmsPerHour)
+	}
+	if res.MedianLatency < 0 || res.MedianLatency > 60 {
+		t.Errorf("median latency %.1f s implausible", res.MedianLatency)
+	}
+}
+
+func TestEventLevelStudyErrors(t *testing.T) {
+	p, _ := chbmit.PatientByID("chb02") // 3 seizures
+	opts := fastOptions()
+	if _, err := EventLevelStudy([]chbmit.Patient{p}, opts, 3, 600); err == nil {
+		t.Error("no held-out seizures should fail")
+	}
+	if _, err := EventLevelStudy([]chbmit.Patient{p}, opts, 0, 600); err == nil {
+		t.Error("0 training events should fail")
+	}
+	if _, err := EventLevelStudy([]chbmit.Patient{p}, opts, 1, 10); err == nil {
+		t.Error("tiny background should fail")
+	}
+	bad := fastOptions()
+	bad.MaxTrainSeizures = 0
+	if _, err := EventLevelStudy([]chbmit.Patient{p}, bad, 1, 600); err == nil {
+		t.Error("invalid options should fail")
+	}
+}
+
+func TestMedianHelper(t *testing.T) {
+	if median(nil) != 0 {
+		t.Error("empty median should be 0")
+	}
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median")
+	}
+}

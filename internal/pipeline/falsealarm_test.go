@@ -1,0 +1,53 @@
+package pipeline
+
+import (
+	"testing"
+
+	"selflearn/internal/chbmit"
+)
+
+func TestFalseAlarmStudy(t *testing.T) {
+	p, err := chbmit.PatientByID("chb09")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastOptions()
+	res, err := FalseAlarmStudy(p, opts, 600, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BackgroundHours <= 0 {
+		t.Fatal("background hours")
+	}
+	// Augmented training must not raise more false alarms than plain,
+	// and must keep detecting the held-out seizure.
+	if res.FalseAlarmsPerHourAugmented > res.FalseAlarmsPerHourPlain {
+		t.Errorf("augmentation increased false alarms: %g vs %g per hour",
+			res.FalseAlarmsPerHourAugmented, res.FalseAlarmsPerHourPlain)
+	}
+	if !res.SeizureDetectedAugmented {
+		t.Error("augmented detector missed the held-out seizure")
+	}
+	t.Logf("false alarms/h: plain %.1f vs augmented %.1f; detected: plain %v, augmented %v",
+		res.FalseAlarmsPerHourPlain, res.FalseAlarmsPerHourAugmented,
+		res.SeizureDetectedPlain, res.SeizureDetectedAugmented)
+}
+
+func TestFalseAlarmStudyErrors(t *testing.T) {
+	p, _ := chbmit.PatientByID("chb02")
+	opts := fastOptions()
+	if _, err := FalseAlarmStudy(p, opts, 10, 1); err == nil {
+		t.Error("tiny background should fail")
+	}
+	if _, err := FalseAlarmStudy(p, opts, 600, 0); err == nil {
+		t.Error("0 events should fail")
+	}
+	if _, err := FalseAlarmStudy(p, opts, 600, 3); err == nil {
+		t.Error("no held-out seizure left should fail")
+	}
+	bad := fastOptions()
+	bad.MaxTrainSeizures = 0
+	if _, err := FalseAlarmStudy(p, bad, 600, 1); err == nil {
+		t.Error("invalid options should fail")
+	}
+}

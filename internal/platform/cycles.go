@@ -1,0 +1,80 @@
+package platform
+
+import "fmt"
+
+// CycleModel estimates instruction-cycle budgets for the labeling kernel
+// on a Cortex-M3-class MCU. The STM32L151 has no FPU, so floating-point
+// inner loops run as software routines at tens of cycles per operation,
+// while a Q15 fixed-point port runs at a handful.
+type CycleModel struct {
+	// Name identifies the arithmetic flavor.
+	Name string
+	// CyclesPerAbsDiffAcc is the cycle cost of one inner-loop step of
+	// Algorithm 1 (load two operands, subtract, absolute value,
+	// accumulate).
+	CyclesPerAbsDiffAcc float64
+	// ClockHz is the CPU clock.
+	ClockHz float64
+}
+
+// SoftFloatM3 models the paper's implementation: software
+// double-precision arithmetic on the 32 MHz Cortex-M3 (a soft-float
+// add/sub plus abs and accumulate costs on the order of 50 cycles).
+func SoftFloatM3() CycleModel {
+	return CycleModel{Name: "soft-float", CyclesPerAbsDiffAcc: 50, ClockHz: CPUFreqMHz * 1e6}
+}
+
+// FixedPointM3 models a Q15 port (internal/fixedpoint): subtract, abs
+// and 32-bit accumulate in a handful of single-cycle integer
+// instructions plus loads.
+func FixedPointM3() CycleModel {
+	return CycleModel{Name: "q15-fixed", CyclesPerAbsDiffAcc: 6, ClockHz: CPUFreqMHz * 1e6}
+}
+
+// NaiveLabelingOps returns the inner-loop step count of the pseudocode
+// implementation of Algorithm 1 for a feature matrix of l points, window
+// w and f features: (L−W) window positions × W inside points × (L−W)/4
+// outside points × F features.
+func NaiveLabelingOps(l, w, f int) (float64, error) {
+	if l <= 0 || f <= 0 || w < 1 || w >= l {
+		return 0, fmt.Errorf("platform: invalid labeling shape L=%d W=%d F=%d", l, w, f)
+	}
+	positions := float64(l - w)
+	return positions * float64(w) * (positions / 4) * float64(f), nil
+}
+
+// FastLabelingOps returns the step count of the exact O(L·W·F)
+// decomposition (internal/core.Label): per slide, O(W + W/4) updates per
+// feature, plus the O(L log L) prefix construction folded into the
+// constant.
+func FastLabelingOps(l, w, f int) (float64, error) {
+	if l <= 0 || f <= 0 || w < 1 || w >= l {
+		return 0, fmt.Errorf("platform: invalid labeling shape L=%d W=%d F=%d", l, w, f)
+	}
+	return float64(l) * (1.25 * float64(w)) * float64(f), nil
+}
+
+// Seconds converts an op count to wall-clock seconds under the model.
+func (m CycleModel) Seconds(ops float64) float64 {
+	return ops * m.CyclesPerAbsDiffAcc / m.ClockHz
+}
+
+// RealTimeFactor returns processing seconds per second of signal for a
+// buffer of signalSeconds at one feature point per second: the paper's
+// "one second of signal is processed in one second" corresponds to a
+// factor <= 1 for the soft-float naive implementation on a one-hour
+// buffer.
+func (m CycleModel) RealTimeFactor(signalSeconds float64, w, f int, naive bool) (float64, error) {
+	l := int(signalSeconds)
+	var ops float64
+	var err error
+	if naive {
+		ops, err = NaiveLabelingOps(l, w, f)
+	} else {
+		ops, err = FastLabelingOps(l, w, f)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return m.Seconds(ops) / signalSeconds, nil
+}

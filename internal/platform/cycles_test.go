@@ -1,0 +1,106 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNaiveLabelingOps(t *testing.T) {
+	// L=100, W=10, F=2: 90·10·22.5·2 = 40500.
+	ops, err := NaiveLabelingOps(100, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ops-40500) > 1 {
+		t.Errorf("ops = %g, want 40500", ops)
+	}
+	if _, err := NaiveLabelingOps(0, 1, 1); err == nil {
+		t.Error("L=0 should fail")
+	}
+	if _, err := NaiveLabelingOps(10, 10, 1); err == nil {
+		t.Error("W=L should fail")
+	}
+	if _, err := NaiveLabelingOps(10, 2, 0); err == nil {
+		t.Error("F=0 should fail")
+	}
+}
+
+func TestFastOpsFarBelowNaive(t *testing.T) {
+	naive, err := NaiveLabelingOps(3600, 60, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := FastLabelingOps(3600, 60, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast >= naive/100 {
+		t.Errorf("fast %g should be >=100x below naive %g", fast, naive)
+	}
+}
+
+func TestPaperRealTimeClaim(t *testing.T) {
+	// Section IV: "one second of signal is processed in one second time"
+	// on the STM32L151. The soft-float naive implementation on a one-hour
+	// buffer with W=60 and F=10 must keep its real-time factor at or
+	// below 1 (and plausibly close to it — this is why the paper budgets
+	// a 100 % labeling duty cycle per buffered hour).
+	m := SoftFloatM3()
+	rtf, err := m.RealTimeFactor(3600, 60, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtf > 1 {
+		t.Errorf("soft-float naive real-time factor %g > 1 contradicts the paper", rtf)
+	}
+	if rtf < 0.2 {
+		t.Errorf("real-time factor %g implausibly low for a 32 MHz soft-float M3", rtf)
+	}
+}
+
+func TestFixedPointHeadroom(t *testing.T) {
+	// The Q15 port buys roughly an order of magnitude.
+	soft := SoftFloatM3()
+	fixed := FixedPointM3()
+	rtfSoft, err := soft.RealTimeFactor(3600, 60, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtfFixed, err := fixed.RealTimeFactor(3600, 60, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtfFixed >= rtfSoft/5 {
+		t.Errorf("fixed point %g should be ≥5x faster than soft float %g", rtfFixed, rtfSoft)
+	}
+}
+
+func TestFastAlgorithmTrivialOnM3(t *testing.T) {
+	// The exact O(L·W·F) decomposition makes even the soft-float port
+	// negligible next to the hour-long buffer.
+	m := SoftFloatM3()
+	rtf, err := m.RealTimeFactor(3600, 60, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtf > 0.01 {
+		t.Errorf("fast real-time factor %g, want < 0.01", rtf)
+	}
+}
+
+func TestSecondsScalesLinearly(t *testing.T) {
+	m := FixedPointM3()
+	if s := m.Seconds(0); s != 0 {
+		t.Error("zero ops should be zero seconds")
+	}
+	if m.Seconds(2e6) != 2*m.Seconds(1e6) {
+		t.Error("seconds must be linear in ops")
+	}
+}
+
+func TestRealTimeFactorErrors(t *testing.T) {
+	m := SoftFloatM3()
+	if _, err := m.RealTimeFactor(10, 60, 10, true); err == nil {
+		t.Error("W >= L should fail")
+	}
+}

@@ -1,0 +1,85 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateDischargeMatchesAnalytic(t *testing.T) {
+	// With one seizure per day the Monte-Carlo mean must track the
+	// analytic Combined() lifetime (2.59 days) closely. The hour-
+	// granular trigger model fires labeling in any hour containing >=1
+	// seizure, which at low rates matches the analytic duty cycle.
+	sim, err := SimulateDischarge(1, BatteryCapacityMAh, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := Combined(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analytic.LifetimeDays(BatteryCapacityMAh)
+	if math.Abs(sim.MeanDays-want) > 0.05 {
+		t.Errorf("simulated mean %.3f days vs analytic %.3f", sim.MeanDays, want)
+	}
+	if sim.MinDays > sim.MeanDays || sim.MaxDays < sim.MeanDays {
+		t.Errorf("min/mean/max ordering broken: %+v", sim)
+	}
+}
+
+func TestSimulateDischargeZeroSeizures(t *testing.T) {
+	// No seizures: deterministic detection-only lifetime, zero spread.
+	sim, err := SimulateDischarge(0, BatteryCapacityMAh, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := DetectionOnly()
+	want := det.LifetimeDays(BatteryCapacityMAh)
+	if math.Abs(sim.MeanDays-want) > 0.01 {
+		t.Errorf("zero-seizure mean %.3f vs detection-only %.3f", sim.MeanDays, want)
+	}
+	if sim.MaxDays-sim.MinDays > 1e-9 {
+		t.Errorf("zero-rate simulation should be deterministic, spread %g", sim.MaxDays-sim.MinDays)
+	}
+}
+
+func TestSimulateDischargeMoreSeizuresShorterLife(t *testing.T) {
+	rare, err := SimulateDischarge(1.0/30, BatteryCapacityMAh, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frequent, err := SimulateDischarge(6, BatteryCapacityMAh, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frequent.MeanDays >= rare.MeanDays {
+		t.Errorf("6/day (%.3f d) should drain faster than 1/month (%.3f d)",
+			frequent.MeanDays, rare.MeanDays)
+	}
+}
+
+func TestSimulateDischargeDeterministicSeed(t *testing.T) {
+	a, err := SimulateDischarge(1, 570, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateDischarge(1, 570, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanDays != b.MeanDays || a.MinDays != b.MinDays {
+		t.Error("same seed must reproduce the simulation")
+	}
+}
+
+func TestSimulateDischargeErrors(t *testing.T) {
+	if _, err := SimulateDischarge(-1, 570, 10, 1); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if _, err := SimulateDischarge(1, 0, 10, 1); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := SimulateDischarge(1, 570, 0, 1); err == nil {
+		t.Error("zero trials should fail")
+	}
+}

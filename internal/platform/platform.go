@@ -1,0 +1,252 @@
+// Package platform models the target wearable: an STM32L151
+// (ARM Cortex-M3, 32 MHz, 48 KB RAM, 384 KB flash) with an ADS1299-4
+// analog front end sampling two electrode pairs and a 570 mAh battery.
+//
+// The model is analytic in the currents and duty cycles the paper
+// publishes in Section V-B and Table III, and therefore reproduces the
+// paper's battery-lifetime results exactly:
+//
+//   - EEG acquisition (two ADS1299 channels): 0.870 mA at 100 % duty.
+//   - CPU active (supervised detection or a-posteriori labeling):
+//     10.5 mA. The real-time detector needs 3 s per 4 s window → 75 %
+//     duty; the labeling algorithm processes one second of signal per
+//     second → its duty is one hour per seizure.
+//   - CPU idle: 0.018 mA on the remaining duty.
+package platform
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Published constants of the target platform (Section V-B, Table III).
+const (
+	// BatteryCapacityMAh is the battery capacity.
+	BatteryCapacityMAh = 570.0
+	// AcquisitionCurrentMA is the two-channel ADS1299 front-end current.
+	AcquisitionCurrentMA = 0.870
+	// ActiveCurrentMA is the MCU current while processing.
+	ActiveCurrentMA = 10.5
+	// IdleCurrentMA is the MCU current while idle.
+	IdleCurrentMA = 0.018
+	// DetectionDuty is the real-time detector's CPU duty cycle (3 s of
+	// processing per 4 s window).
+	DetectionDuty = 0.75
+	// RAMKB and FlashKB are the memory sizes of the STM32L151.
+	RAMKB   = 48
+	FlashKB = 384
+	// HourBufferKB is the paper's figure for buffering one hour of EEG
+	// data for the a-posteriori algorithm.
+	HourBufferKB = 240
+	// CPUFreqMHz is the maximum MCU clock.
+	CPUFreqMHz = 32
+)
+
+// Task is one consumer in the energy budget.
+type Task struct {
+	Name      string
+	CurrentMA float64
+	// Duty is the fraction of time the task draws CurrentMA, in [0, 1].
+	Duty float64
+}
+
+// AvgCurrentMA returns the task's time-averaged current.
+func (t Task) AvgCurrentMA() float64 { return t.CurrentMA * t.Duty }
+
+// LabelingDuty returns the CPU duty cycle of the a-posteriori labeling
+// algorithm for a given seizure frequency: each seizure costs one hour of
+// processing (one second of signal per second of compute on one hour of
+// buffered EEG).
+func LabelingDuty(seizuresPerDay float64) (float64, error) {
+	if seizuresPerDay < 0 {
+		return 0, fmt.Errorf("platform: negative seizure frequency %g", seizuresPerDay)
+	}
+	d := seizuresPerDay * 3600 / 86400
+	if d > 1 {
+		return 0, fmt.Errorf("platform: seizure frequency %g/day exceeds continuous labeling", seizuresPerDay)
+	}
+	return d, nil
+}
+
+// Scenario is a complete duty-cycle budget for the device.
+type Scenario struct {
+	Name  string
+	Tasks []Task
+}
+
+// Validate checks duty-cycle sanity: every duty in [0, 1] and the CPU
+// tasks (everything but acquisition) summing to at most 1.
+func (s Scenario) Validate() error {
+	if len(s.Tasks) == 0 {
+		return errors.New("platform: scenario has no tasks")
+	}
+	cpu := 0.0
+	for _, t := range s.Tasks {
+		if t.Duty < 0 || t.Duty > 1 {
+			return fmt.Errorf("platform: task %q duty %g outside [0, 1]", t.Name, t.Duty)
+		}
+		if t.CurrentMA < 0 {
+			return fmt.Errorf("platform: task %q negative current", t.Name)
+		}
+		if t.Name != acquisitionName {
+			cpu += t.Duty
+		}
+	}
+	if cpu > 1+1e-9 {
+		return fmt.Errorf("platform: CPU duty cycles sum to %g > 1", cpu)
+	}
+	return nil
+}
+
+// AvgCurrentMA returns the scenario's total time-averaged current.
+func (s Scenario) AvgCurrentMA() float64 {
+	var sum float64
+	for _, t := range s.Tasks {
+		sum += t.AvgCurrentMA()
+	}
+	return sum
+}
+
+// LifetimeHours returns the battery lifetime on capacity mAh.
+func (s Scenario) LifetimeHours(capacityMAh float64) float64 {
+	avg := s.AvgCurrentMA()
+	if avg <= 0 {
+		return 0
+	}
+	return capacityMAh / avg
+}
+
+// LifetimeDays returns LifetimeHours/24.
+func (s Scenario) LifetimeDays(capacityMAh float64) float64 {
+	return s.LifetimeHours(capacityMAh) / 24
+}
+
+// EnergyShares returns each task's fraction of the total average current
+// (the quantity Fig. 5 plots), in task order.
+func (s Scenario) EnergyShares() []float64 {
+	total := s.AvgCurrentMA()
+	out := make([]float64, len(s.Tasks))
+	if total == 0 {
+		return out
+	}
+	for i, t := range s.Tasks {
+		out[i] = t.AvgCurrentMA() / total
+	}
+	return out
+}
+
+const (
+	acquisitionName = "EEG Acquisition (x2)"
+	detectionName   = "EEG Sup. Detection"
+	labelingName    = "EEG Labeling"
+	idleName        = "Idle"
+)
+
+// AcquisitionTask returns the always-on analog front end task.
+func AcquisitionTask() Task {
+	return Task{Name: acquisitionName, CurrentMA: AcquisitionCurrentMA, Duty: 1}
+}
+
+// DetectionTask returns the real-time supervised detector task.
+func DetectionTask() Task {
+	return Task{Name: detectionName, CurrentMA: ActiveCurrentMA, Duty: DetectionDuty}
+}
+
+// LabelingTask returns the a-posteriori labeling task at the given
+// seizure frequency.
+func LabelingTask(seizuresPerDay float64) (Task, error) {
+	d, err := LabelingDuty(seizuresPerDay)
+	if err != nil {
+		return Task{}, err
+	}
+	return Task{Name: labelingName, CurrentMA: ActiveCurrentMA, Duty: d}, nil
+}
+
+// IdleTask returns the MCU idle task filling the CPU duty remainder.
+func IdleTask(cpuBusyDuty float64) (Task, error) {
+	if cpuBusyDuty < 0 || cpuBusyDuty > 1 {
+		return Task{}, fmt.Errorf("platform: CPU busy duty %g outside [0, 1]", cpuBusyDuty)
+	}
+	return Task{Name: idleName, CurrentMA: IdleCurrentMA, Duty: 1 - cpuBusyDuty}, nil
+}
+
+// LabelingOnly builds the scenario that runs only acquisition plus the
+// a-posteriori labeling algorithm (Section VI-C's 26.31–17.92-day range).
+func LabelingOnly(seizuresPerDay float64) (Scenario, error) {
+	lab, err := LabelingTask(seizuresPerDay)
+	if err != nil {
+		return Scenario{}, err
+	}
+	idle, err := IdleTask(lab.Duty)
+	if err != nil {
+		return Scenario{}, err
+	}
+	s := Scenario{
+		Name:  fmt.Sprintf("labeling-only @ %g seizures/day", seizuresPerDay),
+		Tasks: []Task{AcquisitionTask(), lab, idle},
+	}
+	return s, s.Validate()
+}
+
+// DetectionOnly builds the scenario running only acquisition plus the
+// real-time detector (65.15 h = 2.71 days).
+func DetectionOnly() Scenario {
+	det := DetectionTask()
+	idle, _ := IdleTask(det.Duty)
+	return Scenario{Name: "detection-only", Tasks: []Task{AcquisitionTask(), det, idle}}
+}
+
+// Combined builds the full self-learning scenario of Table III:
+// acquisition, real-time detection, a-posteriori labeling and idle.
+func Combined(seizuresPerDay float64) (Scenario, error) {
+	det := DetectionTask()
+	lab, err := LabelingTask(seizuresPerDay)
+	if err != nil {
+		return Scenario{}, err
+	}
+	idle, err := IdleTask(det.Duty + lab.Duty)
+	if err != nil {
+		return Scenario{}, err
+	}
+	s := Scenario{
+		Name:  fmt.Sprintf("combined @ %g seizures/day", seizuresPerDay),
+		Tasks: []Task{AcquisitionTask(), det, lab, idle},
+	}
+	return s, s.Validate()
+}
+
+// MemoryBudget checks the paper's memory claim: the one-hour EEG buffer
+// must fit in flash alongside the firmware, and the working set in RAM.
+type MemoryBudget struct {
+	RAMKB, FlashKB int
+}
+
+// STM32L151Budget returns the target MCU's memory budget.
+func STM32L151Budget() MemoryBudget {
+	return MemoryBudget{RAMKB: RAMKB, FlashKB: FlashKB}
+}
+
+// FitsHourBuffer reports whether a buffer of bufKB fits in flash.
+func (m MemoryBudget) FitsHourBuffer(bufKB int) bool {
+	return bufKB >= 0 && bufKB <= m.FlashKB
+}
+
+// FeatureBufferKB returns the storage needed for an L×F feature matrix
+// at bytesPerValue bytes, rounded up to whole KB. It shows the paper's
+// 240 KB hour buffer is feature-domain storage (an hour of 10 features at
+// one-second hops is ~144 KB of float32s plus per-window bookkeeping),
+// not raw EEG (which would be ~3.6 MB).
+func FeatureBufferKB(l, f, bytesPerValue int) (int, error) {
+	if l < 0 || f < 0 || bytesPerValue <= 0 {
+		return 0, fmt.Errorf("platform: invalid buffer shape %d×%d×%d", l, f, bytesPerValue)
+	}
+	bytes := l * f * bytesPerValue
+	return (bytes + 1023) / 1024, nil
+}
+
+// SecondsToProcessLabeling returns the wall-clock seconds the labeling
+// algorithm needs for signalSeconds of buffered signal on this platform
+// (the paper's "one second of signal is processed in one second time").
+func SecondsToProcessLabeling(signalSeconds float64) float64 {
+	return signalSeconds
+}

@@ -1,0 +1,204 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", what, got, want, tol)
+	}
+}
+
+func TestLabelingDuty(t *testing.T) {
+	// One seizure/day -> 4.17 %; one per 30-day month -> 0.14 % (paper).
+	d, err := LabelingDuty(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, d*100, 4.17, 0.01, "duty @ 1/day (%)")
+	d, err = LabelingDuty(1.0 / 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, d*100, 0.14, 0.01, "duty @ 1/month (%)")
+	if _, err := LabelingDuty(-1); err == nil {
+		t.Error("negative frequency should fail")
+	}
+	if _, err := LabelingDuty(25); err == nil {
+		t.Error("more than continuous labeling should fail")
+	}
+}
+
+func TestTableIIIWorstCase(t *testing.T) {
+	// Table III: one seizure per day.
+	s, err := Combined(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Tasks) != 4 {
+		t.Fatalf("want 4 tasks, got %d", len(s.Tasks))
+	}
+	// Average currents per row of Table III.
+	approx(t, s.Tasks[0].AvgCurrentMA(), 0.870, 1e-9, "acquisition avg mA")
+	approx(t, s.Tasks[1].AvgCurrentMA(), 7.875, 1e-9, "detection avg mA")
+	approx(t, s.Tasks[2].AvgCurrentMA(), 0.438, 0.001, "labeling avg mA")
+	approx(t, s.Tasks[3].AvgCurrentMA(), 0.004, 0.0005, "idle avg mA")
+	// Battery lifetime: 2.59 days.
+	approx(t, s.LifetimeDays(BatteryCapacityMAh), 2.59, 0.005, "lifetime days")
+	// Energy shares per Fig. 5: 9.47 %, 85.72 %, 4.77 %, 0.04 %.
+	shares := s.EnergyShares()
+	wantShares := []float64{0.0947, 0.8572, 0.0477, 0.0004}
+	for i, want := range wantShares {
+		approx(t, shares[i], want, 0.0005, "energy share "+s.Tasks[i].Name)
+	}
+	var sum float64
+	for _, v := range shares {
+		sum += v
+	}
+	approx(t, sum, 1, 1e-12, "share sum")
+}
+
+func TestLabelingOnlyLifetimeRange(t *testing.T) {
+	// Section VI-C: 631.46 h (1/month) down to 430.16 h (1/day).
+	month, err := LabelingOnly(1.0 / 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, month.LifetimeHours(BatteryCapacityMAh), 631.46, 0.5, "labeling-only @1/month hours")
+	approx(t, month.LifetimeHours(BatteryCapacityMAh)/24, 26.31, 0.05, "labeling-only @1/month days")
+	day, err := LabelingOnly(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, day.LifetimeHours(BatteryCapacityMAh), 430.16, 0.5, "labeling-only @1/day hours")
+	approx(t, day.LifetimeHours(BatteryCapacityMAh)/24, 17.92, 0.05, "labeling-only @1/day days")
+}
+
+func TestDetectionOnlyLifetime(t *testing.T) {
+	// Section VI-C: 65.15 h = 2.71 days.
+	s := DetectionOnly()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s.LifetimeHours(BatteryCapacityMAh), 65.15, 0.05, "detection-only hours")
+	approx(t, s.LifetimeDays(BatteryCapacityMAh), 2.71, 0.01, "detection-only days")
+}
+
+func TestCombinedRange(t *testing.T) {
+	// Section VI-C: combined lifetime between 2.71 (1/month) and 2.59
+	// (1/day) days.
+	month, err := Combined(1.0 / 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, month.LifetimeDays(BatteryCapacityMAh), 2.71, 0.01, "combined @1/month days")
+	day, err := Combined(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, day.LifetimeDays(BatteryCapacityMAh), 2.59, 0.01, "combined @1/day days")
+	if month.LifetimeDays(BatteryCapacityMAh) <= day.LifetimeDays(BatteryCapacityMAh) {
+		t.Error("rarer seizures must give longer lifetime")
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	if (Scenario{}).Validate() == nil {
+		t.Error("empty scenario should fail")
+	}
+	bad := Scenario{Tasks: []Task{{Name: "x", CurrentMA: 1, Duty: 1.5}}}
+	if bad.Validate() == nil {
+		t.Error("duty > 1 should fail")
+	}
+	bad = Scenario{Tasks: []Task{{Name: "x", CurrentMA: -1, Duty: 0.5}}}
+	if bad.Validate() == nil {
+		t.Error("negative current should fail")
+	}
+	bad = Scenario{Tasks: []Task{
+		{Name: "a", CurrentMA: 1, Duty: 0.7},
+		{Name: "b", CurrentMA: 1, Duty: 0.7},
+	}}
+	if bad.Validate() == nil {
+		t.Error("CPU oversubscription should fail")
+	}
+	// Acquisition is not CPU time and may coexist with full CPU duty.
+	ok := Scenario{Tasks: []Task{
+		AcquisitionTask(),
+		{Name: "b", CurrentMA: 1, Duty: 1.0},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("acquisition should not count toward CPU duty: %v", err)
+	}
+}
+
+func TestIdleTask(t *testing.T) {
+	idle, err := IdleTask(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, idle.Duty, 0.25, 1e-12, "idle duty")
+	if _, err := IdleTask(1.2); err == nil {
+		t.Error("busy > 1 should fail")
+	}
+	if _, err := IdleTask(-0.1); err == nil {
+		t.Error("busy < 0 should fail")
+	}
+}
+
+func TestLifetimeZeroCurrent(t *testing.T) {
+	s := Scenario{Tasks: []Task{{Name: "x", CurrentMA: 0, Duty: 1}}}
+	if s.LifetimeHours(570) != 0 {
+		t.Error("zero current should return 0 lifetime (guard, not +Inf)")
+	}
+	if shares := s.EnergyShares(); shares[0] != 0 {
+		t.Error("zero-current shares should be zero")
+	}
+}
+
+func TestMemoryBudget(t *testing.T) {
+	b := STM32L151Budget()
+	if b.RAMKB != 48 || b.FlashKB != 384 {
+		t.Errorf("budget = %+v", b)
+	}
+	if !b.FitsHourBuffer(HourBufferKB) {
+		t.Error("the paper's 240 KB hour buffer must fit in 384 KB flash")
+	}
+	if b.FitsHourBuffer(400) {
+		t.Error("400 KB should not fit")
+	}
+	if b.FitsHourBuffer(-1) {
+		t.Error("negative size should not fit")
+	}
+}
+
+func TestFeatureBufferKB(t *testing.T) {
+	// One hour of 10 features at 1 s hop, float32: 3600·10·4 = 144 KB.
+	kb, err := FeatureBufferKB(3600, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kb != 141 { // 144000 B = 140.6 KB
+		t.Errorf("feature buffer = %d KB, want 141", kb)
+	}
+	if kb > HourBufferKB {
+		t.Error("feature-domain storage must fit the paper's 240 KB budget")
+	}
+	if _, err := FeatureBufferKB(-1, 10, 4); err == nil {
+		t.Error("negative shape should fail")
+	}
+	if _, err := FeatureBufferKB(10, 10, 0); err == nil {
+		t.Error("zero bytes-per-value should fail")
+	}
+}
+
+func TestSecondsToProcessLabeling(t *testing.T) {
+	if SecondsToProcessLabeling(3600) != 3600 {
+		t.Error("labeling processes one second of signal per second")
+	}
+}

@@ -1,0 +1,106 @@
+package rt
+
+import (
+	"fmt"
+
+	"selflearn/internal/stats"
+)
+
+// TwoStage implements the self-aware detection scheme of the paper's
+// reference [24] (Forooghifar, Aminifar, Atienza): a nearly-free
+// time-domain pre-screen (windowed mean absolute amplitude — one add per
+// sample, no multiplies) gates the expensive random-forest stage,
+// cutting the detector's CPU duty cycle — and therefore the dominant
+// term of the Fig. 5 energy budget — during the overwhelmingly
+// seizure-free hours. Ictal discharges run several times the interictal
+// amplitude, so the gate is triggered by exactly the windows the
+// classifier must see.
+type TwoStage struct {
+	clf Classifier
+	// threshold on the window mean absolute amplitude, in multiples of
+	// the running background median.
+	factor float64
+	// history of recent amplitudes for the adaptive baseline.
+	history []float64
+	maxHist int
+	// counters for the invocation statistics.
+	windows, invoked int
+}
+
+// NewTwoStage wraps a window classifier with an amplitude pre-screen.
+// factor is the trigger multiple over the running median window
+// amplitude (2–3 is typical: ictal amplitude is several times
+// interictal).
+func NewTwoStage(clf Classifier, factor float64, historyWindows int) (*TwoStage, error) {
+	if clf == nil {
+		return nil, fmt.Errorf("rt: nil classifier")
+	}
+	if factor <= 1 {
+		return nil, fmt.Errorf("rt: trigger factor %g must exceed 1", factor)
+	}
+	if historyWindows < 8 {
+		return nil, fmt.Errorf("rt: history of %d windows too short", historyWindows)
+	}
+	return &TwoStage{clf: clf, factor: factor, maxHist: historyWindows}, nil
+}
+
+// meanAbs is the mean absolute amplitude of the raw window.
+func meanAbs(w []float64) float64 {
+	if len(w) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range w {
+		if v < 0 {
+			v = -v
+		}
+		s += v
+	}
+	return s / float64(len(w))
+}
+
+// Classify processes one analysis window: rawWindow is the time-domain
+// signal the pre-screen sees (one channel suffices), featureRow the
+// feature vector for the expensive stage. It returns the prediction and
+// whether the expensive stage actually ran.
+func (t *TwoStage) Classify(rawWindow []float64, featureRow []float64) (pred, ranStage2 bool) {
+	ll := meanAbs(rawWindow)
+	t.windows++
+	// Build the baseline before gating; with insufficient history the
+	// expensive stage always runs (cold-start safety: never miss a
+	// seizure to save energy).
+	trigger := true
+	if len(t.history) >= t.maxHist/2 {
+		baseline := stats.Median(t.history)
+		trigger = ll >= t.factor*baseline
+	}
+	// Only interictal-looking windows feed the baseline, so a long
+	// seizure does not drag the threshold up after itself.
+	if !trigger || len(t.history) < t.maxHist/2 {
+		t.history = append(t.history, ll)
+		if len(t.history) > t.maxHist {
+			t.history = t.history[1:]
+		}
+	}
+	if !trigger {
+		return false, false
+	}
+	t.invoked++
+	return t.clf.Predict(featureRow), true
+}
+
+// InvocationFraction returns the fraction of windows that reached the
+// expensive stage — the factor by which the detector's 75 % duty cycle
+// (and hence its 85.7 % energy share) shrinks.
+func (t *TwoStage) InvocationFraction() float64 {
+	if t.windows == 0 {
+		return 0
+	}
+	return float64(t.invoked) / float64(t.windows)
+}
+
+// Reset clears the adaptive state and counters.
+func (t *TwoStage) Reset() {
+	t.history = nil
+	t.windows, t.invoked = 0, 0
+}

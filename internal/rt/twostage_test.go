@@ -1,0 +1,115 @@
+package rt
+
+import (
+	"math/rand"
+	"testing"
+
+	"selflearn/internal/synth"
+)
+
+// alwaysTrue stands in for the expensive stage.
+type alwaysTrue struct{}
+
+func (alwaysTrue) Predict([]float64) bool { return true }
+
+func TestNewTwoStageValidation(t *testing.T) {
+	if _, err := NewTwoStage(nil, 2, 60); err == nil {
+		t.Error("nil classifier should fail")
+	}
+	if _, err := NewTwoStage(alwaysTrue{}, 1, 60); err == nil {
+		t.Error("factor <= 1 should fail")
+	}
+	if _, err := NewTwoStage(alwaysTrue{}, 2, 4); err == nil {
+		t.Error("tiny history should fail")
+	}
+}
+
+func TestTwoStageGatesBackground(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fs := 256.0
+	n := 600 * int(fs)
+	bg := synth.Background(rng, n, fs, synth.DefaultBackground())
+	ts, err := NewTwoStage(alwaysTrue{}, 2.5, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := 4 * int(fs)
+	hop := int(fs)
+	for start := 0; start+win <= n; start += hop {
+		ts.Classify(bg[start:start+win], nil)
+	}
+	// After warm-up, seizure-free EEG should rarely trip the pre-screen.
+	if f := ts.InvocationFraction(); f > 0.25 {
+		t.Errorf("invocation fraction %g on pure background, want low", f)
+	}
+}
+
+func TestTwoStageTriggersOnSeizure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	fs := 256.0
+	n := 600 * int(fs)
+	data := synth.Background(rng, n, fs, synth.DefaultBackground())
+	if err := synth.AddSeizure(rng, data, 300*int(fs), 60*int(fs), fs, synth.DefaultSeizure()); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := NewTwoStage(alwaysTrue{}, 2.5, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := 4 * int(fs)
+	hop := int(fs)
+	var ictalInvoked, ictalTotal int
+	for start := 0; start+win <= n; start += hop {
+		sec := start / int(fs)
+		_, ran := ts.Classify(data[start:start+win], nil)
+		if sec >= 305 && sec < 350 {
+			ictalTotal++
+			if ran {
+				ictalInvoked++
+			}
+		}
+	}
+	if ictalTotal == 0 {
+		t.Fatal("no ictal windows")
+	}
+	// The expensive stage must see (nearly) every ictal window: energy
+	// savings must not cost sensitivity.
+	if float64(ictalInvoked)/float64(ictalTotal) < 0.95 {
+		t.Errorf("pre-screen suppressed %d/%d ictal windows", ictalTotal-ictalInvoked, ictalTotal)
+	}
+	// Overall duty shrinks substantially versus always-on.
+	if f := ts.InvocationFraction(); f > 0.4 {
+		t.Errorf("overall invocation fraction %g, want well below 1", f)
+	}
+}
+
+func TestTwoStageColdStartInvokes(t *testing.T) {
+	ts, err := NewTwoStage(alwaysTrue{}, 2.5, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, 1024)
+	for i := range w {
+		w[i] = float64(i % 7)
+	}
+	// First windows (no baseline yet) must run stage 2 — cold-start
+	// safety.
+	for i := 0; i < 10; i++ {
+		if _, ran := ts.Classify(w, nil); !ran {
+			t.Fatal("cold-start window skipped the classifier")
+		}
+	}
+}
+
+func TestTwoStageReset(t *testing.T) {
+	ts, err := NewTwoStage(alwaysTrue{}, 2.5, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, 256)
+	ts.Classify(w, nil)
+	ts.Reset()
+	if ts.InvocationFraction() != 0 {
+		t.Error("reset should clear counters")
+	}
+}

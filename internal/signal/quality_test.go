@@ -1,0 +1,130 @@
+package signal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func noisy(n int, amp float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = amp * rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestAssessChannelGoodSignal(t *testing.T) {
+	xs := noisy(60*256, 15, 1)
+	r, err := AssessChannel(xs, 256, DefaultQuality())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Errorf("healthy EEG flagged bad: %+v", r)
+	}
+	if r.FlatlineFraction != 0 || r.ClippedFraction != 0 {
+		t.Errorf("clean signal reports %+v", r)
+	}
+	if math.Abs(r.RMS-15) > 2 {
+		t.Errorf("RMS = %g, want ≈15", r.RMS)
+	}
+}
+
+func TestAssessChannelFlatline(t *testing.T) {
+	xs := noisy(60*256, 15, 2)
+	// Electrode falls off for 20 of 60 seconds.
+	for i := 20 * 256; i < 40*256; i++ {
+		xs[i] = 0.01
+	}
+	r, err := AssessChannel(xs, 256, DefaultQuality())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK {
+		t.Error("33% flatline should fail")
+	}
+	if r.FlatlineFraction < 0.3 || r.FlatlineFraction > 0.4 {
+		t.Errorf("flatline fraction %g, want ≈1/3", r.FlatlineFraction)
+	}
+}
+
+func TestAssessChannelClipping(t *testing.T) {
+	xs := noisy(30*256, 15, 3)
+	for i := 0; i < len(xs); i += 10 { // 10% of samples pinned at rail
+		xs[i] = 3500
+	}
+	r, err := AssessChannel(xs, 256, DefaultQuality())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK {
+		t.Error("10% clipping should fail")
+	}
+	if math.Abs(r.ClippedFraction-0.1) > 0.01 {
+		t.Errorf("clipped fraction %g, want ≈0.1", r.ClippedFraction)
+	}
+}
+
+func TestAssessChannelErrors(t *testing.T) {
+	if _, err := AssessChannel(nil, 256, DefaultQuality()); err == nil {
+		t.Error("empty channel should fail")
+	}
+	if _, err := AssessChannel([]float64{1}, 0, DefaultQuality()); err == nil {
+		t.Error("fs=0 should fail")
+	}
+	bad := DefaultQuality()
+	bad.ClipLevel = 0
+	if _, err := AssessChannel([]float64{1}, 256, bad); err == nil {
+		t.Error("bad config should fail")
+	}
+	bad = DefaultQuality()
+	bad.MaxFlatline = 2
+	if bad.Validate() == nil {
+		t.Error("fraction > 1 should fail")
+	}
+}
+
+func TestAssessChannelShorterThanSegment(t *testing.T) {
+	// Sub-second input still produces a report.
+	r, err := AssessChannel(noisy(100, 10, 4), 256, DefaultQuality())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FlatlineFraction != 0 {
+		t.Errorf("noisy sub-second input flatline = %g", r.FlatlineFraction)
+	}
+}
+
+func TestAssessRecording(t *testing.T) {
+	rec := testRecording(30)
+	// Scale the sinusoids to plausible EEG amplitude.
+	for c := range rec.Data {
+		for i := range rec.Data[c] {
+			rec.Data[c][i] *= 20
+		}
+	}
+	reports, ok, err := AssessRecording(rec, DefaultQuality())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || len(reports) != 2 {
+		t.Errorf("healthy recording: ok=%v reports=%d", ok, len(reports))
+	}
+	// Kill one channel.
+	for i := range rec.Data[1] {
+		rec.Data[1][i] = 0
+	}
+	_, ok, err = AssessRecording(rec, DefaultQuality())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("dead channel should fail the recording")
+	}
+	bad := &Recording{SampleRate: 256}
+	if _, _, err := AssessRecording(bad, DefaultQuality()); err == nil {
+		t.Error("invalid recording should fail")
+	}
+}

@@ -1,0 +1,302 @@
+// Package signal defines the multichannel EEG recording model shared by
+// every stage of the pipeline: acquisition (synthetic or EDF), feature
+// extraction windowing (4 s windows, 75 % overlap), annotation with
+// seizure intervals, and slicing into evaluation samples.
+package signal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Standard electrode-pair channel names used by the target wearables
+// (glasses / behind-the-ear platforms) and by the paper.
+const (
+	ChannelF7T3 = "F7T3"
+	ChannelF8T4 = "F8T4"
+)
+
+// DefaultSampleRate is the CHB-MIT sampling frequency in Hz.
+const DefaultSampleRate = 256.0
+
+// Interval is a half-open time range [Start, End) expressed in seconds
+// from the beginning of a recording.
+type Interval struct {
+	Start float64 // seconds
+	End   float64 // seconds
+}
+
+// Duration returns the interval length in seconds.
+func (iv Interval) Duration() float64 { return iv.End - iv.Start }
+
+// Contains reports whether t (seconds) lies inside the interval.
+func (iv Interval) Contains(t float64) bool { return t >= iv.Start && t < iv.End }
+
+// Overlap returns the length in seconds of the overlap between iv and
+// other (0 when disjoint).
+func (iv Interval) Overlap(other Interval) float64 {
+	lo := math.Max(iv.Start, other.Start)
+	hi := math.Min(iv.End, other.End)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Valid reports whether the interval is well-formed.
+func (iv Interval) Valid() bool { return iv.End > iv.Start && iv.Start >= 0 }
+
+// MergeIntervals unions overlapping or touching intervals, returning a
+// sorted minimal set. Annotation tooling uses it to normalize seizure
+// lists coming from multiple readers.
+func MergeIntervals(ivs []Interval) []Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sorted := append([]Interval(nil), ivs...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Start < sorted[b].Start })
+	out := []Interval{sorted[0]}
+	for _, iv := range sorted[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// TotalDuration sums the durations of the (merged) intervals — the
+// patient's total seizure burden in a recording.
+func TotalDuration(ivs []Interval) float64 {
+	var total float64
+	for _, iv := range MergeIntervals(ivs) {
+		total += iv.Duration()
+	}
+	return total
+}
+
+// Recording is a multichannel EEG recording with optional seizure
+// annotations (the ground truth in evaluation).
+type Recording struct {
+	// PatientID identifies the subject the recording belongs to.
+	PatientID string
+	// RecordID identifies the recording within the patient.
+	RecordID string
+	// SampleRate is the sampling frequency in Hz, identical across
+	// channels.
+	SampleRate float64
+	// Channels holds the channel names in data order.
+	Channels []string
+	// Data[c][i] is sample i of channel c, in microvolts.
+	Data [][]float64
+	// Seizures are the annotated seizure intervals (ground truth).
+	Seizures []Interval
+}
+
+// Validate checks structural invariants: at least one channel, equal
+// channel lengths, positive sampling rate, well-formed in-range seizure
+// annotations.
+func (r *Recording) Validate() error {
+	if r.SampleRate <= 0 {
+		return fmt.Errorf("signal: invalid sample rate %g", r.SampleRate)
+	}
+	if len(r.Channels) == 0 || len(r.Data) == 0 {
+		return errors.New("signal: recording has no channels")
+	}
+	if len(r.Channels) != len(r.Data) {
+		return fmt.Errorf("signal: %d channel names but %d data channels", len(r.Channels), len(r.Data))
+	}
+	n := len(r.Data[0])
+	for c, d := range r.Data {
+		if len(d) != n {
+			return fmt.Errorf("signal: channel %q has %d samples, want %d", r.Channels[c], len(d), n)
+		}
+	}
+	dur := r.Duration()
+	for i, s := range r.Seizures {
+		if !s.Valid() {
+			return fmt.Errorf("signal: seizure %d has invalid interval [%g, %g)", i, s.Start, s.End)
+		}
+		if s.End > dur+1e-9 {
+			return fmt.Errorf("signal: seizure %d ends at %g s beyond recording end %g s", i, s.End, dur)
+		}
+	}
+	return nil
+}
+
+// Samples returns the per-channel sample count (0 for an empty
+// recording).
+func (r *Recording) Samples() int {
+	if len(r.Data) == 0 {
+		return 0
+	}
+	return len(r.Data[0])
+}
+
+// Duration returns the recording length in seconds.
+func (r *Recording) Duration() float64 {
+	if r.SampleRate <= 0 {
+		return 0
+	}
+	return float64(r.Samples()) / r.SampleRate
+}
+
+// Channel returns the data of the named channel, or nil when absent.
+func (r *Recording) Channel(name string) []float64 {
+	for i, c := range r.Channels {
+		if c == name {
+			return r.Data[i]
+		}
+	}
+	return nil
+}
+
+// Slice returns a new Recording covering [start, end) seconds, with
+// seizure annotations clipped and re-based. The underlying sample data is
+// shared, not copied.
+func (r *Recording) Slice(start, end float64) (*Recording, error) {
+	if start < 0 || end <= start || end > r.Duration()+1e-9 {
+		return nil, fmt.Errorf("signal: slice [%g, %g) outside recording of %g s", start, end, r.Duration())
+	}
+	i0 := int(math.Round(start * r.SampleRate))
+	i1 := int(math.Round(end * r.SampleRate))
+	if i1 > r.Samples() {
+		i1 = r.Samples()
+	}
+	out := &Recording{
+		PatientID:  r.PatientID,
+		RecordID:   fmt.Sprintf("%s[%g:%g]", r.RecordID, start, end),
+		SampleRate: r.SampleRate,
+		Channels:   append([]string(nil), r.Channels...),
+	}
+	for _, d := range r.Data {
+		out.Data = append(out.Data, d[i0:i1])
+	}
+	for _, s := range r.Seizures {
+		clipped := Interval{math.Max(s.Start, start) - start, math.Min(s.End, end) - start}
+		if clipped.End > clipped.Start {
+			out.Seizures = append(out.Seizures, clipped)
+		}
+	}
+	return out, nil
+}
+
+// IsSeizureAt reports whether time t (seconds) falls inside any annotated
+// seizure.
+func (r *Recording) IsSeizureAt(t float64) bool {
+	for _, s := range r.Seizures {
+		if s.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// WindowSpec describes the sliding analysis window of the feature
+// extractor. The paper uses 4 s windows with 75 % overlap, i.e. a 1 s
+// hop.
+type WindowSpec struct {
+	Length  time.Duration // window length
+	Overlap float64       // fraction in [0, 1)
+}
+
+// DefaultWindow is the paper's 4 s / 75 % configuration.
+func DefaultWindow() WindowSpec {
+	return WindowSpec{Length: 4 * time.Second, Overlap: 0.75}
+}
+
+// Validate checks the window specification.
+func (w WindowSpec) Validate() error {
+	if w.Length <= 0 {
+		return fmt.Errorf("signal: invalid window length %v", w.Length)
+	}
+	if w.Overlap < 0 || w.Overlap >= 1 {
+		return fmt.Errorf("signal: overlap %g outside [0, 1)", w.Overlap)
+	}
+	return nil
+}
+
+// Hop returns the hop duration between consecutive windows.
+func (w WindowSpec) Hop() time.Duration {
+	return time.Duration(float64(w.Length) * (1 - w.Overlap))
+}
+
+// SamplesPerWindow returns the window length in samples at rate fs.
+func (w WindowSpec) SamplesPerWindow(fs float64) int {
+	return int(math.Round(w.Length.Seconds() * fs))
+}
+
+// HopSamples returns the hop in samples at rate fs (at least 1).
+func (w WindowSpec) HopSamples(fs float64) int {
+	h := int(math.Round(w.Hop().Seconds() * fs))
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// NumWindows returns how many complete windows fit in n samples at rate
+// fs.
+func (w WindowSpec) NumWindows(n int, fs float64) int {
+	win := w.SamplesPerWindow(fs)
+	hop := w.HopSamples(fs)
+	if n < win || win <= 0 {
+		return 0
+	}
+	return (n-win)/hop + 1
+}
+
+// WindowStart returns the start time (seconds) of window index i.
+func (w WindowSpec) WindowStart(i int, fs float64) float64 {
+	return float64(i*w.HopSamples(fs)) / fs
+}
+
+// Window extracts window i of channel data (shared backing array).
+func (w WindowSpec) Window(data []float64, i int, fs float64) ([]float64, error) {
+	win := w.SamplesPerWindow(fs)
+	hop := w.HopSamples(fs)
+	start := i * hop
+	if i < 0 || start+win > len(data) {
+		return nil, fmt.Errorf("signal: window %d outside data of %d samples", i, len(data))
+	}
+	return data[start : start+win], nil
+}
+
+// Resample converts xs from rate fsIn to fsOut using linear
+// interpolation. It covers the wearable platform's 125 Hz – 16 kHz
+// acquisition range.
+func Resample(xs []float64, fsIn, fsOut float64) ([]float64, error) {
+	if fsIn <= 0 || fsOut <= 0 {
+		return nil, fmt.Errorf("signal: invalid rates %g -> %g", fsIn, fsOut)
+	}
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	if fsIn == fsOut {
+		return append([]float64(nil), xs...), nil
+	}
+	nOut := int(math.Round(float64(len(xs)) * fsOut / fsIn))
+	if nOut < 1 {
+		nOut = 1
+	}
+	out := make([]float64, nOut)
+	scale := fsIn / fsOut
+	for i := range out {
+		pos := float64(i) * scale
+		lo := int(pos)
+		if lo >= len(xs)-1 {
+			out[i] = xs[len(xs)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = xs[lo]*(1-frac) + xs[lo+1]*frac
+	}
+	return out, nil
+}

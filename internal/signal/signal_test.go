@@ -1,0 +1,359 @@
+package signal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testRecording(nSeconds int) *Recording {
+	n := nSeconds * 256
+	r := &Recording{
+		PatientID:  "chb01",
+		RecordID:   "rec1",
+		SampleRate: 256,
+		Channels:   []string{ChannelF7T3, ChannelF8T4},
+		Data:       [][]float64{make([]float64, n), make([]float64, n)},
+	}
+	for i := 0; i < n; i++ {
+		r.Data[0][i] = math.Sin(float64(i) / 10)
+		r.Data[1][i] = math.Cos(float64(i) / 10)
+	}
+	return r
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{10, 40}
+	if iv.Duration() != 30 {
+		t.Errorf("Duration = %g", iv.Duration())
+	}
+	if !iv.Contains(10) || iv.Contains(40) || iv.Contains(9.99) {
+		t.Error("Contains should be half-open [Start, End)")
+	}
+	if !iv.Valid() {
+		t.Error("should be valid")
+	}
+	if (Interval{5, 5}).Valid() || (Interval{-1, 3}).Valid() {
+		t.Error("degenerate/negative intervals should be invalid")
+	}
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	a := Interval{0, 10}
+	cases := []struct {
+		b    Interval
+		want float64
+	}{
+		{Interval{5, 15}, 5},
+		{Interval{10, 20}, 0},
+		{Interval{-5, 0}, 0},
+		{Interval{2, 8}, 6},
+		{Interval{-5, 25}, 10},
+	}
+	for _, c := range cases {
+		if got := a.Overlap(c.b); got != c.want {
+			t.Errorf("Overlap(%v) = %g, want %g", c.b, got, c.want)
+		}
+		if got := c.b.Overlap(a); got != c.want {
+			t.Errorf("Overlap should be symmetric for %v", c.b)
+		}
+	}
+}
+
+func TestMergeIntervals(t *testing.T) {
+	ivs := []Interval{{10, 20}, {15, 30}, {40, 50}, {30, 35}, {60, 70}}
+	merged := MergeIntervals(ivs)
+	want := []Interval{{10, 35}, {40, 50}, {60, 70}}
+	if len(merged) != len(want) {
+		t.Fatalf("merged = %v, want %v", merged, want)
+	}
+	for i := range want {
+		if merged[i] != want[i] {
+			t.Errorf("merged[%d] = %v, want %v", i, merged[i], want[i])
+		}
+	}
+	if MergeIntervals(nil) != nil {
+		t.Error("empty merge should be nil")
+	}
+	// Touching intervals fuse.
+	touch := MergeIntervals([]Interval{{0, 10}, {10, 20}})
+	if len(touch) != 1 || touch[0] != (Interval{0, 20}) {
+		t.Errorf("touching intervals should fuse: %v", touch)
+	}
+	// Input not mutated.
+	if ivs[0] != (Interval{10, 20}) {
+		t.Error("MergeIntervals mutated its input")
+	}
+}
+
+func TestTotalDuration(t *testing.T) {
+	ivs := []Interval{{0, 10}, {5, 15}, {20, 25}}
+	if got := TotalDuration(ivs); got != 20 {
+		t.Errorf("TotalDuration = %g, want 20 (overlap merged)", got)
+	}
+	if TotalDuration(nil) != 0 {
+		t.Error("empty burden should be 0")
+	}
+}
+
+func TestRecordingValidate(t *testing.T) {
+	r := testRecording(60)
+	r.Seizures = []Interval{{10, 40}}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid recording rejected: %v", err)
+	}
+	bad := testRecording(60)
+	bad.SampleRate = 0
+	if bad.Validate() == nil {
+		t.Error("zero sample rate should fail")
+	}
+	bad = testRecording(60)
+	bad.Data[1] = bad.Data[1][:100]
+	if bad.Validate() == nil {
+		t.Error("ragged channels should fail")
+	}
+	bad = testRecording(60)
+	bad.Channels = bad.Channels[:1]
+	if bad.Validate() == nil {
+		t.Error("name/data mismatch should fail")
+	}
+	bad = testRecording(60)
+	bad.Seizures = []Interval{{50, 70}}
+	if bad.Validate() == nil {
+		t.Error("seizure beyond end should fail")
+	}
+	bad = testRecording(60)
+	bad.Seizures = []Interval{{40, 10}}
+	if bad.Validate() == nil {
+		t.Error("inverted seizure should fail")
+	}
+	empty := &Recording{SampleRate: 256}
+	if empty.Validate() == nil {
+		t.Error("no channels should fail")
+	}
+}
+
+func TestRecordingAccessors(t *testing.T) {
+	r := testRecording(30)
+	if r.Samples() != 30*256 {
+		t.Errorf("Samples = %d", r.Samples())
+	}
+	if r.Duration() != 30 {
+		t.Errorf("Duration = %g", r.Duration())
+	}
+	if r.Channel(ChannelF8T4) == nil || r.Channel("nope") != nil {
+		t.Error("Channel lookup broken")
+	}
+	var emptyR Recording
+	if emptyR.Samples() != 0 || emptyR.Duration() != 0 {
+		t.Error("empty recording accessors should be 0")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	r := testRecording(100)
+	r.Seizures = []Interval{{30, 50}}
+	s, err := r.Slice(20, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Duration() != 40 {
+		t.Errorf("slice duration = %g, want 40", s.Duration())
+	}
+	if len(s.Seizures) != 1 || s.Seizures[0] != (Interval{10, 30}) {
+		t.Errorf("seizure not re-based: %v", s.Seizures)
+	}
+	// Data is shared.
+	if &s.Data[0][0] != &r.Data[0][20*256] {
+		t.Error("slice should share backing data")
+	}
+}
+
+func TestSliceClipsPartialSeizure(t *testing.T) {
+	r := testRecording(100)
+	r.Seizures = []Interval{{30, 50}}
+	s, err := r.Slice(40, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Seizures) != 1 || s.Seizures[0] != (Interval{0, 10}) {
+		t.Errorf("clipped seizure = %v, want [0, 10)", s.Seizures)
+	}
+	s2, err := r.Slice(60, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Seizures) != 0 {
+		t.Error("seizure outside slice should be dropped")
+	}
+}
+
+func TestSliceErrors(t *testing.T) {
+	r := testRecording(10)
+	for _, c := range []struct{ a, b float64 }{{-1, 5}, {5, 5}, {8, 12}, {3, 2}} {
+		if _, err := r.Slice(c.a, c.b); err == nil {
+			t.Errorf("Slice(%g, %g) should fail", c.a, c.b)
+		}
+	}
+}
+
+func TestIsSeizureAt(t *testing.T) {
+	r := testRecording(100)
+	r.Seizures = []Interval{{30, 50}, {70, 80}}
+	cases := map[float64]bool{0: false, 30: true, 49.9: true, 50: false, 75: true, 99: false}
+	for tt, want := range cases {
+		if got := r.IsSeizureAt(tt); got != want {
+			t.Errorf("IsSeizureAt(%g) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestDefaultWindow(t *testing.T) {
+	w := DefaultWindow()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Hop() != time.Second {
+		t.Errorf("hop = %v, want 1 s (75%% overlap of 4 s)", w.Hop())
+	}
+	if w.SamplesPerWindow(256) != 1024 {
+		t.Errorf("window samples = %d, want 1024", w.SamplesPerWindow(256))
+	}
+	if w.HopSamples(256) != 256 {
+		t.Errorf("hop samples = %d, want 256", w.HopSamples(256))
+	}
+}
+
+func TestWindowSpecValidate(t *testing.T) {
+	if (WindowSpec{Length: 0, Overlap: 0.5}).Validate() == nil {
+		t.Error("zero length should fail")
+	}
+	if (WindowSpec{Length: time.Second, Overlap: 1}).Validate() == nil {
+		t.Error("overlap 1 should fail")
+	}
+	if (WindowSpec{Length: time.Second, Overlap: -0.1}).Validate() == nil {
+		t.Error("negative overlap should fail")
+	}
+}
+
+func TestNumWindows(t *testing.T) {
+	w := DefaultWindow()
+	// One hour at 256 Hz: (3600-4)/1 + 1 = 3597 windows.
+	if got := w.NumWindows(3600*256, 256); got != 3597 {
+		t.Errorf("NumWindows(1h) = %d, want 3597", got)
+	}
+	if w.NumWindows(1000, 256) != 0 {
+		t.Error("data shorter than a window should give 0")
+	}
+	if w.NumWindows(1024, 256) != 1 {
+		t.Error("exactly one window should fit")
+	}
+}
+
+func TestWindowExtraction(t *testing.T) {
+	w := DefaultWindow()
+	r := testRecording(10)
+	data := r.Data[0]
+	win, err := w.Window(data, 0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(win) != 1024 || &win[0] != &data[0] {
+		t.Error("window 0 should alias the first 1024 samples")
+	}
+	win6, err := w.Window(data, 6, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &win6[0] != &data[6*256] {
+		t.Error("window 6 should start at sample 1536")
+	}
+	if _, err := w.Window(data, 7, 256); err == nil {
+		t.Error("window past the end should fail")
+	}
+	if _, err := w.Window(data, -1, 256); err == nil {
+		t.Error("negative index should fail")
+	}
+	if got := w.WindowStart(6, 256); got != 6 {
+		t.Errorf("WindowStart(6) = %g, want 6 s", got)
+	}
+}
+
+func TestWindowCountConsistencyProperty(t *testing.T) {
+	f := func(secs uint8) bool {
+		n := int(secs)*256 + 1024
+		w := DefaultWindow()
+		k := w.NumWindows(n, 256)
+		if k <= 0 {
+			return false
+		}
+		// Last window must fit; one more must not.
+		data := make([]float64, n)
+		if _, err := w.Window(data, k-1, 256); err != nil {
+			return false
+		}
+		if _, err := w.Window(data, k, 256); err == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResampleIdentity(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	out, err := Resample(xs, 256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if out[i] != xs[i] {
+			t.Fatal("identity resample mismatch")
+		}
+	}
+	out[0] = 99
+	if xs[0] == 99 {
+		t.Error("identity resample must copy")
+	}
+}
+
+func TestResampleDownUp(t *testing.T) {
+	// A slow sine survives 256 -> 128 -> 256 resampling.
+	n := 1024
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * 2 * float64(i) / 256)
+	}
+	down, err := Resample(xs, 256, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(down) != n/2 {
+		t.Errorf("downsampled length = %d, want %d", len(down), n/2)
+	}
+	up, err := Resample(down, 128, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < len(up)-10 && i < len(xs)-10; i++ {
+		if math.Abs(up[i]-xs[i]) > 0.02 {
+			t.Fatalf("round-trip error %g at %d", up[i]-xs[i], i)
+		}
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	if _, err := Resample([]float64{1}, 0, 256); err == nil {
+		t.Error("fsIn=0 should fail")
+	}
+	if _, err := Resample([]float64{1}, 256, -1); err == nil {
+		t.Error("fsOut<0 should fail")
+	}
+	out, err := Resample(nil, 256, 128)
+	if err != nil || out != nil {
+		t.Error("empty input should return nil, nil")
+	}
+}

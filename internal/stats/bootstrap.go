@@ -1,0 +1,43 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// BootstrapCI estimates a percentile-bootstrap confidence interval for
+// an arbitrary statistic of xs (e.g. Median for the paper's headline
+// δ = 10.1 s), resampling with replacement. confidence is the two-sided
+// level, e.g. 0.95.
+func BootstrapCI(xs []float64, stat func([]float64) float64, resamples int, confidence float64, seed int64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("stats: empty sample")
+	}
+	if stat == nil {
+		return 0, 0, fmt.Errorf("stats: nil statistic")
+	}
+	if resamples < 10 {
+		return 0, 0, fmt.Errorf("stats: too few resamples %d", resamples)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, 0, fmt.Errorf("stats: confidence %g outside (0, 1)", confidence)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = xs[rng.Intn(len(xs))]
+		}
+		vals[r] = stat(buf)
+	}
+	sort.Float64s(vals)
+	alpha := (1 - confidence) / 2
+	loIdx := int(alpha * float64(resamples))
+	hiIdx := int((1 - alpha) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return vals[loIdx], vals[hiIdx], nil
+}

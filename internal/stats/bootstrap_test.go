@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapCICoversTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	lo, hi, err := BootstrapCI(xs, Mean, 500, 0.95, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > 10 || hi < 10 {
+		t.Errorf("95%% CI [%g, %g] should cover the true mean 10", lo, hi)
+	}
+	if hi <= lo {
+		t.Errorf("degenerate CI [%g, %g]", lo, hi)
+	}
+	// The CI half-width should be in the right ballpark for n=500,
+	// σ=1: ≈1.96/√500 ≈ 0.09.
+	if hi-lo > 0.3 {
+		t.Errorf("CI width %g too wide", hi-lo)
+	}
+}
+
+func TestBootstrapCIMedian(t *testing.T) {
+	// Skewed data with three huge outliers (the Table II situation):
+	// the median CI must stay near the bulk.
+	xs := []float64{3, 4, 5, 2, 6, 3, 4, 5, 3, 4, 440, 480, 430}
+	lo, hi, err := BootstrapCI(xs, Median, 1000, 0.95, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 2 || hi > 10 {
+		t.Errorf("median CI [%g, %g] should stay within the bulk", lo, hi)
+	}
+}
+
+func TestBootstrapCINarrowsWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	small := make([]float64, 30)
+	big := make([]float64, 3000)
+	for i := range big {
+		v := rng.NormFloat64()
+		if i < len(small) {
+			small[i] = v
+		}
+		big[i] = v
+	}
+	lo1, hi1, err := BootstrapCI(small, Mean, 400, 0.95, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, hi2, err := BootstrapCI(big, Mean, 400, 0.95, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi2-lo2 >= hi1-lo1 {
+		t.Errorf("CI should narrow with n: width %g (n=30) vs %g (n=3000)", hi1-lo1, hi2-lo2)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	a1, b1, _ := BootstrapCI(xs, Mean, 100, 0.9, 9)
+	a2, b2, _ := BootstrapCI(xs, Mean, 100, 0.9, 9)
+	if a1 != a2 || b1 != b2 {
+		t.Error("same seed must reproduce the interval")
+	}
+}
+
+func TestBootstrapCIErrors(t *testing.T) {
+	if _, _, err := BootstrapCI(nil, Mean, 100, 0.95, 1); err == nil {
+		t.Error("empty sample should fail")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, nil, 100, 0.95, 1); err == nil {
+		t.Error("nil statistic should fail")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, Mean, 5, 0.95, 1); err == nil {
+		t.Error("too few resamples should fail")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, Mean, 100, 1.5, 1); err == nil {
+		t.Error("confidence > 1 should fail")
+	}
+}

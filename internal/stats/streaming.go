@@ -1,0 +1,71 @@
+package stats
+
+import "math"
+
+// Running accumulates streaming mean and variance with Welford's
+// algorithm — the numerically stable way for an edge device to normalize
+// features on the fly without buffering a full column.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Push adds one observation.
+func (r *Running) Push(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean (NaN when empty).
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Variance returns the running population variance (NaN when empty).
+func (r *Running) Variance() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n)
+}
+
+// SampleVariance returns the unbiased variance (NaN below two
+// observations).
+func (r *Running) SampleVariance() float64 {
+	if r.n < 2 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the running population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Reset clears the accumulator.
+func (r *Running) Reset() { *r = Running{} }
+
+// Merge combines another accumulator into r (Chan et al. parallel
+// variance), enabling per-chunk accumulation across streaming windows.
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n := r.n + o.n
+	d := o.mean - r.mean
+	mean := r.mean + d*float64(o.n)/float64(n)
+	m2 := r.m2 + o.m2 + d*d*float64(r.n)*float64(o.n)/float64(n)
+	r.n, r.mean, r.m2 = n, mean, m2
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var r Running
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*7 + 3
+		r.Push(xs[i])
+	}
+	if r.N() != 1000 {
+		t.Errorf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-Mean(xs)) > 1e-12 {
+		t.Errorf("mean %g vs %g", r.Mean(), Mean(xs))
+	}
+	if math.Abs(r.Variance()-Variance(xs)) > 1e-9 {
+		t.Errorf("variance %g vs %g", r.Variance(), Variance(xs))
+	}
+	if math.Abs(r.SampleVariance()-SampleVariance(xs)) > 1e-9 {
+		t.Errorf("sample variance %g vs %g", r.SampleVariance(), SampleVariance(xs))
+	}
+	if math.Abs(r.StdDev()-StdDev(xs)) > 1e-9 {
+		t.Errorf("stddev %g vs %g", r.StdDev(), StdDev(xs))
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if !math.IsNaN(r.Mean()) || !math.IsNaN(r.Variance()) {
+		t.Error("empty accumulator should report NaN")
+	}
+	r.Push(5)
+	if !math.IsNaN(r.SampleVariance()) {
+		t.Error("sample variance of one observation should be NaN")
+	}
+	if r.Variance() != 0 {
+		t.Error("population variance of one observation should be 0")
+	}
+}
+
+func TestRunningReset(t *testing.T) {
+	var r Running
+	r.Push(1)
+	r.Push(2)
+	r.Reset()
+	if r.N() != 0 || !math.IsNaN(r.Mean()) {
+		t.Error("reset should clear state")
+	}
+}
+
+func TestRunningNumericalStability(t *testing.T) {
+	// Large offset: naive sum-of-squares would lose all precision.
+	var r Running
+	const offset = 1e9
+	vals := []float64{4, 7, 13, 16}
+	for _, v := range vals {
+		r.Push(offset + v)
+	}
+	if math.Abs(r.Variance()-22.5) > 1e-6 {
+		t.Errorf("variance %g, want 22.5 despite 1e9 offset", r.Variance())
+	}
+}
+
+func TestMergeProperty(t *testing.T) {
+	f := func(seed int64, split uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + int(split)%50
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 3
+		}
+		cut := int(split) % n
+		var a, b, whole Running
+		for i, x := range xs {
+			whole.Push(x)
+			if i < cut {
+				a.Push(x)
+			} else {
+				b.Push(x)
+			}
+		}
+		a.Merge(b)
+		return a.N() == whole.N() &&
+			math.Abs(a.Mean()-whole.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-whole.Variance()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeEmptyCases(t *testing.T) {
+	var a, b Running
+	b.Push(3)
+	b.Push(5)
+	a.Merge(b) // empty <- filled
+	if a.N() != 2 || math.Abs(a.Mean()-4) > 1e-12 {
+		t.Error("merge into empty failed")
+	}
+	var c Running
+	a.Merge(c) // filled <- empty
+	if a.N() != 2 {
+		t.Error("merging empty should be a no-op")
+	}
+}
