@@ -1,0 +1,180 @@
+// Command serve replays the synthetic corpus for many simulated
+// patients through the concurrent serving subsystem (internal/serve) —
+// the load harness for the multi-tenant deployment scenario: N
+// wearables streaming EEG to one backend, each closing its own
+// self-learning loop.
+//
+// Every patient streams a synthetic recording containing one seizure in
+// one-second batches, optionally paced at a real-time multiplier
+// (-speed 1 is wall-clock realtime, 0 is as fast as the hardware
+// allows). Shortly after each patient's seizure ends, the harness
+// issues the patient's confirmation button press, which schedules
+// a-posteriori labeling and detector retraining on the background
+// learner pool. Periodic and final statistics show sessions, windows
+// classified per second, alarms, queue depth and retrain outcomes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"selflearn/internal/serve"
+	"selflearn/internal/synth"
+)
+
+func main() {
+	patients := flag.Int("patients", 64, "number of simulated patients streaming concurrently")
+	duration := flag.Float64("duration", 120, "seconds of signal streamed per patient")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "serving worker (shard) count")
+	learners := flag.Int("learners", 2, "background retraining workers")
+	speed := flag.Float64("speed", 0, "real-time multiplier (1 = wall clock, 0 = as fast as possible)")
+	rate := flag.Float64("rate", 256, "sampling rate in Hz")
+	queue := flag.Int("queue", 256, "per-worker queue depth")
+	statsEvery := flag.Duration("stats", 2*time.Second, "statistics print interval")
+	flag.Parse()
+
+	if *duration < 60 {
+		log.Fatal("serve: -duration must be at least 60 s to fit a seizure and its confirmation")
+	}
+	srv, err := serve.New(serve.Config{
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		Learners:           *learners,
+		LearnerQueue:       *patients,
+		SampleRate:         *rate,
+		History:            time.Duration(*duration) * time.Second,
+		AvgSeizureDuration: 25 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("serving %d patients × %.0f s at %g Hz (%d workers, %d learners, speed ×%g)\n\n",
+		*patients, *duration, *rate, *workers, *learners, *speed)
+
+	stop := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(*statsEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				printStats(srv.Snapshot())
+			}
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < *patients; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			replayPatient(srv, p, *duration, *rate, *speed)
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Let the learner pool drain outstanding confirmations.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		st := srv.Snapshot()
+		if st.Retrains+st.RetrainErrors+st.ConfirmsDropped >= st.Confirms || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	srv.Close()
+	close(stop)
+
+	st := srv.Snapshot()
+	fmt.Printf("\nreplayed %d patient-streams in %v\n", *patients, elapsed.Round(time.Millisecond))
+	printStats(st)
+	if st.Retrains < uint64(*patients) {
+		fmt.Printf("warning: only %d/%d patients retrained\n", st.Retrains, *patients)
+		os.Exit(1)
+	}
+}
+
+// replayPatient generates one patient's recording (background plus one
+// seizure) and streams it in one-second batches, confirming the seizure
+// 15 s after it ends.
+func replayPatient(srv *serve.Server, p int, duration, rate, speed float64) {
+	id := fmt.Sprintf("patient-%04d", p)
+	// Stagger seizure onsets across patients so confirmations (and the
+	// retrains they trigger) don't arrive in one synchronized burst,
+	// clamping so the seizure always fits inside the recording.
+	seizureDur := 20 + float64(p%3)*5
+	seizureStart := 30 + float64(p%7)*3
+	if maxStart := duration - seizureDur - 5; seizureStart > maxStart {
+		seizureStart = maxStart
+	}
+	rec, err := synth.Generate(synth.RecordConfig{
+		PatientID:  id,
+		RecordID:   "replay",
+		Seed:       int64(1000 + p),
+		Duration:   duration,
+		SampleRate: rate,
+		Background: synth.DefaultBackground(),
+		Seizures:   []synth.SeizureEvent{{Start: seizureStart, Duration: seizureDur, Config: synth.DefaultSeizure()}},
+	})
+	if err != nil {
+		log.Fatalf("%s: %v", id, err)
+	}
+	c0, c1 := rec.Data[0], rec.Data[1]
+	batch := int(rate)
+	confirmAt := seizureStart + seizureDur + 15
+	confirmed := false
+	start := time.Now()
+	for off, sec := 0, 0; off < len(c0); off, sec = off+batch, sec+1 {
+		if speed > 0 {
+			next := start.Add(time.Duration(float64(sec) * float64(time.Second) / speed))
+			time.Sleep(time.Until(next))
+		}
+		end := off + batch
+		if end > len(c0) {
+			end = len(c0)
+		}
+		submit(srv, id, c0[off:end], c1[off:end])
+		if !confirmed && float64(sec) >= confirmAt {
+			confirmed = true
+			for srv.Confirm(id) == serve.ErrBackpressure {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	if !confirmed {
+		for srv.Confirm(id) == serve.ErrBackpressure {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// submit retries one batch until the shard accepts it; the wearable
+// gateway's local buffer-and-resend policy.
+func submit(srv *serve.Server, id string, c0, c1 []float64) {
+	for {
+		err := srv.Submit(id, c0, c1)
+		if err == nil {
+			return
+		}
+		if err != serve.ErrBackpressure {
+			log.Fatalf("%s: %v", id, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func printStats(st serve.Stats) {
+	fmt.Printf("[%7.1fs] sessions %4d | windows %8d (%7.0f/s) | alarms %4d | queue %4d | confirms %3d | retrains %3d (%d err, %d lost) | backpressure %d\n",
+		st.Uptime.Seconds(), st.Sessions, st.Windows, st.WindowsPerSec, st.Alarms,
+		st.QueueDepth, st.Confirms, st.Retrains, st.RetrainErrors, st.ConfirmsDropped, st.BatchesDropped+st.ConfirmsRejected)
+}

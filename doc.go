@@ -11,7 +11,8 @@
 // The repository is organised as substrates under internal/ (DSP, entropy
 // estimators, synthetic EEG corpus, EDF codec, machine-learning
 // baselines, energy model), the paper's core algorithm in internal/core,
-// the experiment harnesses in internal/eval and internal/pipeline,
+// the experiment harnesses in internal/eval and internal/pipeline, the
+// concurrent multi-patient serving subsystem in internal/serve,
 // reproduction binaries under cmd/, and runnable walkthroughs under
 // examples/. See DESIGN.md for the full inventory and EXPERIMENTS.md for
 // paper-versus-measured numbers.

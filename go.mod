@@ -1,0 +1,3 @@
+module selflearn
+
+go 1.22

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkServe measures steady-state classification throughput as the
+// worker count grows. Each iteration submits one one-second batch for
+// one of 32 patients round-robin (retrying on backpressure, so the
+// measured rate is the processing rate, not the enqueue rate); ns/op is
+// therefore the wall time per streamed patient-second, and it should
+// fall as workers are added until the core count is exhausted.
+func BenchmarkServe(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchServe(b, workers, 32)
+		})
+	}
+}
+
+func benchServe(b *testing.B, workers, patients int) {
+	srv, err := New(Config{
+		Workers:    workers,
+		QueueDepth: 64,
+		SampleRate: testRate,
+		History:    time.Minute,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := testRecording(b, 42, 2, -1, 0)
+	// One shared one-second batch: workers only read sample slices, and
+	// per-session ring buffers make the content reuse harmless.
+	c0, c1 := rec.Data[0][:testRate], rec.Data[1][:testRate]
+	ids := make([]string, patients)
+	for p := range ids {
+		ids[p] = fmt.Sprintf("bench-%03d", p)
+	}
+	// Prime every session (first window costs 4 s of fill).
+	for _, id := range ids {
+		for i := 0; i < 4; i++ {
+			for srv.Submit(id, c0, c1) == ErrBackpressure {
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for srv.Submit(ids[i%patients], c0, c1) == ErrBackpressure {
+		}
+	}
+	b.StopTimer()
+	srv.Close()
+	st := srv.Snapshot()
+	b.ReportMetric(st.WindowsPerSec, "windows/s")
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"selflearn/internal/ml/forest"
+)
+
+// lru is a fixed-capacity least-recently-used table. It is not safe for
+// concurrent use; each owner either confines it to one goroutine (the
+// per-worker session table) or wraps it in a mutex (the shared model
+// cache).
+type lru[V any] struct {
+	capacity int
+	order    *list.List // front = most recent
+	items    map[string]*list.Element
+	onEvict  func(key string, v V)
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+// newLRU builds a table evicting beyond capacity entries; onEvict (may
+// be nil) observes each eviction.
+func newLRU[V any](capacity int, onEvict func(string, V)) *lru[V] {
+	return &lru[V]{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+		onEvict:  onEvict,
+	}
+}
+
+// Len returns the number of live entries.
+func (c *lru[V]) Len() int { return c.order.Len() }
+
+// Get returns the value for key and marks it most recently used.
+func (c *lru[V]) Get(key string) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes key and evicts the least recently used entry
+// when the table overflows.
+func (c *lru[V]) Put(key string, v V) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry[V]).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry[V]{key: key, val: v})
+	for c.capacity > 0 && c.order.Len() > c.capacity {
+		c.evictOldest()
+	}
+}
+
+func (c *lru[V]) evictOldest() {
+	el := c.order.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*lruEntry[V])
+	c.order.Remove(el)
+	delete(c.items, e.key)
+	if c.onEvict != nil {
+		c.onEvict(e.key, e.val)
+	}
+}
+
+// modelCache is the shared per-patient model store: trained forests
+// outlive their streaming session, so a patient whose session was
+// LRU-evicted under load resumes detection instantly on reconnect
+// instead of re-entering the untrained state.
+type modelCache struct {
+	mu sync.Mutex
+	t  *lru[*forest.Forest]
+}
+
+func newModelCache(capacity int) *modelCache {
+	return &modelCache{t: newLRU[*forest.Forest](capacity, nil)}
+}
+
+// Get returns the cached model for the patient, or nil.
+func (m *modelCache) Get(patient string) *forest.Forest {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, _ := m.t.Get(patient)
+	return f
+}
+
+// Put stores (or refreshes) the patient's model.
+func (m *modelCache) Put(patient string, f *forest.Forest) {
+	if f == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.t.Put(patient, f)
+}
+
+// Len returns the number of cached models.
+func (m *modelCache) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t.Len()
+}

@@ -1,0 +1,101 @@
+package serve
+
+// job is one unit of worker input: either a sample batch or a seizure
+// confirmation. Both kinds flow through the same queue so a patient's
+// confirmation is processed after every batch submitted before it.
+type job struct {
+	patient string
+	c0, c1  []float64
+	confirm bool
+}
+
+// worker owns a shard of patients: their sessions, the LRU session
+// table, and the goroutine that processes their jobs strictly in
+// arrival order.
+type worker struct {
+	srv      *Server
+	index    int
+	jobs     chan job
+	done     chan struct{}
+	sessions *lru[*session]
+}
+
+func newWorker(s *Server, index, historyRows int) *worker {
+	w := &worker{
+		srv:   s,
+		index: index,
+		jobs:  make(chan job, s.cfg.QueueDepth),
+		done:  make(chan struct{}),
+	}
+	w.sessions = newLRU[*session](s.cfg.MaxSessions, func(id string, sess *session) {
+		// The session's streaming state dies with it, but the trained
+		// model is already in the shared cache (the learner publishes
+		// there), so a returning patient resumes detection warm.
+		s.sessions.Add(-1)
+		s.sessionsEvicted.Add(1)
+	})
+	go w.run(historyRows)
+	return w
+}
+
+func (w *worker) run(historyRows int) {
+	defer close(w.done)
+	for j := range w.jobs {
+		sess, err := w.session(j.patient, historyRows)
+		if err != nil {
+			// The pipeline was pre-flighted in New, so a constructor
+			// failure here should be unreachable; count it rather than
+			// crash the shard, and surface it via Stats.StreamErrors.
+			w.srv.streamErrors.Add(1)
+			continue
+		}
+		if j.confirm {
+			w.confirm(sess)
+			continue
+		}
+		rows, err := sess.ingest(j.c0, j.c1)
+		if err != nil {
+			w.srv.streamErrors.Add(1)
+		}
+		if len(rows) > 0 {
+			// Reconcile with the shared cache: the learner publishes
+			// there first, and a session recreated after LRU eviction
+			// would otherwise miss a retrain that completed in flight.
+			if f := w.srv.cache.Get(j.patient); f != nil && f != sess.model.Load() {
+				sess.model.Store(f)
+			}
+			fired := sess.classify(rows)
+			w.srv.windows.Add(uint64(len(rows)))
+			w.srv.alarms.Add(uint64(fired))
+		}
+	}
+}
+
+// session returns the patient's live session, creating (and warm
+// starting from the model cache) or LRU-touching as needed.
+func (w *worker) session(patientID string, historyRows int) (*session, error) {
+	if sess, ok := w.sessions.Get(patientID); ok {
+		return sess, nil
+	}
+	sess, err := newSession(patientID, historyRows, w.srv.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if f := w.srv.cache.Get(patientID); f != nil {
+		sess.model.Store(f)
+	}
+	w.sessions.Put(patientID, sess)
+	w.srv.sessions.Add(1)
+	w.srv.sessionsCreated.Add(1)
+	return sess, nil
+}
+
+// confirm snapshots the session's feature history and hands it to the
+// background learner pool; the real-time path never blocks on training.
+func (w *worker) confirm(sess *session) {
+	rows := sess.historySnapshot()
+	sess.retrainSeq++
+	if !w.srv.learner.schedule(retrainJob{sess: sess, rows: rows, seq: sess.retrainSeq}) {
+		w.srv.confirmsDropped.Add(1)
+	}
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"selflearn/internal/core"
+	"selflearn/internal/features"
+	"selflearn/internal/ml/forest"
+)
+
+// retrainJob carries one confirmed-seizure history to the learner pool.
+type retrainJob struct {
+	sess *session
+	rows [][]float64
+	seq  int64
+}
+
+// learner is the background self-learning pool: it runs the
+// a-posteriori labeling algorithm on confirmed buffers and retrains
+// per-patient forests off the real-time path.
+type learner struct {
+	srv  *Server
+	jobs chan retrainJob
+	wg   sync.WaitGroup
+}
+
+func newLearner(s *Server, workers, queue int) *learner {
+	l := &learner{srv: s, jobs: make(chan retrainJob, queue)}
+	l.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer l.wg.Done()
+			for j := range l.jobs {
+				if err := l.retrain(j); err != nil {
+					s.retrainErrors.Add(1)
+				} else {
+					s.retrains.Add(1)
+				}
+			}
+		}()
+	}
+	return l
+}
+
+// schedule hands a job to the pool without blocking; false means the
+// learner queue is full and the confirmation was dropped.
+func (l *learner) schedule(j retrainJob) bool {
+	select {
+	case l.jobs <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *learner) close() {
+	close(l.jobs)
+	l.wg.Wait()
+}
+
+// retrain labels the buffered history with Algorithm 1 and retrains the
+// patient's detector on the self-labeled windows, installing the new
+// model into both the live session and the shared cache.
+func (l *learner) retrain(j retrainJob) error {
+	cfg := l.srv.cfg
+	m := &features.Matrix{
+		Names:      features.PaperFeatureNames(),
+		Rows:       j.rows,
+		Window:     cfg.FeatureCfg.Window,
+		SampleRate: cfg.SampleRate,
+	}
+	_, res, err := core.LabelMatrix(m, cfg.AvgSeizureDuration)
+	if err != nil {
+		return err
+	}
+	X, y := selfLabeledSet(j.rows, res.Index, res.Window)
+	if len(X) == 0 {
+		return fmt.Errorf("serve: empty self-labeled training set")
+	}
+	fcfg := cfg.ForestCfg
+	h := fnv.New64a()
+	h.Write([]byte(j.sess.id))
+	fcfg.Seed = int64(h.Sum64()) ^ j.seq
+	f, err := forest.Train(X, y, fcfg)
+	if err != nil {
+		return err
+	}
+	// Two learners can finish the same patient's retrains out of order;
+	// only the highest sequence may install.
+	for {
+		cur := j.sess.installedSeq.Load()
+		if j.seq <= cur {
+			return nil
+		}
+		if j.sess.installedSeq.CompareAndSwap(cur, j.seq) {
+			break
+		}
+	}
+	// Publish to the shared cache before the captured session pointer:
+	// if the session was LRU-evicted and recreated while training ran,
+	// the live replacement reconciles from the cache (dispatch.go), so
+	// the cache must never lag the session.
+	l.srv.cache.Put(j.sess.id, f)
+	j.sess.model.Store(f)
+	return nil
+}
+
+// selfLabeledSet builds a balanced window training set from the labeled
+// interval [pos, pos+w): every in-window row is a positive; negatives
+// are subsampled from the rest of the buffer at a stride that yields
+// roughly three negatives per positive (the buffered hour is almost
+// entirely interictal — training on all of it would drown the seizure
+// class).
+func selfLabeledSet(rows [][]float64, pos, w int) (X [][]float64, y []bool) {
+	for i := pos; i < pos+w && i < len(rows); i++ {
+		X = append(X, rows[i])
+		y = append(y, true)
+	}
+	nNeg := len(rows) - w
+	stride := 1
+	if want := 3 * w; want > 0 && nNeg > want {
+		stride = nNeg / want
+	}
+	for i := 0; i < len(rows); i += stride {
+		if i >= pos && i < pos+w {
+			continue
+		}
+		X = append(X, rows[i])
+		y = append(y, false)
+	}
+	return X, y
+}

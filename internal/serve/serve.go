@@ -1,0 +1,347 @@
+// Package serve multiplexes many patients' self-learning seizure
+// detection loops over a bounded worker pool — the serving layer that
+// turns the paper's single-patient wearable pipeline into a
+// multi-tenant backend.
+//
+// Each patient gets a session owning the streaming feature extractor
+// (internal/features.Streamer), the current random-forest window
+// classifier (internal/ml/forest) and the alarm layer (internal/rt).
+// Sample batches enter through Submit; a dispatcher shards patients
+// across workers by ID hash so one patient's stream is always processed
+// in order by a single goroutine, window classifications are batched
+// per submission, and per-patient models are cached with LRU eviction
+// so an evicted session resumes warm. When a patient confirms a seizure
+// (Confirm — the paper's button press), the session's buffered feature
+// history is handed to a background learner pool that runs the
+// a-posteriori labeling algorithm (internal/core) and retrains the
+// forest without stalling the real-time path.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selflearn/internal/features"
+	"selflearn/internal/ml/forest"
+	"selflearn/internal/rt"
+	"selflearn/internal/signal"
+)
+
+// ErrBackpressure is returned by Submit and Confirm when the target
+// worker's queue is full. The caller owns the retry policy: a wearable
+// gateway would buffer locally and resubmit, a replay harness may drop.
+var ErrBackpressure = errors.New("serve: worker queue full")
+
+// ErrClosed is returned by Submit and Confirm after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config sizes the serving subsystem. The zero value of every field
+// selects a sensible default.
+type Config struct {
+	// Workers is the number of shard workers; patients are assigned to
+	// workers by ID hash. 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds each worker's job queue; a full queue surfaces
+	// as ErrBackpressure rather than unbounded memory growth. 0 = 256.
+	QueueDepth int
+	// MaxSessions caps live sessions per worker; beyond it the least
+	// recently used session is evicted (its model survives in the
+	// shared cache). 0 = 1024.
+	MaxSessions int
+	// ModelCacheSize caps the shared per-patient model cache. 0 = 4096.
+	ModelCacheSize int
+	// Learners is the size of the background retraining pool. 0 = 2.
+	Learners int
+	// LearnerQueue bounds pending retrain jobs. 0 = 64.
+	LearnerQueue int
+	// SampleRate of submitted batches in Hz. 0 = signal.DefaultSampleRate.
+	SampleRate float64
+	// History is how much feature history each session buffers for
+	// a-posteriori labeling (the paper buffers one hour). 0 = 1 h.
+	History time.Duration
+	// AvgSeizureDuration is W, the expert-provided average seizure
+	// length used by the labeling algorithm. 0 = 30 s.
+	AvgSeizureDuration time.Duration
+	// FeatureCfg configures the streaming 10-feature extractor. Zero
+	// value = features.DefaultConfig().
+	FeatureCfg features.Config
+	// AlarmCfg configures k-of-n alarm smoothing. Zero value =
+	// rt.DefaultConfig().
+	AlarmCfg rt.Config
+	// ForestCfg configures retraining. Zero value = forest.DefaultConfig().
+	ForestCfg forest.Config
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.ModelCacheSize <= 0 {
+		c.ModelCacheSize = 4096
+	}
+	if c.Learners <= 0 {
+		c.Learners = 2
+	}
+	if c.LearnerQueue <= 0 {
+		c.LearnerQueue = 64
+	}
+	if c.SampleRate == 0 {
+		c.SampleRate = signal.DefaultSampleRate
+	}
+	if c.History <= 0 {
+		c.History = time.Hour
+	}
+	if c.AvgSeizureDuration <= 0 {
+		c.AvgSeizureDuration = 30 * time.Second
+	}
+	// Default the feature config only when it is entirely unset; a
+	// partially-built config (e.g. a custom Window with Level left 0)
+	// must fail loudly in Validate rather than be silently replaced.
+	if c.FeatureCfg.Level == 0 && c.FeatureCfg.Window == (signal.WindowSpec{}) {
+		c.FeatureCfg = features.DefaultConfig()
+	}
+	if c.AlarmCfg == (rt.Config{}) {
+		c.AlarmCfg = rt.DefaultConfig()
+	}
+	if c.ForestCfg == (forest.Config{}) {
+		c.ForestCfg = forest.DefaultConfig()
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	// Sessions is the number of live streaming sessions.
+	Sessions int
+	// SessionsCreated and SessionsEvicted count session table churn.
+	SessionsCreated uint64
+	SessionsEvicted uint64
+	// Batches and BatchesDropped count Submit calls accepted and
+	// rejected with ErrBackpressure.
+	Batches        uint64
+	BatchesDropped uint64
+	// Windows is the number of feature windows classified.
+	Windows uint64
+	// WindowsPerSec is the lifetime classification rate.
+	WindowsPerSec float64
+	// Alarms is the number of alarms raised across all patients.
+	Alarms uint64
+	// Confirms counts accepted confirmations; ConfirmsRejected counts
+	// Confirm calls refused with ErrBackpressure (the caller saw the
+	// error and owns the retry); ConfirmsDropped counts confirmations
+	// accepted but then lost to a full learner queue — the only kind
+	// invisible to the caller.
+	Confirms         uint64
+	ConfirmsRejected uint64
+	ConfirmsDropped  uint64
+	// Retrains and RetrainErrors count background learner outcomes.
+	Retrains      uint64
+	RetrainErrors uint64
+	// StreamErrors counts sample batches whose feature extraction or
+	// session construction failed; nonzero values indicate a
+	// configuration problem the pre-flight in New did not cover.
+	StreamErrors uint64
+	// ModelsCached is the shared model-cache occupancy.
+	ModelsCached int
+	// QueueDepth is the total number of jobs waiting across workers.
+	QueueDepth int
+	// Uptime since New.
+	Uptime time.Duration
+}
+
+// Server is the concurrent multi-patient serving subsystem.
+type Server struct {
+	cfg     Config
+	workers []*worker
+	learner *learner
+	cache   *modelCache
+	start   time.Time
+
+	mu     sync.RWMutex // guards closed against in-flight Submit/Confirm
+	closed bool
+
+	sessions         atomic.Int64
+	sessionsCreated  atomic.Uint64
+	sessionsEvicted  atomic.Uint64
+	batches          atomic.Uint64
+	batchesDropped   atomic.Uint64
+	windows          atomic.Uint64
+	alarms           atomic.Uint64
+	confirms         atomic.Uint64
+	confirmsRejected atomic.Uint64
+	confirmsDropped  atomic.Uint64
+	retrains         atomic.Uint64
+	retrainErrors    atomic.Uint64
+	streamErrors     atomic.Uint64
+}
+
+// New starts a server with cfg's workers and learners running.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.FeatureCfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.AlarmCfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("serve: invalid sample rate %g", cfg.SampleRate)
+	}
+	hop := cfg.FeatureCfg.Window.Hop().Seconds()
+	historyRows := int(cfg.History.Seconds() / hop)
+	if historyRows < 1 {
+		return nil, fmt.Errorf("serve: history %v shorter than one hop", cfg.History)
+	}
+	if err := preflight(cfg); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, cache: newModelCache(cfg.ModelCacheSize), start: time.Now()}
+	s.learner = newLearner(s, cfg.Learners, cfg.LearnerQueue)
+	s.workers = make([]*worker, cfg.Workers)
+	for i := range s.workers {
+		s.workers[i] = newWorker(s, i, historyRows)
+	}
+	return s, nil
+}
+
+// preflight extracts one feature window through a throwaway streamer so
+// configurations whose failure only surfaces at window boundaries (e.g.
+// a sample rate too low for the level-7 DWT) are rejected at
+// construction instead of silently erroring on every live batch.
+func preflight(cfg Config) error {
+	st, err := features.NewStreamer(cfg.SampleRate, cfg.FeatureCfg)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	win := cfg.FeatureCfg.Window.SamplesPerWindow(cfg.SampleRate)
+	for i := 0; i <= win; i++ {
+		v := math.Sin(2 * math.Pi * 7 * float64(i) / cfg.SampleRate)
+		if _, _, err := st.Push(v, v); err != nil {
+			return fmt.Errorf("serve: feature pipeline rejects this configuration: %w", err)
+		}
+	}
+	return nil
+}
+
+// shard maps a patient ID to its worker; a patient's jobs always land
+// on the same worker, which preserves per-stream ordering without locks.
+func (s *Server) shard(patientID string) *worker {
+	h := fnv.New32a()
+	h.Write([]byte(patientID))
+	return s.workers[h.Sum32()%uint32(len(s.workers))]
+}
+
+// Submit enqueues one batch of synchronized two-channel samples for the
+// patient. It never blocks: a full worker queue returns
+// ErrBackpressure. The server takes ownership of the slices.
+func (s *Server) Submit(patientID string, c0, c1 []float64) error {
+	if len(c0) != len(c1) {
+		return fmt.Errorf("serve: channel length mismatch %d vs %d", len(c0), len(c1))
+	}
+	if len(c0) == 0 {
+		return nil
+	}
+	return s.enqueue(job{patient: patientID, c0: c0, c1: c1})
+}
+
+// Confirm reports the patient's seizure confirmation (the paper's
+// button press): the session's buffered feature history is scheduled
+// for a-posteriori labeling and detector retraining in the background.
+func (s *Server) Confirm(patientID string) error {
+	return s.enqueue(job{patient: patientID, confirm: true})
+}
+
+func (s *Server) enqueue(j job) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	w := s.shard(j.patient)
+	select {
+	case w.jobs <- j:
+		if j.confirm {
+			s.confirms.Add(1)
+		} else {
+			s.batches.Add(1)
+		}
+		return nil
+	default:
+		if j.confirm {
+			s.confirmsRejected.Add(1)
+		} else {
+			s.batchesDropped.Add(1)
+		}
+		return ErrBackpressure
+	}
+}
+
+// Snapshot returns current serving statistics.
+func (s *Server) Snapshot() Stats {
+	depth := 0
+	for _, w := range s.workers {
+		depth += len(w.jobs)
+	}
+	up := time.Since(s.start)
+	st := Stats{
+		Sessions:         int(s.sessions.Load()),
+		SessionsCreated:  s.sessionsCreated.Load(),
+		SessionsEvicted:  s.sessionsEvicted.Load(),
+		Batches:          s.batches.Load(),
+		BatchesDropped:   s.batchesDropped.Load(),
+		Windows:          s.windows.Load(),
+		Alarms:           s.alarms.Load(),
+		Confirms:         s.confirms.Load(),
+		ConfirmsRejected: s.confirmsRejected.Load(),
+		ConfirmsDropped:  s.confirmsDropped.Load(),
+		Retrains:         s.retrains.Load(),
+		RetrainErrors:    s.retrainErrors.Load(),
+		StreamErrors:     s.streamErrors.Load(),
+		ModelsCached:     s.cache.Len(),
+		QueueDepth:       depth,
+		Uptime:           up,
+	}
+	if secs := up.Seconds(); secs > 0 {
+		st.WindowsPerSec = float64(st.Windows) / secs
+	}
+	return st
+}
+
+// Model returns the patient's current trained detector from the shared
+// cache, or nil while untrained.
+func (s *Server) Model(patientID string) *forest.Forest {
+	return s.cache.Get(patientID)
+}
+
+// Close drains the worker queues, waits for in-flight retraining to
+// finish, and releases all sessions. Submit and Confirm fail with
+// ErrClosed afterwards. Close is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	for _, w := range s.workers {
+		close(w.jobs)
+	}
+	for _, w := range s.workers {
+		<-w.done
+	}
+	s.learner.close()
+}

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"selflearn/internal/features"
+	"selflearn/internal/signal"
+	"selflearn/internal/synth"
+)
+
+// testRate keeps feature extraction cheap in tests: 4 s windows at
+// 128 Hz are 512 samples, still divisible by 2^7 for the level-7 DWT.
+const testRate = 128
+
+// testRecording renders a two-channel synthetic recording; seizureStart
+// < 0 yields a seizure-free background.
+func testRecording(t testing.TB, seed int64, duration, seizureStart, seizureDur float64) *signal.Recording {
+	t.Helper()
+	cfg := synth.RecordConfig{
+		PatientID:  fmt.Sprintf("synthetic-%d", seed),
+		RecordID:   "r1",
+		Seed:       seed,
+		Duration:   duration,
+		SampleRate: testRate,
+		Background: synth.DefaultBackground(),
+	}
+	if seizureStart >= 0 {
+		cfg.Seizures = []synth.SeizureEvent{{Start: seizureStart, Duration: seizureDur, Config: synth.DefaultSeizure()}}
+	}
+	rec, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// stream submits rec for patientID in one-second batches, retrying on
+// backpressure.
+func stream(t testing.TB, s *Server, patientID string, rec *signal.Recording) {
+	t.Helper()
+	c0, c1 := rec.Data[0], rec.Data[1]
+	batch := int(rec.SampleRate)
+	for off := 0; off < len(c0); off += batch {
+		end := off + batch
+		if end > len(c0) {
+			end = len(c0)
+		}
+		for {
+			err := s.Submit(patientID, c0[off:end], c1[off:end])
+			if err == nil {
+				break
+			}
+			if err != ErrBackpressure {
+				t.Fatalf("Submit: %v", err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestSessionLifecycleAndSelfLearning(t *testing.T) {
+	srv, err := New(Config{
+		Workers:            2,
+		SampleRate:         testRate,
+		History:            4 * time.Minute,
+		AvgSeizureDuration: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const patient = "chb01"
+	// Phase 1: stream a buffer containing one seizure, then confirm it.
+	rec := testRecording(t, 1, 180, 90, 24)
+	stream(t, srv, patient, rec)
+	if err := srv.Confirm(patient); err != nil {
+		t.Fatalf("Confirm: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := srv.Snapshot()
+		if st.Retrains+st.RetrainErrors >= 1 {
+			if st.Retrains != 1 {
+				t.Fatalf("retrain failed: %+v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retrain never completed: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if srv.Model(patient) == nil {
+		t.Fatal("no model cached after retrain")
+	}
+
+	// Phase 2: the retrained detector must alarm on a fresh seizure.
+	rec2 := testRecording(t, 2, 180, 100, 24)
+	stream(t, srv, patient, rec2)
+	srv.Close()
+
+	st := srv.Snapshot()
+	if st.Sessions != 1 || st.SessionsCreated != 1 {
+		t.Fatalf("sessions = %d created %d, want 1/1", st.Sessions, st.SessionsCreated)
+	}
+	// First stream: 180−4+1 rows while the window fills; second stream
+	// continues the same session, whose ring is already full, so every
+	// hop emits: 180 more rows.
+	wantWindows := uint64((180 - 4 + 1) + 180)
+	if st.Windows != wantWindows {
+		t.Fatalf("windows = %d, want %d", st.Windows, wantWindows)
+	}
+	if st.Alarms == 0 {
+		t.Fatal("retrained detector raised no alarm on a fresh seizure")
+	}
+	if st.WindowsPerSec <= 0 {
+		t.Fatalf("WindowsPerSec = %g, want > 0", st.WindowsPerSec)
+	}
+
+	// Submissions after Close must fail fast.
+	if err := srv.Submit(patient, []float64{0}, []float64{0}); err != ErrClosed {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if err := srv.Confirm(patient); err != ErrClosed {
+		t.Fatalf("Confirm after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentSubmitManyPatients(t *testing.T) {
+	srv, err := New(Config{
+		Workers:    4,
+		QueueDepth: 64,
+		SampleRate: testRate,
+		History:    2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const patients = 32
+	const seconds = 30
+	rec := testRecording(t, 7, seconds, -1, 0)
+	var wg sync.WaitGroup
+	for p := 0; p < patients; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			// Workers only read the sample slices, so all patients can
+			// share one recording.
+			stream(t, srv, fmt.Sprintf("patient-%03d", p), rec)
+		}(p)
+	}
+	wg.Wait()
+	srv.Close()
+
+	st := srv.Snapshot()
+	if st.Sessions != patients {
+		t.Fatalf("sessions = %d, want %d", st.Sessions, patients)
+	}
+	wantWindows := uint64(patients * (seconds - 4 + 1))
+	if st.Windows != wantWindows {
+		t.Fatalf("windows = %d, want %d", st.Windows, wantWindows)
+	}
+	if st.Alarms != 0 {
+		t.Fatalf("alarms = %d on untrained sessions, want 0", st.Alarms)
+	}
+}
+
+func TestSessionLRUEviction(t *testing.T) {
+	srv, err := New(Config{
+		Workers:     1, // single shard so the per-worker cap is exact
+		MaxSessions: 2,
+		SampleRate:  testRate,
+		History:     time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rec := testRecording(t, 9, 10, -1, 0)
+	for _, p := range []string{"a", "b", "c", "a", "d"} {
+		stream(t, srv, p, rec)
+	}
+	srv.Close()
+
+	st := srv.Snapshot()
+	if st.Sessions != 2 {
+		t.Fatalf("live sessions = %d, want cap 2", st.Sessions)
+	}
+	// a, b, c created; c evicts a; a recreated evicting b; d evicts c.
+	if st.SessionsCreated != 5 || st.SessionsEvicted != 3 {
+		t.Fatalf("created/evicted = %d/%d, want 5/3", st.SessionsCreated, st.SessionsEvicted)
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	srv, err := New(Config{
+		Workers:    1,
+		QueueDepth: 1,
+		SampleRate: testRate,
+		History:    time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A two-minute batch keeps the single worker busy long enough for a
+	// tight submit loop to fill the depth-1 queue.
+	rec := testRecording(t, 11, 120, -1, 0)
+	if err := srv.Submit("p", rec.Data[0], rec.Data[1]); err != nil {
+		t.Fatal(err)
+	}
+	sawBackpressure := false
+	small0, small1 := make([]float64, testRate), make([]float64, testRate)
+	for i := 0; i < 100000; i++ {
+		if err := srv.Submit("p", small0, small1); err == ErrBackpressure {
+			sawBackpressure = true
+			break
+		}
+	}
+	if !sawBackpressure {
+		t.Fatal("never saw ErrBackpressure with a full depth-1 queue")
+	}
+	if st := srv.Snapshot(); st.BatchesDropped == 0 {
+		t.Fatalf("BatchesDropped = 0 after backpressure: %+v", st)
+	}
+}
+
+func TestNewRejectsBadPipelineConfig(t *testing.T) {
+	// 4 s windows at 16 Hz cannot feed a level-7 DWT; the failure only
+	// surfaces at a window boundary, so New must pre-flight it.
+	if _, err := New(Config{SampleRate: 16}); err == nil {
+		t.Fatal("New accepted a sample rate too low for the level-7 DWT")
+	}
+	// A partially-built feature config must fail loudly, not be
+	// silently replaced with the defaults.
+	if _, err := New(Config{SampleRate: testRate, FeatureCfg: features.Config{Window: signal.DefaultWindow()}}); err == nil {
+		t.Fatal("New accepted a feature config with a window but Level 0")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	srv, err := New(Config{Workers: 1, SampleRate: testRate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Submit("p", []float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched channel lengths accepted")
+	}
+	if err := srv.Submit("p", nil, nil); err != nil {
+		t.Fatalf("empty batch = %v, want nil", err)
+	}
+}

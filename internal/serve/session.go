@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"selflearn/internal/features"
+	"selflearn/internal/ml/forest"
+	"selflearn/internal/rt"
+)
+
+// session is the server-side state of one patient's streaming loop: the
+// sample-by-sample feature extractor, the hot-swappable window
+// classifier, the alarm layer, and the rolling feature history the
+// a-posteriori labeler consumes when the patient confirms a seizure.
+// All fields except model are confined to the owning worker goroutine;
+// model is an atomic pointer because the background learner installs
+// retrained forests into live sessions.
+type session struct {
+	id       string
+	streamer *features.Streamer
+	alarm    *rt.Detector
+	model    atomic.Pointer[forest.Forest]
+
+	// history is a ring of the most recent feature rows (one per hop,
+	// i.e. one per second in the paper's configuration), the streaming
+	// equivalent of the wearable's "buffered last hour".
+	history [][]float64
+	histPos int
+	histLen int
+
+	// retrainSeq counts confirmations dispatched to the learner; it
+	// seeds forest training so retrains stay deterministic per patient.
+	retrainSeq int64
+
+	// installedSeq is the highest retrainSeq whose model has been
+	// installed; it keeps a slow older retrain from overwriting a
+	// newer one when the learner pool completes jobs out of order.
+	installedSeq atomic.Int64
+}
+
+// nopClassifier satisfies rt.Classifier for detector construction; the
+// worker always feeds precomputed batch predictions through
+// PushPrediction, so it is never consulted.
+type nopClassifier struct{}
+
+func (nopClassifier) Predict([]float64) bool { return false }
+
+func newSession(id string, historyRows int, cfg Config) (*session, error) {
+	st, err := features.NewStreamer(cfg.SampleRate, cfg.FeatureCfg)
+	if err != nil {
+		return nil, err
+	}
+	det, err := rt.NewDetector(nopClassifier{}, cfg.AlarmCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &session{
+		id:       id,
+		streamer: st,
+		alarm:    det,
+		history:  make([][]float64, historyRows),
+	}, nil
+}
+
+// ingest pushes one batch of synchronized samples through the feature
+// extractor and returns the feature rows completed by this batch. Rows
+// are also appended to the rolling history.
+func (s *session) ingest(c0, c1 []float64) ([][]float64, error) {
+	var rows [][]float64
+	for i := range c0 {
+		row, ready, err := s.streamer.Push(c0[i], c1[i])
+		if err != nil {
+			return rows, err
+		}
+		if ready {
+			rows = append(rows, row)
+			s.remember(row)
+		}
+	}
+	return rows, nil
+}
+
+// remember appends one feature row to the rolling history ring.
+func (s *session) remember(row []float64) {
+	if len(s.history) == 0 {
+		return
+	}
+	s.history[s.histPos] = row
+	s.histPos = (s.histPos + 1) % len(s.history)
+	if s.histLen < len(s.history) {
+		s.histLen++
+	}
+}
+
+// historySnapshot linearizes the history ring oldest-first into a fresh
+// slice; the row slices themselves are shared (immutable once emitted).
+func (s *session) historySnapshot() [][]float64 {
+	out := make([][]float64, 0, s.histLen)
+	start := s.histPos - s.histLen
+	for i := 0; i < s.histLen; i++ {
+		out = append(out, s.history[((start+i)%len(s.history)+len(s.history))%len(s.history)])
+	}
+	return out
+}
+
+// classify scores the batch's feature rows with the current model (all
+// negative while untrained) and feeds them through the alarm layer,
+// returning how many alarms fired.
+func (s *session) classify(rows [][]float64) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	var preds []bool
+	if f := s.model.Load(); f != nil {
+		preds = f.PredictBatch(rows)
+	} else {
+		preds = make([]bool, len(rows))
+	}
+	fired := 0
+	for _, p := range preds {
+		if s.alarm.PushPrediction(p) {
+			fired++
+		}
+	}
+	return fired
+}
