@@ -4,17 +4,27 @@
 // wearables streaming EEG to one backend, each closing its own
 // self-learning loop.
 //
-// Every patient streams a synthetic recording containing one seizure in
-// one-second batches, optionally paced at a real-time multiplier
-// (-speed 1 is wall-clock realtime, 0 is as fast as the hardware
-// allows). Shortly after each patient's seizure ends, the harness
-// issues the patient's confirmation button press, which schedules
-// a-posteriori labeling and detector retraining on the background
-// learner pool. Periodic and final statistics show sessions, windows
-// classified per second, alarms, queue depth and retrain outcomes.
+// Every patient Opens a session-handle stream and pushes a synthetic
+// recording containing one seizure in one-second batches, optionally
+// paced at a real-time multiplier (-speed 1 is wall-clock realtime, 0
+// is as fast as the hardware allows). Shortly after each patient's
+// seizure ends, the harness issues the patient's confirmation button
+// press, which schedules a-posteriori labeling and detector retraining
+// on the background learner pool. An Events subscriber prints the live
+// alarm stream — the paper's "alarm to caregivers" — alongside retrain
+// failures; the final summary cross-checks that every alarm the server
+// counted was delivered.
+//
+// Flags select the admission policy applied on full shard queues
+// (-admission drop|block|shed), an on-disk model store so detectors
+// survive restarts (-store DIR; rerun with the same directory and the
+// replay starts warm, alarming before any confirmation), and
+// machine-readable output (-json emits one JSON object per line:
+// "stats", "alarm", "retrain-error" and a final "summary").
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -36,10 +46,32 @@ func main() {
 	rate := flag.Float64("rate", 256, "sampling rate in Hz")
 	queue := flag.Int("queue", 256, "per-worker queue depth")
 	statsEvery := flag.Duration("stats", 2*time.Second, "statistics print interval")
+	admission := flag.String("admission", "drop", "admission policy on full shard queues: drop, block or shed")
+	deadline := flag.Duration("deadline", 50*time.Millisecond, "queue-space wait for -admission block")
+	storeDir := flag.String("store", "", "model checkpoint directory (persists detectors across runs); empty = in-memory")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON lines instead of text")
 	flag.Parse()
 
 	if *duration < 60 {
 		log.Fatal("serve: -duration must be at least 60 s to fit a seizure and its confirmation")
+	}
+	opts := []serve.Option{serve.WithEventBuffer(16 * *patients)}
+	switch *admission {
+	case "drop":
+		opts = append(opts, serve.WithAdmission(serve.DropOnFull()))
+	case "block":
+		opts = append(opts, serve.WithAdmission(serve.BlockWithDeadline(*deadline)))
+	case "shed":
+		opts = append(opts, serve.WithAdmission(serve.ShedOldest()))
+	default:
+		log.Fatalf("serve: unknown -admission %q (want drop, block or shed)", *admission)
+	}
+	if *storeDir != "" {
+		fs, err := serve.NewFileStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, serve.WithModelStore(fs))
 	}
 	srv, err := serve.New(serve.Config{
 		Workers:            *workers,
@@ -49,13 +81,38 @@ func main() {
 		SampleRate:         *rate,
 		History:            time.Duration(*duration) * time.Second,
 		AvgSeizureDuration: 25 * time.Second,
-	})
+	}, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("serving %d patients × %.0f s at %g Hz (%d workers, %d learners, speed ×%g)\n\n",
-		*patients, *duration, *rate, *workers, *learners, *speed)
+	out := &printer{json: *jsonOut, start: time.Now()}
+	out.headline("serving %d patients × %.0f s at %g Hz (%d workers, %d learners, admission %s, speed ×%g)",
+		*patients, *duration, *rate, *workers, *learners, *admission, *speed)
+
+	// The delivery path: one subscriber drains every alarm, retrain
+	// outcome and eviction; the summary cross-checks its alarm count
+	// against the server's counter.
+	var alarmsObserved, retrainsObserved, evictionsObserved uint64
+	eventsDone := make(chan struct{})
+	events := srv.Events() // subscribe before any traffic can emit
+	go func() {
+		defer close(eventsDone)
+		for ev := range events {
+			switch ev.Kind {
+			case serve.EventAlarm:
+				alarmsObserved++
+				out.alarm(ev)
+			case serve.EventRetrain:
+				retrainsObserved++
+				if ev.Err != nil {
+					out.retrainError(ev)
+				}
+			case serve.EventEviction:
+				evictionsObserved++
+			}
+		}
+	}()
 
 	stop := make(chan struct{})
 	go func() {
@@ -66,7 +123,7 @@ func main() {
 			case <-stop:
 				return
 			case <-tick.C:
-				printStats(srv.Snapshot())
+				out.stats(srv.Snapshot())
 			}
 		}
 	}()
@@ -82,31 +139,48 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	// Stop the periodic printer before the drain loop below starts
+	// polling: Snapshot is a mutating rate sampler, and two concurrent
+	// observers would slice each other's WindowsPerSec intervals.
+	close(stop)
 
 	// Let the learner pool drain outstanding confirmations.
-	deadline := time.Now().Add(2 * time.Minute)
+	drainDeadline := time.Now().Add(2 * time.Minute)
 	for {
 		st := srv.Snapshot()
-		if st.Retrains+st.RetrainErrors+st.ConfirmsDropped >= st.Confirms || time.Now().After(deadline) {
+		if st.Retrains+st.RetrainErrors+st.ConfirmsDropped >= st.Confirms || time.Now().After(drainDeadline) {
 			break
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
 	srv.Close()
-	close(stop)
+	<-eventsDone // Events channel closed by Close; subscriber has seen everything
 
 	st := srv.Snapshot()
-	fmt.Printf("\nreplayed %d patient-streams in %v\n", *patients, elapsed.Round(time.Millisecond))
-	printStats(st)
+	out.headline("replayed %d patient-streams in %v", *patients, elapsed.Round(time.Millisecond))
+	out.summary(st, elapsed, alarmsObserved, retrainsObserved, evictionsObserved)
+	fail := false
 	if st.Retrains < uint64(*patients) {
-		fmt.Printf("warning: only %d/%d patients retrained\n", st.Retrains, *patients)
+		out.headline("warning: only %d/%d patients retrained", st.Retrains, *patients)
+		// Under shed-oldest an unpaced replay loses data by design —
+		// retrain shortfalls demonstrate the policy rather than a bug.
+		if *admission != "shed" {
+			fail = true
+		}
+	}
+	if alarmsObserved != st.Alarms {
+		out.headline("warning: subscriber observed %d alarms but the server raised %d (events dropped: %d)",
+			alarmsObserved, st.Alarms, st.EventsDropped)
+		fail = true
+	}
+	if fail {
 		os.Exit(1)
 	}
 }
 
 // replayPatient generates one patient's recording (background plus one
-// seizure) and streams it in one-second batches, confirming the seizure
-// 15 s after it ends.
+// seizure) and streams it through a session handle in one-second
+// batches, confirming the seizure 15 s after it ends.
 func replayPatient(srv *serve.Server, p int, duration, rate, speed float64) {
 	id := fmt.Sprintf("patient-%04d", p)
 	// Stagger seizure onsets across patients so confirmations (and the
@@ -129,6 +203,11 @@ func replayPatient(srv *serve.Server, p int, duration, rate, speed float64) {
 	if err != nil {
 		log.Fatalf("%s: %v", id, err)
 	}
+	h, err := srv.Open(id)
+	if err != nil {
+		log.Fatalf("%s: %v", id, err)
+	}
+	defer h.Close()
 	c0, c1 := rec.Data[0], rec.Data[1]
 	batch := int(rate)
 	confirmAt := seizureStart + seizureDur + 15
@@ -143,38 +222,143 @@ func replayPatient(srv *serve.Server, p int, duration, rate, speed float64) {
 		if end > len(c0) {
 			end = len(c0)
 		}
-		submit(srv, id, c0[off:end], c1[off:end])
+		push(h, c0[off:end], c1[off:end])
 		if !confirmed && float64(sec) >= confirmAt {
 			confirmed = true
-			for srv.Confirm(id) == serve.ErrBackpressure {
-				time.Sleep(time.Millisecond)
-			}
+			confirm(h)
 		}
 	}
 	if !confirmed {
-		for srv.Confirm(id) == serve.ErrBackpressure {
-			time.Sleep(time.Millisecond)
-		}
+		confirm(h)
 	}
 }
 
-// submit retries one batch until the shard accepts it; the wearable
-// gateway's local buffer-and-resend policy.
-func submit(srv *serve.Server, id string, c0, c1 []float64) {
+// push retries one batch until the shard accepts it; the wearable
+// gateway's local buffer-and-resend policy. (Under -admission shed the
+// first attempt always lands: the server makes room itself.)
+func push(h *serve.Stream, c0, c1 []float64) {
 	for {
-		err := srv.Submit(id, c0, c1)
+		err := h.Push(c0, c1)
 		if err == nil {
 			return
 		}
 		if err != serve.ErrBackpressure {
-			log.Fatalf("%s: %v", id, err)
+			log.Fatalf("%s: %v", h.Patient(), err)
 		}
 		time.Sleep(time.Millisecond)
 	}
 }
 
-func printStats(st serve.Stats) {
-	fmt.Printf("[%7.1fs] sessions %4d | windows %8d (%7.0f/s) | alarms %4d | queue %4d | confirms %3d | retrains %3d (%d err, %d lost) | backpressure %d\n",
+func confirm(h *serve.Stream) {
+	for h.Confirm() == serve.ErrBackpressure {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// printer renders harness output as human text or JSON lines.
+type printer struct {
+	mu    sync.Mutex
+	json  bool
+	start time.Time
+}
+
+func (p *printer) emit(v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.mu.Lock()
+	fmt.Println(string(data))
+	p.mu.Unlock()
+}
+
+func (p *printer) headline(format string, args ...any) {
+	if p.json {
+		p.emit(map[string]any{"type": "note", "message": fmt.Sprintf(format, args...)})
+		return
+	}
+	p.mu.Lock()
+	fmt.Printf(format+"\n", args...)
+	p.mu.Unlock()
+}
+
+func (p *printer) alarm(ev serve.Event) {
+	if p.json {
+		p.emit(map[string]any{"type": "alarm", "patient": ev.Patient, "t_s": ev.Time.Sub(p.start).Seconds(), "seq": ev.Seq})
+		return
+	}
+	p.mu.Lock()
+	fmt.Printf("ALARM  %-14s t=+%.1fs\n", ev.Patient, ev.Time.Sub(p.start).Seconds())
+	p.mu.Unlock()
+}
+
+func (p *printer) retrainError(ev serve.Event) {
+	if p.json {
+		p.emit(map[string]any{"type": "retrain-error", "patient": ev.Patient, "error": ev.Err.Error()})
+		return
+	}
+	p.mu.Lock()
+	fmt.Printf("RETRAIN-ERROR %s: %v\n", ev.Patient, ev.Err)
+	p.mu.Unlock()
+}
+
+// statsFields flattens the snapshot for JSON output.
+func statsFields(st serve.Stats) map[string]any {
+	return map[string]any{
+		"uptime_s":          st.Uptime.Seconds(),
+		"sessions":          st.Sessions,
+		"streams_open":      st.StreamsOpen,
+		"windows":           st.Windows,
+		"windows_per_sec":   st.WindowsPerSec,
+		"alarms":            st.Alarms,
+		"queue_depth":       st.QueueDepth,
+		"batches":           st.Batches,
+		"batches_dropped":   st.BatchesDropped,
+		"batches_shed":      st.BatchesShed,
+		"confirms":          st.Confirms,
+		"confirms_rejected": st.ConfirmsRejected,
+		"confirms_dropped":  st.ConfirmsDropped,
+		"retrains":          st.Retrains,
+		"retrain_errors":    st.RetrainErrors,
+		"models_cached":     st.ModelsCached,
+		"store_errors":      st.StoreErrors,
+		"events_dropped":    st.EventsDropped,
+	}
+}
+
+func (p *printer) stats(st serve.Stats) {
+	if p.json {
+		f := statsFields(st)
+		f["type"] = "stats"
+		p.emit(f)
+		return
+	}
+	p.mu.Lock()
+	fmt.Printf("[%7.1fs] sessions %4d | windows %8d (%7.0f/s) | alarms %4d | queue %4d | confirms %3d | retrains %3d (%d err, %d lost) | backpressure %d | shed %d\n",
 		st.Uptime.Seconds(), st.Sessions, st.Windows, st.WindowsPerSec, st.Alarms,
-		st.QueueDepth, st.Confirms, st.Retrains, st.RetrainErrors, st.ConfirmsDropped, st.BatchesDropped+st.ConfirmsRejected)
+		st.QueueDepth, st.Confirms, st.Retrains, st.RetrainErrors, st.ConfirmsDropped,
+		st.BatchesDropped+st.ConfirmsRejected, st.BatchesShed)
+	p.mu.Unlock()
+}
+
+func (p *printer) summary(st serve.Stats, elapsed time.Duration, alarmsObserved, retrainsObserved, evictionsObserved uint64) {
+	if p.json {
+		f := statsFields(st)
+		f["type"] = "summary"
+		f["elapsed_s"] = elapsed.Seconds()
+		// windows_per_sec covers the final (idle) drain interval; the
+		// replay-wide average is what dashboards want.
+		f["windows_per_sec_avg"] = float64(st.Windows) / elapsed.Seconds()
+		f["alarms_observed"] = alarmsObserved
+		f["retrains_observed"] = retrainsObserved
+		f["evictions_observed"] = evictionsObserved
+		p.emit(f)
+		return
+	}
+	p.stats(st)
+	p.mu.Lock()
+	avg := float64(st.Windows) / elapsed.Seconds()
+	fmt.Printf("replay average %.0f windows/s | events delivered: %d alarms, %d retrains, %d evictions (%d dropped)\n",
+		avg, alarmsObserved, retrainsObserved, evictionsObserved, st.EventsDropped)
+	p.mu.Unlock()
 }

@@ -1,0 +1,127 @@
+package serve
+
+import "time"
+
+// AdmissionPolicy decides what happens when a stream's shard queue is
+// full. The zero-configuration default is DropOnFull — the wearable
+// gateway owns the retry. Policies are picked per server (WithAdmission)
+// or per stream (WithStreamAdmission); the set is closed over this
+// package's queue internals.
+type AdmissionPolicy interface {
+	// admit places j on w's queue or returns ErrBackpressure. It runs
+	// under the server's read lock, so it may block only briefly
+	// (blocking delays Close by at most the policy's deadline).
+	admit(s *Server, w *worker, j job) error
+}
+
+// DropOnFull rejects immediately when the shard queue is full — the
+// original non-blocking behavior. Lowest latency jitter: the caller
+// sees ErrBackpressure and owns buffering.
+func DropOnFull() AdmissionPolicy { return dropOnFull{} }
+
+type dropOnFull struct{}
+
+func (dropOnFull) admit(s *Server, w *worker, j job) error {
+	select {
+	case w.jobs <- j:
+		return nil
+	default:
+		return ErrBackpressure
+	}
+}
+
+// BlockWithDeadline waits up to d for queue space before giving up with
+// ErrBackpressure — smoothing short bursts without unbounded blocking.
+// A non-positive d blocks until space frees (use with care: it also
+// delays Close by the same wait).
+func BlockWithDeadline(d time.Duration) AdmissionPolicy { return blockWithDeadline{d: d} }
+
+type blockWithDeadline struct{ d time.Duration }
+
+func (p blockWithDeadline) admit(s *Server, w *worker, j job) error {
+	select {
+	case w.jobs <- j:
+		return nil
+	default:
+	}
+	if p.d <= 0 {
+		w.jobs <- j
+		return nil
+	}
+	t := time.NewTimer(p.d)
+	defer t.Stop()
+	select {
+	case w.jobs <- j:
+		return nil
+	case <-t.C:
+		return ErrBackpressure
+	}
+}
+
+// ShedOldest makes room for the new batch by discarding the oldest
+// queued batches on the shard — freshest-data-wins, the right policy
+// when stale EEG seconds are worthless once newer ones arrived. The
+// shard queue is shared by every patient hashed to it, so shedding
+// discards the oldest batches regardless of which stream pushed them:
+// an already-accepted Push can vanish with no error to its caller,
+// surfacing only in Stats.BatchesShed and the victim stream's
+// StreamStats.BatchesShed. Per-stream use (WithStreamAdmission) still
+// sheds shard-wide — mix it with other policies deliberately.
+// Confirmations are never shed: any encountered while clearing space
+// are re-enqueued behind the new batch.
+func ShedOldest() AdmissionPolicy { return shedOldest{} }
+
+type shedOldest struct{}
+
+func (shedOldest) admit(s *Server, w *worker, j job) error {
+	// pending holds jobs awaiting (re-)placement, oldest first: popped
+	// confirmations are prepended so they re-enter the queue ahead of
+	// the new job — a confirmation may drift a few batches later than
+	// it arrived (harmless: retraining snapshots history at processing
+	// time), but it is never discarded. The new job stays last.
+	pending := []job{j}
+	// pops bounds queue-clearing work so concurrent shedders cannot
+	// livelock each other; sends are not bounded — each one strictly
+	// shrinks pending.
+	pops := 0
+	for len(pending) > 0 {
+		select {
+		case w.jobs <- pending[0]:
+			pending = pending[1:]
+			continue
+		default:
+		}
+		if pops > cap(w.jobs)+2 {
+			break
+		}
+		pops++
+		select {
+		case old := <-w.jobs:
+			if old.confirm {
+				pending = append([]job{old}, pending...)
+			} else {
+				s.batchesShed.Add(1)
+				if old.stream != nil {
+					old.stream.shed.Add(1)
+				}
+			}
+		default:
+			// The worker drained the queue between probes; retry the send.
+		}
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	// Pop budget exhausted (a queue saturated with confirmations, or
+	// heavy contention): the new job — always pending's last element —
+	// is refused; any confirmation still unplaced gets one last
+	// best-effort re-enqueue before being counted as lost.
+	for _, c := range pending[:len(pending)-1] {
+		select {
+		case w.jobs <- c:
+		default:
+			s.confirmsDropped.Add(1)
+		}
+	}
+	return ErrBackpressure
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// saturate opens a depth-1 single-worker server and jams its shard: the
+// worker chews on a two-minute batch while one more batch waits in the
+// queue, so every subsequent admission faces a full queue.
+func saturate(t *testing.T, opts ...Option) (*Server, *Stream) {
+	t.Helper()
+	srv, err := New(Config{
+		Workers:    1,
+		QueueDepth: 1,
+		SampleRate: testRate,
+		History:    time.Minute,
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	h := open(t, srv, "p")
+	rec := testRecording(t, 11, 120, -1, 0)
+	if err := h.Push(rec.Data[0], rec.Data[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the queue slot behind the in-flight batch. Under DropOnFull
+	// the fill is complete when a push bounces; under other policies one
+	// extra accepted batch is enough (the queue holds at most one).
+	small0, small1 := make([]float64, testRate), make([]float64, testRate)
+	for i := 0; i < 100000; i++ {
+		if err := h.Push(small0, small1); err != nil {
+			break
+		}
+	}
+	return srv, h
+}
+
+func TestAdmissionDropOnFull(t *testing.T) {
+	srv, h := saturate(t) // DropOnFull is the default
+	small0, small1 := make([]float64, testRate), make([]float64, testRate)
+	start := time.Now()
+	sawBackpressure := false
+	for i := 0; i < 1000 && !sawBackpressure; i++ {
+		sawBackpressure = h.Push(small0, small1) == ErrBackpressure
+	}
+	if !sawBackpressure {
+		t.Fatal("never saw ErrBackpressure with a full depth-1 queue")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("drop-on-full took %v; must reject immediately", elapsed)
+	}
+	st := srv.Snapshot()
+	if st.BatchesDropped == 0 {
+		t.Fatalf("BatchesDropped = 0 after backpressure: %+v", st)
+	}
+	if hs := h.Stats(); hs.BatchesDropped == 0 {
+		t.Fatalf("stream BatchesDropped = 0 after backpressure: %+v", hs)
+	}
+}
+
+func TestAdmissionBlockWithDeadline(t *testing.T) {
+	// An idle shard (no consumer) keeps the queue full forever, so the
+	// wait must expire — deterministically, unlike racing a real worker.
+	const deadline = 60 * time.Millisecond
+	s, w := idleShard(1)
+	p := BlockWithDeadline(deadline)
+	if err := p.admit(s, w, job{patient: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := p.admit(s, w, job{patient: "p"})
+	elapsed := time.Since(start)
+	if err != ErrBackpressure {
+		t.Fatalf("admit on a stuck full queue = %v, want ErrBackpressure", err)
+	}
+	if elapsed < deadline {
+		t.Fatalf("gave up after %v, before the %v deadline", elapsed, deadline)
+	}
+	// Space freeing mid-wait lets the blocked admit through.
+	done := make(chan error, 1)
+	go func() { done <- p.admit(s, w, job{patient: "p"}) }()
+	time.Sleep(10 * time.Millisecond)
+	<-w.jobs
+	if err := <-done; err != nil {
+		t.Fatalf("admit after space freed = %v, want nil", err)
+	}
+}
+
+func TestAdmissionBlockRidesOutBurst(t *testing.T) {
+	// A short in-flight batch frees the queue well within the generous
+	// deadline, so blocked pushes must all eventually succeed — zero
+	// drops where DropOnFull would bounce constantly.
+	srv, err := New(Config{
+		Workers:    1,
+		QueueDepth: 1,
+		SampleRate: testRate,
+		History:    time.Minute,
+	}, WithAdmission(BlockWithDeadline(30*time.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := open(t, srv, "p")
+	rec := testRecording(t, 12, 10, -1, 0)
+	for off := 0; off < len(rec.Data[0]); off += testRate {
+		end := off + testRate
+		if end > len(rec.Data[0]) {
+			end = len(rec.Data[0])
+		}
+		if err := h.Push(rec.Data[0][off:end], rec.Data[1][off:end]); err != nil {
+			t.Fatalf("blocking push failed: %v", err)
+		}
+	}
+	if st := srv.Snapshot(); st.BatchesDropped != 0 {
+		t.Fatalf("BatchesDropped = %d under blocking admission, want 0", st.BatchesDropped)
+	}
+}
+
+// idleShard fabricates a queue with no consuming worker, so shed
+// mechanics can be asserted deterministically, job by job.
+func idleShard(depth int) (*Server, *worker) {
+	return &Server{}, &worker{jobs: make(chan job, depth)}
+}
+
+func TestShedOldestDiscardsStaleBatches(t *testing.T) {
+	s, w := idleShard(2)
+	p := ShedOldest()
+	for i := 0; i < 2; i++ {
+		if err := p.admit(s, w, job{patient: "old"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Full queue: the fresh batch must displace the oldest one.
+	if err := p.admit(s, w, job{patient: "fresh"}); err != nil {
+		t.Fatalf("admit on full queue = %v, want nil", err)
+	}
+	if got := s.batchesShed.Load(); got != 1 {
+		t.Fatalf("batchesShed = %d, want 1", got)
+	}
+	got := []string{(<-w.jobs).patient, (<-w.jobs).patient}
+	if got[0] != "old" || got[1] != "fresh" {
+		t.Fatalf("queue order = %v, want [old fresh]", got)
+	}
+}
+
+func TestShedOldestNeverShedsConfirms(t *testing.T) {
+	s, w := idleShard(3)
+	p := ShedOldest()
+	if err := p.admit(s, w, job{patient: "p", confirm: true}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := p.admit(s, w, job{patient: "p"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Queue is [confirm batch batch]. Shedding for a new batch must pop
+	// the confirmation, re-enqueue it, and discard a batch instead.
+	if err := p.admit(s, w, job{patient: "p"}); err != nil {
+		t.Fatalf("admit = %v, want nil", err)
+	}
+	if got := s.batchesShed.Load(); got != 1 {
+		t.Fatalf("batchesShed = %d, want 1", got)
+	}
+	if got := s.confirmsDropped.Load(); got != 0 {
+		t.Fatalf("confirmsDropped = %d, want 0", got)
+	}
+	confirms, batches := 0, 0
+	for len(w.jobs) > 0 {
+		if (<-w.jobs).confirm {
+			confirms++
+		} else {
+			batches++
+		}
+	}
+	if confirms != 1 || batches != 2 {
+		t.Fatalf("queue drained to %d confirms / %d batches, want 1/2", confirms, batches)
+	}
+}
+
+func TestShedOldestRefusesRatherThanShedLoneConfirm(t *testing.T) {
+	s, w := idleShard(1)
+	p := ShedOldest()
+	if err := p.admit(s, w, job{patient: "p", confirm: true}); err != nil {
+		t.Fatal(err)
+	}
+	// The only slot holds a confirmation; a batch cannot displace it.
+	if err := p.admit(s, w, job{patient: "p"}); err != ErrBackpressure {
+		t.Fatalf("admit over a lone confirm = %v, want ErrBackpressure", err)
+	}
+	if got := s.confirmsDropped.Load(); got != 0 {
+		t.Fatalf("confirmsDropped = %d, want 0", got)
+	}
+	if j := <-w.jobs; !j.confirm {
+		t.Fatal("confirmation no longer in the queue")
+	}
+}
+
+func TestAdmissionShedOldestUnderLoad(t *testing.T) {
+	srv, h := saturate(t, WithAdmission(ShedOldest()))
+	small0, small1 := make([]float64, testRate), make([]float64, testRate)
+	// Every push is admitted: shed-oldest makes room by discarding the
+	// stale queued batch instead of refusing the fresh one.
+	for i := 0; i < 200; i++ {
+		if err := h.Push(small0, small1); err != nil {
+			t.Fatalf("push %d under shed-oldest = %v, want nil", i, err)
+		}
+	}
+	st := srv.Snapshot()
+	if st.BatchesShed == 0 {
+		t.Fatalf("BatchesShed = 0 after shedding pushes: %+v", st)
+	}
+	if st.BatchesDropped != 0 {
+		t.Fatalf("BatchesDropped = %d under shed-oldest, want 0 (nothing was refused)", st.BatchesDropped)
+	}
+	if hs := h.Stats(); hs.BatchesShed == 0 {
+		t.Fatalf("stream BatchesShed = 0: %+v", hs)
+	}
+}

@@ -74,35 +74,83 @@ func (c *lru[V]) evictOldest() {
 	}
 }
 
-// modelCache is the shared per-patient model store: trained forests
-// outlive their streaming session, so a patient whose session was
-// LRU-evicted under load resumes detection instantly on reconnect
-// instead of re-entering the untrained state.
+// modelCache is the shared per-patient model layer: a bounded LRU of
+// hot forests in front of the pluggable ModelStore. Trained forests
+// outlive their streaming session — and, with a FileStore, the process —
+// so a patient whose session was LRU-evicted (or whose server was
+// restarted) resumes detection warm instead of re-entering the
+// untrained state. The learner writes through: every published model
+// lands in both the LRU and the store.
 type modelCache struct {
-	mu sync.Mutex
-	t  *lru[*forest.Forest]
+	mu    sync.Mutex
+	t     *lru[*forest.Forest]
+	store ModelStore
+	// onErr observes store Load/Save failures (the serving path treats
+	// them as misses rather than stalling on persistence).
+	onErr func(error)
 }
 
-func newModelCache(capacity int) *modelCache {
-	return &modelCache{t: newLRU[*forest.Forest](capacity, nil)}
+func newModelCache(capacity int, store ModelStore, onErr func(error)) *modelCache {
+	return &modelCache{t: newLRU[*forest.Forest](capacity, nil), store: store, onErr: onErr}
 }
 
-// Get returns the cached model for the patient, or nil.
+// Get returns the patient's model, reading through to the store on an
+// LRU miss, or nil when the patient has never been trained.
 func (m *modelCache) Get(patient string) *forest.Forest {
+	if f := m.cached(patient); f != nil {
+		return f
+	}
+	if m.store == nil {
+		return nil
+	}
+	f, err := m.store.Load(patient)
+	if err != nil {
+		if m.onErr != nil {
+			m.onErr(err)
+		}
+		return nil
+	}
+	if f == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Re-check under the lock: if a retrain published while the (slow)
+	// store load ran, its forest is newer than the checkpoint we read —
+	// keep it rather than clobbering the LRU with the stale load.
+	if cur, ok := m.t.Get(patient); ok {
+		return cur
+	}
+	m.t.Put(patient, f)
+	return f
+}
+
+// cached returns the patient's model from the LRU alone — the per-batch
+// reconcile path, which must never touch the (possibly on-disk) store.
+// Learner publishes always pass through the LRU, so in-process model
+// updates are visible here; only cross-restart warm starts need Get.
+func (m *modelCache) cached(patient string) *forest.Forest {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	f, _ := m.t.Get(patient)
 	return f
 }
 
-// Put stores (or refreshes) the patient's model.
+// Put publishes the patient's model to the LRU and writes it through to
+// the store.
 func (m *modelCache) Put(patient string, f *forest.Forest) {
 	if f == nil {
 		return
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.t.Put(patient, f)
+	m.mu.Unlock()
+	if m.store == nil {
+		return
+	}
+	if err := m.store.Save(patient, f); err != nil && m.onErr != nil {
+		m.onErr(err)
+	}
 }
 
 // Len returns the number of cached models.

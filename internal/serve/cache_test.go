@@ -56,7 +56,9 @@ func TestLRUZeroCapacityNeverEvicts(t *testing.T) {
 }
 
 func TestModelCacheRoundTrip(t *testing.T) {
-	mc := newModelCache(4)
+	// Store-less cache: pure LRU semantics (store behavior is covered in
+	// store_test.go).
+	mc := newModelCache(4, nil, nil)
 	if got := mc.Get("p1"); got != nil {
 		t.Fatalf("Get on empty cache = %v, want nil", got)
 	}

@@ -3,8 +3,11 @@ package serve
 // job is one unit of worker input: either a sample batch or a seizure
 // confirmation. Both kinds flow through the same queue so a patient's
 // confirmation is processed after every batch submitted before it.
+// stream points back at the originating handle for per-stream stats
+// (nil for internally generated jobs).
 type job struct {
 	patient string
+	stream  *Stream
 	c0, c1  []float64
 	confirm bool
 }
@@ -29,10 +32,11 @@ func newWorker(s *Server, index, historyRows int) *worker {
 	}
 	w.sessions = newLRU[*session](s.cfg.MaxSessions, func(id string, sess *session) {
 		// The session's streaming state dies with it, but the trained
-		// model is already in the shared cache (the learner publishes
-		// there), so a returning patient resumes detection warm.
+		// model is already in the model cache/store (the learner
+		// publishes there), so a returning patient resumes detection warm.
 		s.sessions.Add(-1)
 		s.sessionsEvicted.Add(1)
+		s.hub.emit(Event{Kind: EventEviction, Patient: id})
 	})
 	go w.run(historyRows)
 	return w
@@ -58,21 +62,34 @@ func (w *worker) run(historyRows int) {
 			w.srv.streamErrors.Add(1)
 		}
 		if len(rows) > 0 {
-			// Reconcile with the shared cache: the learner publishes
+			// Reconcile with the model cache: the learner publishes
 			// there first, and a session recreated after LRU eviction
 			// would otherwise miss a retrain that completed in flight.
-			if f := w.srv.cache.Get(j.patient); f != nil && f != sess.model.Load() {
+			// LRU-only lookup — the store must stay off the batch path.
+			if f := w.srv.cache.cached(j.patient); f != nil && f != sess.model.Load() {
 				sess.model.Store(f)
 			}
 			fired := sess.classify(rows)
 			w.srv.windows.Add(uint64(len(rows)))
-			w.srv.alarms.Add(uint64(fired))
+			if j.stream != nil {
+				j.stream.windows.Add(uint64(len(rows)))
+			}
+			if fired > 0 {
+				w.srv.alarms.Add(uint64(fired))
+				if j.stream != nil {
+					j.stream.alarms.Add(uint64(fired))
+				}
+				for i := 0; i < fired; i++ {
+					w.srv.hub.emit(Event{Kind: EventAlarm, Patient: j.patient})
+				}
+			}
 		}
 	}
 }
 
 // session returns the patient's live session, creating (and warm
-// starting from the model cache) or LRU-touching as needed.
+// starting from the model cache or its backing store) or LRU-touching
+// as needed.
 func (w *worker) session(patientID string, historyRows int) (*session, error) {
 	if sess, ok := w.sessions.Get(patientID); ok {
 		return sess, nil
@@ -81,6 +98,9 @@ func (w *worker) session(patientID string, historyRows int) (*session, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Full read-through Get: a first session after process restart warm
+	// starts from a FileStore checkpoint here, before its first window
+	// is ever classified.
 	if f := w.srv.cache.Get(patientID); f != nil {
 		sess.model.Store(f)
 	}

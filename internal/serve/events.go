@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// EventKind discriminates the server's delivery-path events.
+type EventKind int
+
+const (
+	// EventAlarm is one raised seizure alarm — the paper's "alarm to
+	// caregivers", finally observable by a caller.
+	EventAlarm EventKind = iota
+	// EventRetrain reports a completed background retrain; Err is
+	// non-nil when labeling or training failed.
+	EventRetrain
+	// EventEviction reports a session LRU-evicted under load. The
+	// patient's trained model survives in the model cache/store.
+	EventEviction
+)
+
+// String names the kind for logs.
+func (k EventKind) String() string {
+	switch k {
+	case EventAlarm:
+		return "alarm"
+	case EventRetrain:
+		return "retrain"
+	case EventEviction:
+		return "eviction"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one delivery-path occurrence: an alarm raised for a patient,
+// a background retrain finishing, or a session eviction.
+type Event struct {
+	Kind    EventKind
+	Patient string
+	// Time is when the event was emitted (server clock).
+	Time time.Time
+	// Seq orders events across the whole server.
+	Seq uint64
+	// Err carries the failure of an EventRetrain; nil otherwise.
+	Err error
+}
+
+// eventHub fans events out to the subscriber channel and the optional
+// synchronous sink. Delivery never blocks the serving path: when the
+// subscriber lags behind the buffer, events are dropped and counted.
+type eventHub struct {
+	ch         chan Event
+	sink       func(Event)
+	subscribed atomic.Bool
+	seq        atomic.Uint64
+	dropped    atomic.Uint64
+}
+
+func newEventHub(buffer int, sink func(Event)) *eventHub {
+	return &eventHub{ch: make(chan Event, buffer), sink: sink}
+}
+
+// emit stamps and delivers ev. The channel only receives events once a
+// subscriber exists (Events was called); before that, events reach the
+// sink alone rather than silently filling the buffer.
+func (h *eventHub) emit(ev Event) {
+	ev.Seq = h.seq.Add(1)
+	ev.Time = time.Now()
+	if h.sink != nil {
+		h.sink(ev)
+	}
+	if !h.subscribed.Load() {
+		return
+	}
+	select {
+	case h.ch <- ev:
+	default:
+		h.dropped.Add(1)
+	}
+}
+
+// events returns the subscriber channel, activating channel delivery.
+func (h *eventHub) events() <-chan Event {
+	h.subscribed.Store(true)
+	return h.ch
+}
+
+// close ends the subscriber channel; emit must not be called after.
+func (h *eventHub) close() { close(h.ch) }

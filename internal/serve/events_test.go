@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEventDelivery subscribes before any traffic and checks that the
+// channel carries exactly the alarms, retrain outcomes and evictions
+// the counters report — the paper's "alarm to caregivers" made
+// observable. Run with -race in CI, it also exercises concurrent
+// emit/subscribe safety.
+func TestEventDelivery(t *testing.T) {
+	var sinkMu sync.Mutex
+	sinkCounts := map[EventKind]int{}
+	srv, err := New(Config{
+		Workers:            1, // single shard so MaxSessions is exact
+		MaxSessions:        1, // second patient evicts the first
+		SampleRate:         testRate,
+		History:            4 * time.Minute,
+		AvgSeizureDuration: 20 * time.Second,
+	}, WithEventBuffer(4096), WithEventSink(func(ev Event) {
+		sinkMu.Lock()
+		sinkCounts[ev.Kind]++
+		sinkMu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	counts := map[EventKind]int{}
+	seqs := map[uint64]bool{}
+	collected := make(chan struct{})
+	events := srv.Events()
+	go func() {
+		defer close(collected)
+		for ev := range events {
+			counts[ev.Kind]++
+			// Seqs are stamped before the send, so arrival order across
+			// emitter goroutines may interleave — but never repeat.
+			if seqs[ev.Seq] {
+				t.Errorf("duplicate event seq %d", ev.Seq)
+			}
+			seqs[ev.Seq] = true
+			if ev.Patient == "" {
+				t.Errorf("event without patient: %+v", ev)
+			}
+			if ev.Kind == EventRetrain && ev.Err != nil {
+				t.Errorf("retrain failed: %v", ev.Err)
+			}
+		}
+	}()
+
+	// Train patient A on a confirmed seizure, then replay a fresh
+	// seizure so the retrained detector raises alarms.
+	const patient = "chb01"
+	h := open(t, srv, patient)
+	stream(t, h, testRecording(t, 1, 180, 90, 24))
+	if err := h.Confirm(); err != nil {
+		t.Fatal(err)
+	}
+	if st := awaitRetrains(t, srv, 1); st.Retrains != 1 {
+		t.Fatalf("retrain failed: %+v", st)
+	}
+	stream(t, h, testRecording(t, 2, 180, 100, 24))
+	// A second patient on the one-session shard evicts patient A.
+	h2 := open(t, srv, "chb02")
+	stream(t, h2, testRecording(t, 3, 10, -1, 0))
+	srv.Close()
+	<-collected
+
+	st := srv.Snapshot()
+	if st.Alarms == 0 || st.SessionsEvicted == 0 {
+		t.Fatalf("scenario raised no alarms/evictions: %+v", st)
+	}
+	if st.EventsDropped != 0 {
+		t.Fatalf("EventsDropped = %d with an attentive subscriber, want 0", st.EventsDropped)
+	}
+	if got, want := counts[EventAlarm], int(st.Alarms); got != want {
+		t.Fatalf("alarm events = %d, counter says %d", got, want)
+	}
+	if got, want := counts[EventRetrain], int(st.Retrains+st.RetrainErrors); got != want {
+		t.Fatalf("retrain events = %d, counter says %d", got, want)
+	}
+	if got, want := counts[EventEviction], int(st.SessionsEvicted); got != want {
+		t.Fatalf("eviction events = %d, counter says %d", got, want)
+	}
+	// The synchronous sink saw everything the channel saw.
+	sinkMu.Lock()
+	defer sinkMu.Unlock()
+	for _, k := range []EventKind{EventAlarm, EventRetrain, EventEviction} {
+		if sinkCounts[k] != counts[k] {
+			t.Fatalf("sink saw %d %v events, channel saw %d", sinkCounts[k], k, counts[k])
+		}
+	}
+}
+
+// TestEventsDroppedWhenUnread: an activated subscriber that never reads
+// loses events beyond the buffer — counted, never blocking the servers.
+func TestEventsDroppedWhenUnread(t *testing.T) {
+	srv, err := New(Config{
+		Workers:     1,
+		MaxSessions: 1,
+		SampleRate:  testRate,
+		History:     time.Minute,
+	}, WithEventBuffer(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Events() // subscribe, then ignore the channel
+	rec := testRecording(t, 5, 10, -1, 0)
+	for _, p := range []string{"a", "b", "c"} { // two evictions
+		h := open(t, srv, p)
+		stream(t, h, rec)
+		h.Close()
+	}
+	srv.Close()
+	st := srv.Snapshot()
+	if st.SessionsEvicted != 2 {
+		t.Fatalf("evictions = %d, want 2", st.SessionsEvicted)
+	}
+	if st.EventsDropped == 0 {
+		t.Fatal("EventsDropped = 0 with a 1-slot buffer and an absent reader")
+	}
+}
+
+// TestNoSubscriberNoDrops: before Events is called, channel delivery is
+// off — servers without observers must not accumulate drop counts.
+func TestNoSubscriberNoDrops(t *testing.T) {
+	srv, err := New(Config{
+		Workers:     1,
+		MaxSessions: 1,
+		SampleRate:  testRate,
+		History:     time.Minute,
+	}, WithEventBuffer(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rec := testRecording(t, 5, 10, -1, 0)
+	for _, p := range []string{"a", "b", "c"} {
+		h := open(t, srv, p)
+		stream(t, h, rec)
+		h.Close()
+	}
+	srv.Close()
+	if st := srv.Snapshot(); st.EventsDropped != 0 {
+		t.Fatalf("EventsDropped = %d with no subscriber, want 0", st.EventsDropped)
+	}
+}

@@ -33,11 +33,13 @@ func newLearner(s *Server, workers, queue int) *learner {
 		go func() {
 			defer l.wg.Done()
 			for j := range l.jobs {
-				if err := l.retrain(j); err != nil {
+				err := l.retrain(j)
+				if err != nil {
 					s.retrainErrors.Add(1)
 				} else {
 					s.retrains.Add(1)
 				}
+				s.hub.emit(Event{Kind: EventRetrain, Patient: j.sess.id, Err: err})
 			}
 		}()
 	}
@@ -88,16 +90,15 @@ func (l *learner) retrain(j retrainJob) error {
 		return err
 	}
 	// Two learners can finish the same patient's retrains out of order;
-	// only the highest sequence may install.
-	for {
-		cur := j.sess.installedSeq.Load()
-		if j.seq <= cur {
-			return nil
-		}
-		if j.sess.installedSeq.CompareAndSwap(cur, j.seq) {
-			break
-		}
+	// only the highest sequence may install. The check and the publish
+	// must be one critical section: a bare CAS gate would let a
+	// descheduled older retrain publish after a newer one already did.
+	j.sess.installMu.Lock()
+	defer j.sess.installMu.Unlock()
+	if j.seq <= j.sess.installedSeq.Load() {
+		return nil
 	}
+	j.sess.installedSeq.Store(j.seq)
 	// Publish to the shared cache before the captured session pointer:
 	// if the session was LRU-evicted and recreated while training ran,
 	// the live replacement reconciles from the cache (dispatch.go), so

@@ -6,21 +6,25 @@
 // Each patient gets a session owning the streaming feature extractor
 // (internal/features.Streamer), the current random-forest window
 // classifier (internal/ml/forest) and the alarm layer (internal/rt).
-// Sample batches enter through Submit; a dispatcher shards patients
-// across workers by ID hash so one patient's stream is always processed
-// in order by a single goroutine, window classifications are batched
-// per submission, and per-patient models are cached with LRU eviction
-// so an evicted session resumes warm. When a patient confirms a seizure
-// (Confirm — the paper's button press), the session's buffered feature
-// history is handed to a background learner pool that runs the
+// Callers interact through per-patient Stream handles: Server.Open
+// resolves the patient's shard once, and the handle's Push enqueues
+// sample batches to that shard, where one goroutine processes the
+// stream strictly in order. What happens when a shard queue fills is a
+// pluggable AdmissionPolicy (drop, block-with-deadline, or shed-oldest);
+// per-patient models sit in a bounded LRU in front of a pluggable
+// ModelStore, so trained detectors survive eviction — and, with a
+// FileStore, survive restarts. When a patient confirms a seizure
+// (Stream.Confirm — the paper's button press), the session's buffered
+// feature history is handed to a background learner pool that runs the
 // a-posteriori labeling algorithm (internal/core) and retrains the
-// forest without stalling the real-time path.
+// forest without stalling the real-time path. Alarms, retrain outcomes
+// and session evictions are observable through Events — the paper's
+// "alarm to caregivers" as an actual delivery path.
 package serve
 
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"runtime"
 	"sync"
@@ -33,28 +37,31 @@ import (
 	"selflearn/internal/signal"
 )
 
-// ErrBackpressure is returned by Submit and Confirm when the target
-// worker's queue is full. The caller owns the retry policy: a wearable
-// gateway would buffer locally and resubmit, a replay harness may drop.
+// ErrBackpressure is returned by Push and Confirm when the stream's
+// admission policy gives up on a full shard queue. The caller owns the
+// retry policy: a wearable gateway would buffer locally and resubmit, a
+// replay harness may drop.
 var ErrBackpressure = errors.New("serve: worker queue full")
 
-// ErrClosed is returned by Submit and Confirm after Close.
+// ErrClosed is returned by Open, Push and Confirm after Server.Close.
 var ErrClosed = errors.New("serve: server closed")
 
 // Config sizes the serving subsystem. The zero value of every field
-// selects a sensible default.
+// selects a sensible default. Policy objects (model store, admission,
+// event delivery) are configured separately via Options to New.
 type Config struct {
 	// Workers is the number of shard workers; patients are assigned to
 	// workers by ID hash. 0 means GOMAXPROCS.
 	Workers int
-	// QueueDepth bounds each worker's job queue; a full queue surfaces
-	// as ErrBackpressure rather than unbounded memory growth. 0 = 256.
+	// QueueDepth bounds each worker's job queue; what happens beyond it
+	// is the admission policy's call (default: ErrBackpressure). 0 = 256.
 	QueueDepth int
 	// MaxSessions caps live sessions per worker; beyond it the least
 	// recently used session is evicted (its model survives in the
-	// shared cache). 0 = 1024.
+	// model cache/store). 0 = 1024.
 	MaxSessions int
-	// ModelCacheSize caps the shared per-patient model cache. 0 = 4096.
+	// ModelCacheSize caps the in-memory LRU in front of the model
+	// store. 0 = 4096.
 	ModelCacheSize int
 	// Learners is the size of the background retraining pool. 0 = 2.
 	Learners int
@@ -124,26 +131,34 @@ func (c Config) withDefaults() Config {
 
 // Stats is a point-in-time snapshot of the server's counters.
 type Stats struct {
-	// Sessions is the number of live streaming sessions.
-	Sessions int
+	// Sessions is the number of live streaming sessions; StreamsOpen is
+	// the number of un-Closed handles returned by Open.
+	Sessions    int
+	StreamsOpen int
 	// SessionsCreated and SessionsEvicted count session table churn.
 	SessionsCreated uint64
 	SessionsEvicted uint64
-	// Batches and BatchesDropped count Submit calls accepted and
-	// rejected with ErrBackpressure.
+	// Batches and BatchesDropped count Pushes accepted and rejected
+	// with ErrBackpressure; BatchesShed counts batches accepted but
+	// later discarded by a ShedOldest admission to make room.
 	Batches        uint64
 	BatchesDropped uint64
+	BatchesShed    uint64
 	// Windows is the number of feature windows classified.
 	Windows uint64
-	// WindowsPerSec is the lifetime classification rate.
+	// WindowsPerSec is the classification rate over the interval since
+	// the previous Snapshot call (the first call measures since start).
+	// Unlike a lifetime average it does not go stale on long-running
+	// servers; each Snapshot resets the interval.
 	WindowsPerSec float64
 	// Alarms is the number of alarms raised across all patients.
 	Alarms uint64
 	// Confirms counts accepted confirmations; ConfirmsRejected counts
 	// Confirm calls refused with ErrBackpressure (the caller saw the
 	// error and owns the retry); ConfirmsDropped counts confirmations
-	// accepted but then lost to a full learner queue — the only kind
-	// invisible to the caller.
+	// accepted but then lost inside the server — to a full learner
+	// queue, or under ShedOldest to a failed re-enqueue on a saturated
+	// shard — the only kind invisible to the caller.
 	Confirms         uint64
 	ConfirmsRejected uint64
 	ConfirmsDropped  uint64
@@ -154,8 +169,12 @@ type Stats struct {
 	// session construction failed; nonzero values indicate a
 	// configuration problem the pre-flight in New did not cover.
 	StreamErrors uint64
-	// ModelsCached is the shared model-cache occupancy.
+	// ModelsCached is the in-memory model LRU occupancy; StoreErrors
+	// counts ModelStore load/save failures (treated as cache misses).
 	ModelsCached int
+	StoreErrors  uint64
+	// EventsDropped counts events lost to a lagging Events subscriber.
+	EventsDropped uint64
 	// QueueDepth is the total number of jobs waiting across workers.
 	QueueDepth int
 	// Uptime since New.
@@ -164,20 +183,30 @@ type Stats struct {
 
 // Server is the concurrent multi-patient serving subsystem.
 type Server struct {
-	cfg     Config
-	workers []*worker
-	learner *learner
-	cache   *modelCache
-	start   time.Time
+	cfg       Config
+	admission AdmissionPolicy
+	workers   []*worker
+	learner   *learner
+	cache     *modelCache
+	hub       *eventHub
+	start     time.Time
 
-	mu     sync.RWMutex // guards closed against in-flight Submit/Confirm
+	mu     sync.RWMutex // guards closed against in-flight Open/Push/Confirm
 	closed bool
 
+	// snapMu guards the rate-sampling state behind Stats.WindowsPerSec.
+	snapMu      sync.Mutex
+	lastSnap    time.Time
+	lastWindows uint64
+	lastRate    float64
+
 	sessions         atomic.Int64
+	streamsOpen      atomic.Int64
 	sessionsCreated  atomic.Uint64
 	sessionsEvicted  atomic.Uint64
 	batches          atomic.Uint64
 	batchesDropped   atomic.Uint64
+	batchesShed      atomic.Uint64
 	windows          atomic.Uint64
 	alarms           atomic.Uint64
 	confirms         atomic.Uint64
@@ -186,10 +215,12 @@ type Server struct {
 	retrains         atomic.Uint64
 	retrainErrors    atomic.Uint64
 	streamErrors     atomic.Uint64
+	storeErrors      atomic.Uint64
 }
 
-// New starts a server with cfg's workers and learners running.
-func New(cfg Config) (*Server, error) {
+// New starts a server with cfg's workers and learners running. Options
+// plug in the model store, the admission policy, and event delivery.
+func New(cfg Config, opts ...Option) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.FeatureCfg.Validate(); err != nil {
 		return nil, err
@@ -208,7 +239,14 @@ func New(cfg Config) (*Server, error) {
 	if err := preflight(cfg); err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, cache: newModelCache(cfg.ModelCacheSize), start: time.Now()}
+	so := defaultServerOptions()
+	for _, opt := range opts {
+		opt(&so)
+	}
+	s := &Server{cfg: cfg, admission: so.admission, start: time.Now()}
+	s.lastSnap = s.start
+	s.hub = newEventHub(so.eventBuffer, so.sink)
+	s.cache = newModelCache(cfg.ModelCacheSize, so.store, func(error) { s.storeErrors.Add(1) })
 	s.learner = newLearner(s, cfg.Learners, cfg.LearnerQueue)
 	s.workers = make([]*worker, cfg.Workers)
 	for i := range s.workers {
@@ -236,72 +274,65 @@ func preflight(cfg Config) error {
 	return nil
 }
 
+// shardHash is FNV-1a inlined: the stdlib hash/fnv constructor
+// allocates a hasher object per call, which is pure garbage on a path
+// that hashes a short string once.
+func shardHash(patientID string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(patientID); i++ {
+		h ^= uint32(patientID[i])
+		h *= 16777619
+	}
+	return h
+}
+
 // shard maps a patient ID to its worker; a patient's jobs always land
-// on the same worker, which preserves per-stream ordering without locks.
+// on the same worker, which preserves per-stream ordering without
+// locks. Open resolves this once per handle, keeping Push hash-free.
 func (s *Server) shard(patientID string) *worker {
-	h := fnv.New32a()
-	h.Write([]byte(patientID))
-	return s.workers[h.Sum32()%uint32(len(s.workers))]
+	return s.workers[shardHash(patientID)%uint32(len(s.workers))]
 }
 
-// Submit enqueues one batch of synchronized two-channel samples for the
-// patient. It never blocks: a full worker queue returns
-// ErrBackpressure. The server takes ownership of the slices.
-func (s *Server) Submit(patientID string, c0, c1 []float64) error {
-	if len(c0) != len(c1) {
-		return fmt.Errorf("serve: channel length mismatch %d vs %d", len(c0), len(c1))
-	}
-	if len(c0) == 0 {
-		return nil
-	}
-	return s.enqueue(job{patient: patientID, c0: c0, c1: c1})
-}
-
-// Confirm reports the patient's seizure confirmation (the paper's
-// button press): the session's buffered feature history is scheduled
-// for a-posteriori labeling and detector retraining in the background.
-func (s *Server) Confirm(patientID string) error {
-	return s.enqueue(job{patient: patientID, confirm: true})
-}
-
-func (s *Server) enqueue(j job) error {
+// enqueue runs one job through the admission policy against w's queue,
+// maintaining the server-wide accept/reject counters.
+func (s *Server) enqueue(w *worker, adm AdmissionPolicy, j job) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
-	w := s.shard(j.patient)
-	select {
-	case w.jobs <- j:
-		if j.confirm {
-			s.confirms.Add(1)
-		} else {
-			s.batches.Add(1)
-		}
-		return nil
+	err := adm.admit(s, w, j)
+	switch {
+	case err == nil && j.confirm:
+		s.confirms.Add(1)
+	case err == nil:
+		s.batches.Add(1)
+	case j.confirm:
+		s.confirmsRejected.Add(1)
 	default:
-		if j.confirm {
-			s.confirmsRejected.Add(1)
-		} else {
-			s.batchesDropped.Add(1)
-		}
-		return ErrBackpressure
+		s.batchesDropped.Add(1)
 	}
+	return err
 }
 
-// Snapshot returns current serving statistics.
+// Snapshot returns current serving statistics. Snapshot is also the
+// rate sampling point: WindowsPerSec covers the interval since the
+// previous Snapshot call, so a periodic stats loop sees the current
+// rate rather than a lifetime average diluted by hours of history.
 func (s *Server) Snapshot() Stats {
 	depth := 0
 	for _, w := range s.workers {
 		depth += len(w.jobs)
 	}
-	up := time.Since(s.start)
+	now := time.Now()
 	st := Stats{
 		Sessions:         int(s.sessions.Load()),
+		StreamsOpen:      int(s.streamsOpen.Load()),
 		SessionsCreated:  s.sessionsCreated.Load(),
 		SessionsEvicted:  s.sessionsEvicted.Load(),
 		Batches:          s.batches.Load(),
 		BatchesDropped:   s.batchesDropped.Load(),
+		BatchesShed:      s.batchesShed.Load(),
 		Windows:          s.windows.Load(),
 		Alarms:           s.alarms.Load(),
 		Confirms:         s.confirms.Load(),
@@ -311,24 +342,51 @@ func (s *Server) Snapshot() Stats {
 		RetrainErrors:    s.retrainErrors.Load(),
 		StreamErrors:     s.streamErrors.Load(),
 		ModelsCached:     s.cache.Len(),
+		StoreErrors:      s.storeErrors.Load(),
+		EventsDropped:    s.hub.dropped.Load(),
 		QueueDepth:       depth,
-		Uptime:           up,
+		Uptime:           now.Sub(s.start),
 	}
-	if secs := up.Seconds(); secs > 0 {
-		st.WindowsPerSec = float64(st.Windows) / secs
+	s.snapMu.Lock()
+	// Re-sample the counter under snapMu: reusing st.Windows (loaded
+	// before the lock) would race with other Snapshot callers — a stale
+	// sample underflows the uint64 delta into an absurd rate. Under the
+	// lock the monotonic counter can only have advanced past lastWindows.
+	// A non-positive dt (clock reads reordered across callers) skips the
+	// resample rather than corrupting the interval.
+	if dt := now.Sub(s.lastSnap).Seconds(); dt > 0 {
+		windows := s.windows.Load()
+		s.lastRate = float64(windows-s.lastWindows) / dt
+		s.lastSnap = now
+		s.lastWindows = windows
 	}
+	st.WindowsPerSec = s.lastRate
+	s.snapMu.Unlock()
 	return st
 }
 
-// Model returns the patient's current trained detector from the shared
-// cache, or nil while untrained.
+// Events returns the server's event stream: every alarm, retrain
+// outcome and session eviction, in emission order per shard. The
+// channel is closed by Server.Close after all pending work drained, so
+// a subscriber can simply range over it. Delivery never blocks serving:
+// a subscriber more than the event buffer behind loses events, counted
+// in Stats.EventsDropped. All callers share one channel — each event is
+// delivered to exactly one receiver.
+func (s *Server) Events() <-chan Event {
+	return s.hub.events()
+}
+
+// Model returns the patient's current trained detector from the model
+// cache (reading through to the store), or nil while untrained.
 func (s *Server) Model(patientID string) *forest.Forest {
 	return s.cache.Get(patientID)
 }
 
 // Close drains the worker queues, waits for in-flight retraining to
-// finish, and releases all sessions. Submit and Confirm fail with
-// ErrClosed afterwards. Close is idempotent.
+// finish, closes the Events channel, and releases all sessions. Open,
+// Push and Confirm fail with ErrClosed afterwards. A blocking admission
+// in flight (BlockWithDeadline) delays Close by at most its deadline.
+// Close is idempotent.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -344,4 +402,5 @@ func (s *Server) Close() {
 		<-w.done
 	}
 	s.learner.close()
+	s.hub.close()
 }

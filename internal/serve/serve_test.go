@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"testing"
 	"time"
@@ -37,9 +38,9 @@ func testRecording(t testing.TB, seed int64, duration, seizureStart, seizureDur 
 	return rec
 }
 
-// stream submits rec for patientID in one-second batches, retrying on
-// backpressure.
-func stream(t testing.TB, s *Server, patientID string, rec *signal.Recording) {
+// stream pushes rec through the handle in one-second batches, retrying
+// on backpressure.
+func stream(t testing.TB, h *Stream, rec *signal.Recording) {
 	t.Helper()
 	c0, c1 := rec.Data[0], rec.Data[1]
 	batch := int(rec.SampleRate)
@@ -49,15 +50,42 @@ func stream(t testing.TB, s *Server, patientID string, rec *signal.Recording) {
 			end = len(c0)
 		}
 		for {
-			err := s.Submit(patientID, c0[off:end], c1[off:end])
+			err := h.Push(c0[off:end], c1[off:end])
 			if err == nil {
 				break
 			}
 			if err != ErrBackpressure {
-				t.Fatalf("Submit: %v", err)
+				t.Fatalf("Push: %v", err)
 			}
 			time.Sleep(time.Millisecond)
 		}
+	}
+}
+
+// open returns a handle, failing the test on error.
+func open(t testing.TB, srv *Server, patient string, opts ...StreamOption) *Stream {
+	t.Helper()
+	h, err := srv.Open(patient, opts...)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", patient, err)
+	}
+	return h
+}
+
+// awaitRetrains polls until the learner pool has finished n retrains
+// (success or failure) or the deadline passes.
+func awaitRetrains(t testing.TB, srv *Server, n uint64) Stats {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := srv.Snapshot()
+		if st.Retrains+st.RetrainErrors >= n {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retrain never completed: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
@@ -74,25 +102,15 @@ func TestSessionLifecycleAndSelfLearning(t *testing.T) {
 	defer srv.Close()
 
 	const patient = "chb01"
+	h := open(t, srv, patient)
 	// Phase 1: stream a buffer containing one seizure, then confirm it.
 	rec := testRecording(t, 1, 180, 90, 24)
-	stream(t, srv, patient, rec)
-	if err := srv.Confirm(patient); err != nil {
+	stream(t, h, rec)
+	if err := h.Confirm(); err != nil {
 		t.Fatalf("Confirm: %v", err)
 	}
-	deadline := time.Now().Add(60 * time.Second)
-	for {
-		st := srv.Snapshot()
-		if st.Retrains+st.RetrainErrors >= 1 {
-			if st.Retrains != 1 {
-				t.Fatalf("retrain failed: %+v", st)
-			}
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("retrain never completed: %+v", st)
-		}
-		time.Sleep(10 * time.Millisecond)
+	if st := awaitRetrains(t, srv, 1); st.Retrains != 1 {
+		t.Fatalf("retrain failed: %+v", st)
 	}
 	if srv.Model(patient) == nil {
 		t.Fatal("no model cached after retrain")
@@ -100,7 +118,7 @@ func TestSessionLifecycleAndSelfLearning(t *testing.T) {
 
 	// Phase 2: the retrained detector must alarm on a fresh seizure.
 	rec2 := testRecording(t, 2, 180, 100, 24)
-	stream(t, srv, patient, rec2)
+	stream(t, h, rec2)
 	srv.Close()
 
 	st := srv.Snapshot()
@@ -117,20 +135,27 @@ func TestSessionLifecycleAndSelfLearning(t *testing.T) {
 	if st.Alarms == 0 {
 		t.Fatal("retrained detector raised no alarm on a fresh seizure")
 	}
-	if st.WindowsPerSec <= 0 {
-		t.Fatalf("WindowsPerSec = %g, want > 0", st.WindowsPerSec)
+
+	// The handle's view must agree with the server's: this stream
+	// carried all the traffic.
+	hs := h.Stats()
+	if hs.Batches != st.Batches || hs.Windows != st.Windows || hs.Alarms != st.Alarms || hs.Confirms != 1 {
+		t.Fatalf("stream stats %+v disagree with server stats %+v", hs, st)
 	}
 
-	// Submissions after Close must fail fast.
-	if err := srv.Submit(patient, []float64{0}, []float64{0}); err != ErrClosed {
-		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	// Pushes after server Close must fail fast.
+	if err := h.Push([]float64{0}, []float64{0}); err != ErrClosed {
+		t.Fatalf("Push after server Close = %v, want ErrClosed", err)
 	}
-	if err := srv.Confirm(patient); err != ErrClosed {
-		t.Fatalf("Confirm after Close = %v, want ErrClosed", err)
+	if err := h.Confirm(); err != ErrClosed {
+		t.Fatalf("Confirm after server Close = %v, want ErrClosed", err)
+	}
+	if _, err := srv.Open(patient); err != ErrClosed {
+		t.Fatalf("Open after Close = %v, want ErrClosed", err)
 	}
 }
 
-func TestConcurrentSubmitManyPatients(t *testing.T) {
+func TestConcurrentPushManyPatients(t *testing.T) {
 	srv, err := New(Config{
 		Workers:    4,
 		QueueDepth: 64,
@@ -152,7 +177,9 @@ func TestConcurrentSubmitManyPatients(t *testing.T) {
 			defer wg.Done()
 			// Workers only read the sample slices, so all patients can
 			// share one recording.
-			stream(t, srv, fmt.Sprintf("patient-%03d", p), rec)
+			h := open(t, srv, fmt.Sprintf("patient-%03d", p))
+			defer h.Close()
+			stream(t, h, rec)
 		}(p)
 	}
 	wg.Wait()
@@ -161,6 +188,9 @@ func TestConcurrentSubmitManyPatients(t *testing.T) {
 	st := srv.Snapshot()
 	if st.Sessions != patients {
 		t.Fatalf("sessions = %d, want %d", st.Sessions, patients)
+	}
+	if st.StreamsOpen != 0 {
+		t.Fatalf("streams open after all closed = %d, want 0", st.StreamsOpen)
 	}
 	wantWindows := uint64(patients * (seconds - 4 + 1))
 	if st.Windows != wantWindows {
@@ -184,8 +214,14 @@ func TestSessionLRUEviction(t *testing.T) {
 	defer srv.Close()
 
 	rec := testRecording(t, 9, 10, -1, 0)
+	handles := map[string]*Stream{}
 	for _, p := range []string{"a", "b", "c", "a", "d"} {
-		stream(t, srv, p, rec)
+		h, ok := handles[p]
+		if !ok {
+			h = open(t, srv, p)
+			handles[p] = h
+		}
+		stream(t, h, rec)
 	}
 	srv.Close()
 
@@ -196,40 +232,6 @@ func TestSessionLRUEviction(t *testing.T) {
 	// a, b, c created; c evicts a; a recreated evicting b; d evicts c.
 	if st.SessionsCreated != 5 || st.SessionsEvicted != 3 {
 		t.Fatalf("created/evicted = %d/%d, want 5/3", st.SessionsCreated, st.SessionsEvicted)
-	}
-}
-
-func TestBackpressure(t *testing.T) {
-	srv, err := New(Config{
-		Workers:    1,
-		QueueDepth: 1,
-		SampleRate: testRate,
-		History:    time.Minute,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-
-	// A two-minute batch keeps the single worker busy long enough for a
-	// tight submit loop to fill the depth-1 queue.
-	rec := testRecording(t, 11, 120, -1, 0)
-	if err := srv.Submit("p", rec.Data[0], rec.Data[1]); err != nil {
-		t.Fatal(err)
-	}
-	sawBackpressure := false
-	small0, small1 := make([]float64, testRate), make([]float64, testRate)
-	for i := 0; i < 100000; i++ {
-		if err := srv.Submit("p", small0, small1); err == ErrBackpressure {
-			sawBackpressure = true
-			break
-		}
-	}
-	if !sawBackpressure {
-		t.Fatal("never saw ErrBackpressure with a full depth-1 queue")
-	}
-	if st := srv.Snapshot(); st.BatchesDropped == 0 {
-		t.Fatalf("BatchesDropped = 0 after backpressure: %+v", st)
 	}
 }
 
@@ -246,16 +248,84 @@ func TestNewRejectsBadPipelineConfig(t *testing.T) {
 	}
 }
 
-func TestSubmitValidation(t *testing.T) {
+func TestOpenAndPushValidation(t *testing.T) {
 	srv, err := New(Config{Workers: 1, SampleRate: testRate})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := srv.Submit("p", []float64{1, 2}, []float64{1}); err == nil {
+	if _, err := srv.Open(""); err == nil {
+		t.Fatal("Open accepted an empty patient ID")
+	}
+	h := open(t, srv, "p")
+	if err := h.Push([]float64{1, 2}, []float64{1}); err == nil {
 		t.Fatal("mismatched channel lengths accepted")
 	}
-	if err := srv.Submit("p", nil, nil); err != nil {
+	if err := h.Push(nil, nil); err != nil {
 		t.Fatalf("empty batch = %v, want nil", err)
+	}
+
+	// A closed handle fails without touching the server; the patient can
+	// reconnect with a fresh handle.
+	h.Close()
+	h.Close() // idempotent
+	if err := h.Push([]float64{0}, []float64{0}); err != ErrStreamClosed {
+		t.Fatalf("Push on closed stream = %v, want ErrStreamClosed", err)
+	}
+	if err := h.Confirm(); err != ErrStreamClosed {
+		t.Fatalf("Confirm on closed stream = %v, want ErrStreamClosed", err)
+	}
+	if st := srv.Snapshot(); st.StreamsOpen != 0 {
+		t.Fatalf("StreamsOpen = %d after double Close, want 0", st.StreamsOpen)
+	}
+	h2 := open(t, srv, "p")
+	if err := h2.Push([]float64{0}, []float64{0}); err != nil {
+		t.Fatalf("Push on reopened stream = %v", err)
+	}
+}
+
+// TestShardHashMatchesFNV pins the inlined shard hash to the stdlib
+// FNV-1a it replaced, so patients keep their shard across the change.
+func TestShardHashMatchesFNV(t *testing.T) {
+	for _, id := range []string{"", "p", "chb01", "patient-0042", "ward-3/bed 12"} {
+		h := fnv.New32a()
+		h.Write([]byte(id))
+		if got, want := shardHash(id), h.Sum32(); got != want {
+			t.Fatalf("shardHash(%q) = %#x, want %#x", id, got, want)
+		}
+	}
+}
+
+// TestWindowsPerSecIsIntervalRate verifies the rate covers the window
+// since the previous Snapshot, not the process lifetime: after a burst
+// is processed, an idle interval must read ~0 even though the lifetime
+// average is large.
+func TestWindowsPerSecIsIntervalRate(t *testing.T) {
+	srv, err := New(Config{Workers: 1, SampleRate: testRate, History: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := open(t, srv, "p")
+	stream(t, h, testRecording(t, 3, 30, -1, 0))
+
+	// Once an interval passes with no new windows, its rate must read
+	// exactly 0 — a lifetime average could never return there.
+	for tries := 0; ; tries++ {
+		before := srv.Snapshot()
+		time.Sleep(50 * time.Millisecond)
+		after := srv.Snapshot()
+		if after.Windows == before.Windows {
+			if after.Windows == 0 {
+				t.Fatalf("no windows processed: %+v", after)
+			}
+			if after.WindowsPerSec != 0 {
+				t.Fatalf("idle-interval WindowsPerSec = %g, want 0", after.WindowsPerSec)
+			}
+			return
+		}
+		if tries > 200 {
+			t.Fatalf("worker never went idle: %+v", after)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"selflearn/internal/features"
@@ -32,9 +33,12 @@ type session struct {
 	// seeds forest training so retrains stay deterministic per patient.
 	retrainSeq int64
 
-	// installedSeq is the highest retrainSeq whose model has been
-	// installed; it keeps a slow older retrain from overwriting a
-	// newer one when the learner pool completes jobs out of order.
+	// installMu makes the learner's gate-and-publish atomic per session;
+	// installedSeq (written only under installMu) is the highest
+	// retrainSeq whose model has been installed. Together they keep a
+	// slow older retrain from overwriting a newer one when the learner
+	// pool completes jobs out of order.
+	installMu    sync.Mutex
 	installedSeq atomic.Int64
 }
 

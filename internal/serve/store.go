@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"selflearn/internal/ml/forest"
+)
+
+// ModelStore is the persistence layer behind the in-process model
+// cache: trained per-patient detectors outlive LRU eviction — and, with
+// a durable implementation, the process itself. Implementations must be
+// safe for concurrent use.
+type ModelStore interface {
+	// Load returns the patient's checkpointed detector, or (nil, nil)
+	// when none is stored.
+	Load(patientID string) (*forest.Forest, error)
+	// Save checkpoints the patient's detector, replacing any previous one.
+	Save(patientID string, f *forest.Forest) error
+}
+
+// MemoryStore keeps checkpoints in an in-process map: models evicted
+// from the bounded LRU cache remain reloadable for the life of the
+// process, but do not survive a restart. The map never evicts — across
+// unbounded patient churn, prefer a FileStore or no store at all
+// (Config.ModelCacheSize then caps model memory).
+type MemoryStore struct {
+	mu sync.RWMutex
+	m  map[string]*forest.Forest
+}
+
+// NewMemoryStore returns an empty in-memory model store.
+func NewMemoryStore() *MemoryStore {
+	return &MemoryStore{m: make(map[string]*forest.Forest)}
+}
+
+// Load implements ModelStore.
+func (s *MemoryStore) Load(patientID string) (*forest.Forest, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[patientID], nil
+}
+
+// Save implements ModelStore.
+func (s *MemoryStore) Save(patientID string, f *forest.Forest) error {
+	if f == nil {
+		return fmt.Errorf("serve: nil model for %q", patientID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[patientID] = f
+	return nil
+}
+
+// Len returns the number of stored checkpoints.
+func (s *MemoryStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// FileStore persists one JSON forest checkpoint per patient under a
+// directory, using the ml/forest serialization format shared with
+// cmd/deploy. A server restarted against the same directory serves
+// previously-trained patients warm. Writes are atomic (temp file +
+// rename), so a crash mid-checkpoint leaves the previous one intact.
+type FileStore struct {
+	dir string
+}
+
+// NewFileStore creates dir if needed and returns a store rooted there.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: model store: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the checkpoint directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+// path maps a patient ID to its checkpoint file; IDs are URL-escaped so
+// arbitrary strings ("ward-3/bed 12") stay within one flat directory.
+func (s *FileStore) path(patientID string) string {
+	return filepath.Join(s.dir, url.PathEscape(patientID)+".forest.json")
+}
+
+// Load implements ModelStore; a missing checkpoint is (nil, nil).
+func (s *FileStore) Load(patientID string) (*forest.Forest, error) {
+	r, err := os.Open(s.path(patientID))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: model store: %w", err)
+	}
+	defer r.Close()
+	f, err := forest.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model store: corrupt checkpoint for %q: %w", patientID, err)
+	}
+	return f, nil
+}
+
+// Save implements ModelStore.
+func (s *FileStore) Save(patientID string, f *forest.Forest) error {
+	if f == nil {
+		return fmt.Errorf("serve: nil model for %q", patientID)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("serve: model store: %w", err)
+	}
+	if err := f.Save(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: model store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: model store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(patientID)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: model store: %w", err)
+	}
+	return nil
+}

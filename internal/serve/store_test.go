@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"selflearn/internal/ml/forest"
+)
+
+// tinyForest trains a trivially separable two-feature detector.
+func tinyForest(t testing.TB, seed int64) *forest.Forest {
+	t.Helper()
+	X := [][]float64{{0, 0}, {1, 1}, {0, 0.1}, {1, 0.9}, {0.1, 0}, {0.9, 1}}
+	y := []bool{false, true, false, true, false, true}
+	f, err := forest.Train(X, y, forest.Config{NumTrees: 5, MinLeaf: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, err := fs.Load("absent"); err != nil || f != nil {
+		t.Fatalf("Load(absent) = %v, %v; want nil, nil", f, err)
+	}
+	// An ID with path-hostile characters must stay one flat file.
+	const id = "ward-3/bed 12"
+	f := tinyForest(t, 1)
+	if err := fs.Save(id, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range [][]float64{{0, 0}, {1, 1}, {0.05, 0.05}, {0.95, 0.95}} {
+		if got.Predict(x) != f.Predict(x) {
+			t.Fatalf("reloaded forest disagrees on %v", x)
+		}
+	}
+	// Overwrite replaces the checkpoint rather than accumulating files.
+	if err := fs.Save(id, tinyForest(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(fs.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("checkpoint dir holds %d files, want 1", len(entries))
+	}
+	if err := fs.Save(id, nil); err == nil {
+		t.Fatal("Save(nil) accepted")
+	}
+}
+
+func TestFileStoreCorruptCheckpoint(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(fs.Dir(), "p.forest.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Load("p"); err == nil {
+		t.Fatal("corrupt checkpoint loaded without error")
+	}
+}
+
+func TestMemoryStoreBehindCacheSurvivesEviction(t *testing.T) {
+	mc := newModelCache(1, NewMemoryStore(), func(err error) { t.Fatalf("store error: %v", err) })
+	f1, f2 := tinyForest(t, 1), tinyForest(t, 2)
+	mc.Put("p1", f1)
+	mc.Put("p2", f2) // evicts p1 from the one-slot LRU
+	if mc.cached("p1") != nil {
+		t.Fatal("p1 still in LRU after eviction")
+	}
+	// Read-through brings the evicted model back from the store.
+	if got := mc.Get("p1"); got != f1 {
+		t.Fatalf("Get(p1) = %v, want the stored model", got)
+	}
+	if mc.cached("p1") != f1 {
+		t.Fatal("read-through did not repopulate the LRU")
+	}
+}
+
+// TestServerRestartWarmFromFileStore is the PR's acceptance scenario: a
+// server trains a patient, dies, and a new server against the same
+// checkpoint directory serves that patient warm — the very first
+// batch's predictions come from the persisted model, proven by alarms
+// firing with no confirmation ever issued to the second server.
+func TestServerRestartWarmFromFileStore(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Workers:            2,
+		SampleRate:         testRate,
+		History:            4 * time.Minute,
+		AvgSeizureDuration: 20 * time.Second,
+	}
+
+	fs1, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, err := New(cfg, WithModelStore(fs1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const patient = "chb01"
+	h := open(t, srv1, patient)
+	stream(t, h, testRecording(t, 1, 180, 90, 24))
+	if err := h.Confirm(); err != nil {
+		t.Fatalf("Confirm: %v", err)
+	}
+	if st := awaitRetrains(t, srv1, 1); st.Retrains != 1 {
+		t.Fatalf("retrain failed: %+v", st)
+	}
+	srv1.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("store dir holds %d checkpoints after training, want 1", len(entries))
+	}
+
+	// "Restart": a brand-new server, fresh store handle, same directory.
+	fs2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := New(cfg, WithModelStore(fs2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if srv2.Model(patient) == nil {
+		t.Fatal("restarted server has no model for the trained patient")
+	}
+	h2 := open(t, srv2, patient)
+	stream(t, h2, testRecording(t, 2, 180, 100, 24))
+	srv2.Close()
+
+	st := srv2.Snapshot()
+	if st.Retrains != 0 || st.Confirms != 0 {
+		t.Fatalf("restart test retrained (%d) or confirmed (%d); warmness would be meaningless", st.Retrains, st.Confirms)
+	}
+	if st.Alarms == 0 {
+		t.Fatal("restarted server raised no alarms: session did not warm start from the FileStore")
+	}
+	if st.StoreErrors != 0 {
+		t.Fatalf("StoreErrors = %d, want 0", st.StoreErrors)
+	}
+}
