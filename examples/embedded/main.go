@@ -62,7 +62,8 @@ func main() {
 		if row, ready, err := st.Push(c0[i], c1[i]); err != nil {
 			log.Fatal(err)
 		} else if ready {
-			rows = append(rows, row)
+			// Push reuses its emission buffer; copy to retain the row.
+			rows = append(rows, append([]float64(nil), row...))
 		}
 		if p, done := theta.Push(c0[i]); done {
 			if p > thetaPeak {

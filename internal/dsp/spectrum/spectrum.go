@@ -41,18 +41,35 @@ type PSD struct {
 	Power []float64
 	// BinWidth is the frequency spacing between consecutive bins in Hz.
 	BinWidth float64
+
+	// total memoizes TotalPower: the feature extractor integrates the
+	// spectrum once per clinical band otherwise (RelativeBandPower per
+	// band per window). Estimators set it at construction; a PSD built
+	// or mutated by hand falls back to the lazy computation below.
+	total    float64
+	hasTotal bool
 }
 
 // Freq returns the frequency of bin k in Hz.
 func (p *PSD) Freq(k int) float64 { return float64(k) * p.BinWidth }
 
-// TotalPower integrates the PSD over all frequencies.
+// Invalidate drops the memoized total power; call it after mutating
+// Power in place.
+func (p *PSD) Invalidate() { p.hasTotal = false }
+
+// TotalPower integrates the PSD over all frequencies. The integral is
+// computed once and memoized (not goroutine-safe on first call; PSDs are
+// per-window values, not shared state).
 func (p *PSD) TotalPower() float64 {
-	var s float64
-	for _, v := range p.Power {
-		s += v
+	if !p.hasTotal {
+		var s float64
+		for _, v := range p.Power {
+			s += v
+		}
+		p.total = s * p.BinWidth
+		p.hasTotal = true
 	}
-	return s * p.BinWidth
+	return p.total
 }
 
 // BandPower integrates the PSD over band b. Bins whose center frequency
@@ -78,41 +95,102 @@ func (p *PSD) RelativeBandPower(b Band) float64 {
 	return p.BandPower(b) / tot
 }
 
-// Periodogram estimates the one-sided PSD of xs sampled at fs Hz using a
-// single tapered FFT. The signal is zero-padded to the next power of two.
-func Periodogram(xs []float64, fs float64, taper window.Func) (*PSD, error) {
-	if len(xs) == 0 {
+// Workspace owns the reusable state of periodogram estimation at one
+// fixed signal length: the memoized taper table, its power correction,
+// and the FFT buffer. PeriodogramInto then estimates a PSD with zero
+// steady-state allocations. A Workspace is not safe for concurrent use;
+// give each streaming extractor its own.
+type Workspace struct {
+	n      int
+	fs     float64
+	coeffs []float64 // shared read-only taper table (window.Cached)
+	wp     float64   // taper power correction
+	buf    []complex128
+	scale  float64
+	half   int
+}
+
+// NewWorkspace builds a periodogram workspace for signals of exactly n
+// samples at fs Hz tapered by taper.
+func NewWorkspace(n int, fs float64, taper window.Func) (*Workspace, error) {
+	if n <= 0 {
 		return nil, errors.New("spectrum: empty signal")
 	}
 	if fs <= 0 {
 		return nil, fmt.Errorf("spectrum: invalid sampling rate %g", fs)
 	}
-	n := len(xs)
-	tapered := window.Apply(taper, xs)
-	spec, err := fft.ForwardReal(tapered)
-	if err != nil {
-		return nil, err
-	}
-	nfft := len(spec)
+	nfft := fft.NextPow2(n)
 	wp := window.Power(taper, n)
 	if wp == 0 {
 		wp = 1
 	}
-	// One-sided PSD with taper power correction. The denominator uses the
-	// original (pre-padding) length so that total power matches the
-	// time-domain mean square of the tapered signal.
-	scale := 1 / (fs * float64(n) * wp)
-	half := nfft/2 + 1
-	power := make([]float64, half)
-	for k := 0; k < half; k++ {
-		re, im := real(spec[k]), imag(spec[k])
-		p := (re*re + im*im) * scale
+	return &Workspace{
+		n:      n,
+		fs:     fs,
+		coeffs: window.Cached(taper, n),
+		wp:     wp,
+		buf:    make([]complex128, nfft),
+		// One-sided PSD with taper power correction. The denominator
+		// uses the original (pre-padding) length so that total power
+		// matches the time-domain mean square of the tapered signal.
+		scale: 1 / (fs * float64(n) * wp),
+		half:  nfft/2 + 1,
+	}, nil
+}
+
+// NumBins returns the number of one-sided PSD bins the workspace produces.
+func (ws *Workspace) NumBins() int { return ws.half }
+
+// PeriodogramInto estimates the one-sided PSD of xs into dst, reusing
+// dst.Power when already sized. len(xs) must equal the workspace length.
+func (ws *Workspace) PeriodogramInto(dst *PSD, xs []float64) error {
+	if len(xs) != ws.n {
+		return fmt.Errorf("spectrum: workspace sized for %d samples, got %d", ws.n, len(xs))
+	}
+	for i, v := range xs {
+		ws.buf[i] = complex(v*ws.coeffs[i], 0)
+	}
+	for i := ws.n; i < len(ws.buf); i++ {
+		ws.buf[i] = 0
+	}
+	if err := fft.Forward(ws.buf); err != nil {
+		return err
+	}
+	if cap(dst.Power) < ws.half {
+		dst.Power = make([]float64, ws.half)
+	}
+	dst.Power = dst.Power[:ws.half]
+	nfft := len(ws.buf)
+	var total float64
+	for k := 0; k < ws.half; k++ {
+		re, im := real(ws.buf[k]), imag(ws.buf[k])
+		p := (re*re + im*im) * ws.scale
 		if k != 0 && k != nfft/2 {
 			p *= 2 // fold negative frequencies
 		}
-		power[k] = p
+		dst.Power[k] = p
+		total += p
 	}
-	return &PSD{Power: power, BinWidth: fs / float64(nfft)}, nil
+	dst.BinWidth = ws.fs / float64(nfft)
+	dst.total = total * dst.BinWidth
+	dst.hasTotal = true
+	return nil
+}
+
+// Periodogram estimates the one-sided PSD of xs sampled at fs Hz using a
+// single tapered FFT. The signal is zero-padded to the next power of two.
+// Streaming callers should hold a Workspace and use PeriodogramInto,
+// which allocates nothing per window.
+func Periodogram(xs []float64, fs float64, taper window.Func) (*PSD, error) {
+	ws, err := NewWorkspace(len(xs), fs, taper)
+	if err != nil {
+		return nil, err
+	}
+	p := &PSD{}
+	if err := ws.PeriodogramInto(p, xs); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // Welch estimates the PSD by averaging periodograms of segments of length
@@ -132,18 +210,26 @@ func Welch(xs []float64, fs float64, segLen int, taper window.Func) (*PSD, error
 	if hop == 0 {
 		hop = 1
 	}
-	var acc *PSD
+	// One workspace serves every segment: the segment length is fixed,
+	// so the taper table and FFT buffer are shared across the loop.
+	ws, err := NewWorkspace(segLen, fs, taper)
+	if err != nil {
+		return nil, err
+	}
+	acc := &PSD{}
+	var seg PSD
 	var count int
 	for start := 0; start+segLen <= len(xs); start += hop {
-		p, err := Periodogram(xs[start:start+segLen], fs, taper)
-		if err != nil {
-			return nil, err
-		}
-		if acc == nil {
-			acc = p
+		if count == 0 {
+			if err := ws.PeriodogramInto(acc, xs[start:start+segLen]); err != nil {
+				return nil, err
+			}
 		} else {
+			if err := ws.PeriodogramInto(&seg, xs[start:start+segLen]); err != nil {
+				return nil, err
+			}
 			for k := range acc.Power {
-				acc.Power[k] += p.Power[k]
+				acc.Power[k] += seg.Power[k]
 			}
 		}
 		count++
@@ -151,6 +237,7 @@ func Welch(xs []float64, fs float64, segLen int, taper window.Func) (*PSD, error
 	for k := range acc.Power {
 		acc.Power[k] /= float64(count)
 	}
+	acc.Invalidate() // the averaging above outdated the memoized total
 	return acc, nil
 }
 

@@ -1,0 +1,128 @@
+package spectrum
+
+import (
+	"math/rand"
+	"testing"
+
+	"selflearn/internal/dsp/window"
+)
+
+// TestPeriodogramIntoMatchesPeriodogram reuses one workspace across
+// many windows and demands bit-identical PSDs versus the one-shot
+// estimator.
+func TestPeriodogramIntoMatchesPeriodogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n, fs = 512, 128.0
+	ws, err := NewWorkspace(n, fs, window.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst PSD
+	for trial := 0; trial < 20; trial++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		want, err := Periodogram(xs, fs, window.Hann)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ws.PeriodogramInto(&dst, xs); err != nil {
+			t.Fatal(err)
+		}
+		if dst.BinWidth != want.BinWidth {
+			t.Fatalf("trial %d: BinWidth %g vs %g", trial, dst.BinWidth, want.BinWidth)
+		}
+		if len(dst.Power) != len(want.Power) {
+			t.Fatalf("trial %d: %d bins vs %d", trial, len(dst.Power), len(want.Power))
+		}
+		for k := range want.Power {
+			if dst.Power[k] != want.Power[k] {
+				t.Fatalf("trial %d bin %d: %g vs %g", trial, k, dst.Power[k], want.Power[k])
+			}
+		}
+		if dst.TotalPower() != want.TotalPower() {
+			t.Fatalf("trial %d: TotalPower %g vs %g", trial, dst.TotalPower(), want.TotalPower())
+		}
+	}
+	if err := ws.PeriodogramInto(&dst, make([]float64, n/2)); err == nil {
+		t.Fatal("workspace accepted a wrong-length signal")
+	}
+}
+
+// TestTotalPowerMemoConsistency checks the construction-time memo
+// against a by-hand integral and pins the two mutation paths: Welch
+// invalidates after averaging, and Invalidate forces a recompute.
+func TestTotalPowerMemoConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	p, err := Periodogram(xs, 256, window.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := 0.0
+	for _, v := range p.Power {
+		manual += v
+	}
+	manual *= p.BinWidth
+	if got := p.TotalPower(); got != manual {
+		t.Fatalf("memoized TotalPower %g != recomputed %g", got, manual)
+	}
+	if got := p.RelativeBandPower(Theta); got != p.BandPower(Theta)/manual {
+		t.Fatalf("RelativeBandPower uses a stale total: %g", got)
+	}
+
+	w, err := Welch(xs, 256, 256, window.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual = 0.0
+	for _, v := range w.Power {
+		manual += v
+	}
+	manual *= w.BinWidth
+	if got := w.TotalPower(); got != manual {
+		t.Fatalf("Welch TotalPower %g != recomputed %g (stale memo survived averaging?)", got, manual)
+	}
+
+	// Hand mutation + Invalidate must recompute.
+	before := p.TotalPower()
+	p.Power[3] *= 10
+	p.Invalidate()
+	if p.TotalPower() == before {
+		t.Fatal("Invalidate did not drop the memoized total")
+	}
+}
+
+func BenchmarkPeriodogram(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Periodogram(xs, 256, window.Hann); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workspace", func(b *testing.B) {
+		ws, err := NewWorkspace(len(xs), 256, window.Hann)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var dst PSD
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ws.PeriodogramInto(&dst, xs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

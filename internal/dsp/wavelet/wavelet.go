@@ -234,12 +234,18 @@ func (w Wavelet) Reconstruct(d *Decomposition) ([]float64, error) {
 // level, index 0 = level 1, followed by the approximation energy as the
 // last element.
 func (d *Decomposition) SubbandEnergies() []float64 {
-	out := make([]float64, 0, len(d.Details)+1)
+	return d.AppendSubbandEnergies(make([]float64, 0, len(d.Details)+1))
+}
+
+// AppendSubbandEnergies appends the subband energies — details in level
+// order, then the approximation — to dst and returns the extended
+// slice: the allocation-free form of SubbandEnergies and the single
+// definition of the subband-energy feature ordering.
+func (d *Decomposition) AppendSubbandEnergies(dst []float64) []float64 {
 	for _, det := range d.Details {
-		out = append(out, energy(det))
+		dst = append(dst, energy(det))
 	}
-	out = append(out, energy(d.Approx))
-	return out
+	return append(dst, energy(d.Approx))
 }
 
 // RelativeSubbandEnergies returns SubbandEnergies normalized to sum to 1;

@@ -1,0 +1,163 @@
+package wavelet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecomposeIntoMatchesDecompose reuses one workspace and
+// decomposition across signals of several lengths and wavelets,
+// demanding bit-identical coefficients versus the allocating path.
+func TestDecomposeIntoMatchesDecompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, w := range []Wavelet{Haar, DB4, Sym4} {
+		ws := w.NewWorkspace()
+		var d Decomposition
+		for _, n := range []int{64, 512, 1024, 512} { // shrink back: buffers must resize down
+			level := MaxLevel(n)
+			if level > 7 {
+				level = 7
+			}
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.NormFloat64()
+			}
+			want, err := w.Decompose(xs, level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ws.DecomposeInto(&d, xs, level); err != nil {
+				t.Fatal(err)
+			}
+			if d.Levels() != want.Levels() {
+				t.Fatalf("%s n=%d: %d levels vs %d", w.Name(), n, d.Levels(), want.Levels())
+			}
+			for l := 1; l <= level; l++ {
+				got, ref := d.Detail(l), want.Detail(l)
+				if len(got) != len(ref) {
+					t.Fatalf("%s n=%d L%d: %d coeffs vs %d", w.Name(), n, l, len(got), len(ref))
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("%s n=%d L%d[%d]: %g vs %g", w.Name(), n, l, i, got[i], ref[i])
+					}
+				}
+			}
+			for i := range want.Approx {
+				if d.Approx[i] != want.Approx[i] {
+					t.Fatalf("%s n=%d approx[%d]: %g vs %g", w.Name(), n, i, d.Approx[i], want.Approx[i])
+				}
+			}
+		}
+	}
+}
+
+// TestExtendIntoMatchesFullDecompose pins the pause-and-extend path the
+// feature extractor uses to capture the level-3 approximation: stopping
+// at an intermediate level and extending must be bit-identical to one
+// full decomposition.
+func TestExtendIntoMatchesFullDecompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	want, err := DB4.Decompose(xs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := DB4.NewWorkspace()
+	var d Decomposition
+	if err := ws.DecomposeInto(&d, xs, 3); err != nil {
+		t.Fatal(err)
+	}
+	approx3 := append([]float64(nil), d.Approx...)
+	if err := ws.ExtendInto(&d, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.ExtendInto(&d, 7); err != nil { // no-op at target depth
+		t.Fatal(err)
+	}
+	for l := 1; l <= 7; l++ {
+		got, ref := d.Detail(l), want.Detail(l)
+		if len(got) != len(ref) {
+			t.Fatalf("L%d: %d coeffs vs %d", l, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("L%d[%d]: %g vs %g", l, i, got[i], ref[i])
+			}
+		}
+	}
+	for i := range want.Approx {
+		if d.Approx[i] != want.Approx[i] {
+			t.Fatalf("approx[%d]: %g vs %g", i, d.Approx[i], want.Approx[i])
+		}
+	}
+	// The captured intermediate approximation must equal a direct
+	// 3-level decomposition's.
+	ref3, err := DB4.Decompose(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref3.Approx {
+		if approx3[i] != ref3.Approx[i] {
+			t.Fatalf("captured approx3[%d]: %g vs %g", i, approx3[i], ref3.Approx[i])
+		}
+	}
+	if err := ws.ExtendInto(&d, 20); err == nil {
+		t.Fatal("ExtendInto accepted an unreachable level")
+	}
+}
+
+// TestWorkspacePadPow2 checks the padding buffer against the
+// allocating helper, including the no-op power-of-two case.
+func TestWorkspacePadPow2(t *testing.T) {
+	ws := DB4.NewWorkspace()
+	for _, n := range []int{1, 5, 8, 100, 1000, 1024} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		want := PadPow2(xs)
+		got := ws.PadPow2(xs)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: len %d vs %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d [%d]: %g vs %g", n, i, got[i], want[i])
+			}
+		}
+		if len(xs) == len(want) && &got[0] != &xs[0] {
+			t.Fatalf("n=%d: power-of-two input was copied", n)
+		}
+	}
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DB4.Decompose(xs, 7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workspace", func(b *testing.B) {
+		ws := DB4.NewWorkspace()
+		var d Decomposition
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ws.DecomposeInto(&d, xs, 7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package window
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCachedMatchesCoefficients checks the memoized table against a
+// fresh computation for every window function at several lengths.
+func TestCachedMatchesCoefficients(t *testing.T) {
+	for _, f := range []Func{Rectangular, Hann, Hamming, Blackman} {
+		for _, n := range []int{1, 2, 64, 512, 1024} {
+			want := Coefficients(f, n)
+			got := Cached(f, n)
+			if len(got) != len(want) {
+				t.Fatalf("%v n=%d: len %d vs %d", f, n, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v n=%d [%d]: %g vs %g", f, n, i, got[i], want[i])
+				}
+			}
+			// The memo must be stable across calls (same backing array).
+			again := Cached(f, n)
+			if len(again) > 0 && &again[0] != &got[0] {
+				t.Fatalf("%v n=%d: cache returned a different table on the second call", f, n)
+			}
+			// Power must agree with the direct definition.
+			var s float64
+			for _, v := range want {
+				s += v * v
+			}
+			if p := Power(f, n); p != s/float64(n) {
+				t.Fatalf("%v n=%d: Power %g, want %g", f, n, p, s/float64(n))
+			}
+		}
+	}
+	if Cached(Hann, 0) != nil {
+		t.Fatal("Cached(n=0) should be nil")
+	}
+	if Power(Hann, 0) != 0 {
+		t.Fatal("Power(n=0) should be 0")
+	}
+}
+
+// TestCachedConcurrent hammers the memo from many goroutines; run with
+// -race this pins the sync.Map publication safety.
+func TestCachedConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				n := 100 + (g+i)%7
+				w := Cached(Hann, n)
+				if len(w) != n {
+					t.Errorf("len = %d, want %d", len(w), n)
+					return
+				}
+				_ = Power(Blackman, n)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

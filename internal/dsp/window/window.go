@@ -2,7 +2,10 @@
 // estimation (periodogram / Welch) in the feature-extraction front end.
 package window
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Func identifies a window (taper) function.
 type Func int
@@ -59,9 +62,50 @@ func Coefficients(f Func, n int) []float64 {
 	return w
 }
 
+// cached holds one memoized coefficient table and its mean squared
+// coefficient. The feature extractor evaluates the same taper at the
+// same window length for every analysis window, so the cosine table is
+// computed once per (function, length) for the life of the process.
+type cached struct {
+	coeffs []float64
+	power  float64
+}
+
+var coeffCache sync.Map // cacheKey -> *cached
+
+type cacheKey struct {
+	f Func
+	n int
+}
+
+func lookup(f Func, n int) *cached {
+	key := cacheKey{f, n}
+	if c, ok := coeffCache.Load(key); ok {
+		return c.(*cached)
+	}
+	w := Coefficients(f, n)
+	c := &cached{coeffs: w}
+	if w != nil {
+		var s float64
+		for _, v := range w {
+			s += v * v
+		}
+		c.power = s / float64(n)
+	}
+	actual, _ := coeffCache.LoadOrStore(key, c)
+	return actual.(*cached)
+}
+
+// Cached returns the memoized coefficient table for window f at length
+// n. The slice is shared across callers and must not be modified; use
+// Coefficients for a private copy.
+func Cached(f Func, n int) []float64 {
+	return lookup(f, n).coeffs
+}
+
 // Apply multiplies xs element-wise by window f and returns a new slice.
 func Apply(f Func, xs []float64) []float64 {
-	w := Coefficients(f, len(xs))
+	w := Cached(f, len(xs))
 	out := make([]float64, len(xs))
 	for i, x := range xs {
 		out[i] = x * w[i]
@@ -72,13 +116,5 @@ func Apply(f Func, xs []float64) []float64 {
 // Power returns the mean squared coefficient of window f at length n,
 // used to correct PSD estimates for the power lost to tapering.
 func Power(f Func, n int) float64 {
-	w := Coefficients(f, n)
-	if w == nil {
-		return 0
-	}
-	var s float64
-	for _, v := range w {
-		s += v * v
-	}
-	return s / float64(n)
+	return lookup(f, n).power
 }

@@ -5,11 +5,10 @@
 package entropy
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
-
-	"selflearn/internal/stats"
+	"slices"
 )
 
 // Shannon returns the Shannon entropy (nats) of the probability
@@ -51,26 +50,15 @@ func Renyi(ps []float64, alpha float64) (float64, error) {
 // histogramming it into nbins amplitude bins. This is how the paper's
 // "third level Rényi entropy" feature is realised on DWT coefficients.
 func RenyiSignal(xs []float64, alpha float64, nbins int) (float64, error) {
-	if len(xs) == 0 {
-		return 0, nil
-	}
-	if nbins <= 0 {
-		return 0, fmt.Errorf("entropy: invalid bin count %d", nbins)
-	}
-	ps := stats.Probabilities(stats.Histogram(xs, nbins))
-	return Renyi(ps, alpha)
+	var ws Workspace
+	return ws.RenyiSignal(xs, alpha, nbins)
 }
 
 // ShannonSignal computes the Shannon entropy of a signal via an nbins
 // amplitude histogram.
 func ShannonSignal(xs []float64, nbins int) (float64, error) {
-	if len(xs) == 0 {
-		return 0, nil
-	}
-	if nbins <= 0 {
-		return 0, fmt.Errorf("entropy: invalid bin count %d", nbins)
-	}
-	return Shannon(stats.Probabilities(stats.Histogram(xs, nbins))), nil
+	var ws Workspace
+	return ws.ShannonSignal(xs, nbins)
 }
 
 // Permutation returns the permutation entropy of order n (embedding
@@ -81,50 +69,8 @@ func ShannonSignal(xs []float64, nbins int) (float64, error) {
 // Signals shorter than n return 0 (no ordinal patterns exist). Ties are
 // broken by temporal order, the standard convention.
 func Permutation(xs []float64, n int) (float64, error) {
-	if n < 2 {
-		return 0, fmt.Errorf("entropy: permutation order must be >= 2, got %d", n)
-	}
-	if n > 12 {
-		return 0, fmt.Errorf("entropy: permutation order %d too large (max 12)", n)
-	}
-	if len(xs) < n {
-		return 0, nil
-	}
-	counts := make(map[uint64]int)
-	idx := make([]int, n)
-	total := 0
-	for start := 0; start+n <= len(xs); start++ {
-		win := xs[start : start+n]
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.SliceStable(idx, func(a, b int) bool { return win[idx[a]] < win[idx[b]] })
-		// Encode the permutation as a base-n integer (n <= 12 fits easily).
-		var code uint64
-		for _, v := range idx {
-			code = code*uint64(n) + uint64(v)
-		}
-		counts[code]++
-		total++
-	}
-	// Accumulate in a deterministic order: map iteration order is random
-	// in Go and would otherwise perturb the last float bits run-to-run.
-	cs := make([]int, 0, len(counts))
-	for _, c := range counts {
-		cs = append(cs, c)
-	}
-	sort.Ints(cs)
-	var h float64
-	for _, c := range cs {
-		p := float64(c) / float64(total)
-		h -= p * math.Log(p)
-	}
-	// Normalize by the maximum attainable entropy log(n!).
-	maxH := logFactorial(n)
-	if maxH == 0 {
-		return 0, nil
-	}
-	return h / maxH, nil
+	var ws Workspace
+	return ws.Permutation(xs, n)
 }
 
 func logFactorial(n int) float64 {
@@ -145,22 +91,33 @@ func logFactorial(n int) float64 {
 // paper does (k = 0.2 and k = 0.35). Degenerate inputs (too short, or no
 // matches) return 0.
 func Sample(xs []float64, m int, r float64) (float64, error) {
-	if m < 1 {
-		return 0, fmt.Errorf("entropy: sample entropy m must be >= 1, got %d", m)
+	var ws Workspace
+	return ws.Sample(xs, m, r)
+}
+
+// sampleCounts returns (A, B): matches of length m+1 and m over template
+// pairs i<j. It dispatches to the sorted early-abort path, falling back
+// to the O(n²) pairwise scan only when the input contains NaN (whose
+// comparison semantics the sorted pruning cannot reproduce). order is
+// optional index scratch of length >= n-m.
+func sampleCounts(xs []float64, m int, r float64, order []int32) (a, b int) {
+	if math.IsNaN(r) {
+		return sampleCountsBrute(xs, m, r)
 	}
-	if r < 0 {
-		return 0, fmt.Errorf("entropy: sample entropy tolerance must be >= 0, got %g", r)
+	for _, v := range xs {
+		if math.IsNaN(v) {
+			return sampleCountsBrute(xs, m, r)
+		}
 	}
-	n := len(xs)
-	if n < m+2 {
-		return 0, nil
-	}
-	// B: matches of length m, A: matches of length m+1, over pairs i<j.
-	var a, b int
-	nTempl := n - m // templates of length m (those of length m+1 number n-m-1)
+	return sampleCountsSorted(xs, m, r, order)
+}
+
+// sampleCountsBrute is the reference pairwise scan: every template pair,
+// Chebyshev distance over the m-length templates, then the m+1 extension.
+func sampleCountsBrute(xs []float64, m int, r float64) (a, b int) {
+	nTempl := len(xs) - m // templates of length m (those of length m+1 number n-m-1)
 	for i := 0; i < nTempl-1; i++ {
 		for j := i + 1; j < nTempl; j++ {
-			// Chebyshev distance over the m-length templates.
 			match := true
 			for k := 0; k < m; k++ {
 				if math.Abs(xs[i+k]-xs[j+k]) > r {
@@ -172,27 +129,67 @@ func Sample(xs []float64, m int, r float64) (float64, error) {
 				continue
 			}
 			b++
-			if i+m < n && j+m < n && math.Abs(xs[i+m]-xs[j+m]) <= r {
+			if math.Abs(xs[i+m]-xs[j+m]) <= r {
 				a++
 			}
 		}
 	}
-	if a == 0 || b == 0 {
-		return 0, nil
+	return a, b
+}
+
+// sampleCountsSorted counts the same template pairs as the brute scan
+// but enumerates only candidates whose first coordinates are within r:
+// template start indices are sorted by value, so for each template the
+// inner loop aborts as soon as the sorted first-coordinate gap exceeds
+// r. A matching pair agrees in every coordinate — in particular the
+// first — so the candidate set provably covers all matches and the
+// counts (hence the entropy) are identical to the brute-force path.
+// Typical EEG subbands spread their amplitudes well beyond r = k·σ, so
+// the quadratic all-pairs scan collapses to near-linear work.
+func sampleCountsSorted(xs []float64, m int, r float64, order []int32) (a, b int) {
+	nTempl := len(xs) - m
+	if cap(order) < nTempl {
+		order = make([]int32, nTempl)
 	}
-	return -math.Log(float64(a) / float64(b)), nil
+	order = order[:nTempl]
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortFunc(order, func(p, q int32) int {
+		return cmp.Compare(xs[p], xs[q])
+	})
+	for oi := 0; oi < nTempl-1; oi++ {
+		i := int(order[oi])
+		vi := xs[i]
+		for oj := oi + 1; oj < nTempl; oj++ {
+			j := int(order[oj])
+			if xs[j]-vi > r {
+				break // every later template is even further in coordinate 0
+			}
+			match := true
+			for k := 1; k < m; k++ {
+				if math.Abs(xs[i+k]-xs[j+k]) > r {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			b++
+			if math.Abs(xs[i+m]-xs[j+m]) <= r {
+				a++
+			}
+		}
+	}
+	return a, b
 }
 
 // SampleK returns Sample(xs, m, k·σ(xs)), the paper's parameterisation
 // ("sixth level sample entropy for k = 0.2 and k = 0.35").
 func SampleK(xs []float64, m int, k float64) (float64, error) {
-	if k < 0 {
-		return 0, fmt.Errorf("entropy: sample entropy k must be >= 0, got %g", k)
-	}
-	if len(xs) == 0 {
-		return 0, nil
-	}
-	return Sample(xs, m, k*stats.StdDev(xs))
+	var ws Workspace
+	return ws.SampleK(xs, m, k)
 }
 
 // Multiscale returns the multiscale sample entropy of xs: SampEn(m, r)

@@ -19,8 +19,6 @@ import (
 
 	"selflearn/internal/dsp/spectrum"
 	"selflearn/internal/dsp/wavelet"
-	"selflearn/internal/dsp/window"
-	"selflearn/internal/entropy"
 	"selflearn/internal/signal"
 	"selflearn/internal/stats"
 )
@@ -188,6 +186,10 @@ func Extract10(rec *signal.Recording, cfg Config) (*Matrix, error) {
 		SampleRate: fs,
 		Rows:       make([][]float64, 0, nWin),
 	}
+	ws, err := NewWorkspace(fs, cfg)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < nWin; i++ {
 		w0, err := cfg.Window.Window(c0, i, fs)
 		if err != nil {
@@ -197,77 +199,13 @@ func Extract10(rec *signal.Recording, cfg Config) (*Matrix, error) {
 		if err != nil {
 			return nil, err
 		}
-		row, err := windowFeatures10(w0, w1, fs, cfg)
+		row, err := ws.Features10Into(make([]float64, 0, 10), w0, w1)
 		if err != nil {
 			return nil, err
 		}
 		m.Rows = append(m.Rows, row)
 	}
 	return m, nil
-}
-
-// windowFeatures10 computes the paper's 10 features for one aligned pair
-// of channel windows.
-func windowFeatures10(w0, w1 []float64, fs float64, cfg Config) ([]float64, error) {
-	psd0, err := spectrum.Periodogram(w0, fs, window.Hann)
-	if err != nil {
-		return nil, err
-	}
-	psd1, err := spectrum.Periodogram(w1, fs, window.Hann)
-	if err != nil {
-		return nil, err
-	}
-	dec, err := decomposeForEntropy(w1, cfg)
-	if err != nil {
-		return nil, err
-	}
-	pe5L7, err := entropy.Permutation(dec.Detail(cfg.Level), 5)
-	if err != nil {
-		return nil, err
-	}
-	pe7L7, err := entropy.Permutation(dec.Detail(cfg.Level), 7)
-	if err != nil {
-		return nil, err
-	}
-	pe7L6, err := entropy.Permutation(dec.Detail(cfg.Level-1), 7)
-	if err != nil {
-		return nil, err
-	}
-	renyiL3, err := entropy.RenyiSignal(dec.Detail(3), cfg.RenyiAlpha, cfg.RenyiBins)
-	if err != nil {
-		return nil, err
-	}
-	se02, err := entropy.SampleK(dec.Detail(cfg.Level-1), cfg.SampleM, 0.2)
-	if err != nil {
-		return nil, err
-	}
-	se035, err := entropy.SampleK(dec.Detail(cfg.Level-1), cfg.SampleM, 0.35)
-	if err != nil {
-		return nil, err
-	}
-	return []float64{
-		psd0.BandPower(spectrum.Theta),
-		psd0.RelativeBandPower(spectrum.Theta),
-		psd0.BandPower(spectrum.Delta),
-		psd1.RelativeBandPower(spectrum.Theta),
-		pe5L7,
-		pe7L7,
-		pe7L6,
-		renyiL3,
-		se02,
-		se035,
-	}, nil
-}
-
-// decomposeForEntropy pads the window to a power of two and decomposes it
-// to cfg.Level with cfg.Wavelet.
-func decomposeForEntropy(w []float64, cfg Config) (*wavelet.Decomposition, error) {
-	padded := wavelet.PadPow2(w)
-	level := cfg.Level
-	if max := wavelet.MaxLevel(len(padded)); level > max {
-		return nil, fmt.Errorf("features: window of %d samples cannot reach DWT level %d", len(padded), level)
-	}
-	return cfg.Wavelet.Decompose(padded, level)
 }
 
 // EGlassFeatureNames lists the 54 per-channel features of the extended
@@ -327,6 +265,10 @@ func Extract54(rec *signal.Recording, cfg Config) (*Matrix, error) {
 			m.Names = append(m.Names, ch+"/"+n)
 		}
 	}
+	ws, err := NewWorkspace(fs, cfg)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < nWin; i++ {
 		w0, err := cfg.Window.Window(c0, i, fs)
 		if err != nil {
@@ -336,120 +278,17 @@ func Extract54(rec *signal.Recording, cfg Config) (*Matrix, error) {
 		if err != nil {
 			return nil, err
 		}
-		f0, err := channelFeatures54(w0, fs, cfg)
+		row, err := ws.Features54Into(make([]float64, 0, 108), w0)
 		if err != nil {
 			return nil, err
 		}
-		f1, err := channelFeatures54(w1, fs, cfg)
+		row, err = ws.Features54Into(row, w1)
 		if err != nil {
 			return nil, err
 		}
-		m.Rows = append(m.Rows, append(f0, f1...))
+		m.Rows = append(m.Rows, row)
 	}
 	return m, nil
-}
-
-// channelFeatures54 computes the 54-feature vector of one channel window.
-func channelFeatures54(w []float64, fs float64, cfg Config) ([]float64, error) {
-	out := make([]float64, 0, 54)
-
-	// Time-domain statistics.
-	mean := stats.Mean(w)
-	variance := stats.Variance(w)
-	out = append(out, mean, variance, stats.RMS(w), stats.Skewness(w), stats.Kurtosis(w))
-	mn, mx := stats.Min(w), stats.Max(w)
-	out = append(out, mn, mx, mx-mn, lineLength(w), float64(zeroCrossings(w)))
-
-	// Hjorth parameters.
-	act, mob, cpx := hjorth(w)
-	out = append(out, act, mob, cpx)
-
-	// Spectral features.
-	psd, err := spectrum.Periodogram(w, fs, window.Hann)
-	if err != nil {
-		return nil, err
-	}
-	for _, b := range spectrum.ClinicalBands() {
-		out = append(out, psd.BandPower(b))
-	}
-	for _, b := range spectrum.ClinicalBands() {
-		out = append(out, psd.RelativeBandPower(b))
-	}
-	out = append(out,
-		psd.TotalPower(),
-		spectrum.SpectralEdgeFrequency(psd, 0.95),
-		spectrum.PeakFrequency(psd, 0.5),
-		spectralEntropy(psd),
-	)
-
-	// DWT subband energies.
-	dec, err := decomposeForEntropy(w, cfg)
-	if err != nil {
-		return nil, err
-	}
-	abs := dec.SubbandEnergies()
-	rel := dec.RelativeSubbandEnergies()
-	out = append(out, abs...)
-	out = append(out, rel...)
-
-	// Nonlinear features.
-	pe3, err := entropy.Permutation(w, 3)
-	if err != nil {
-		return nil, err
-	}
-	pe5, err := entropy.Permutation(w, 5)
-	if err != nil {
-		return nil, err
-	}
-	// Sample entropy on a coarse approximation (level-3) keeps the cost
-	// quadratic in 128 rather than 1024 samples.
-	approx3 := w
-	for i := 0; i < 3; i++ {
-		a, _, err := cfg.Wavelet.Forward(wavelet.PadPow2(approx3))
-		if err != nil {
-			return nil, err
-		}
-		approx3 = a
-	}
-	seA3, err := entropy.SampleK(approx3, cfg.SampleM, 0.2)
-	if err != nil {
-		return nil, err
-	}
-	renyi, err := entropy.RenyiSignal(w, cfg.RenyiAlpha, cfg.RenyiBins)
-	if err != nil {
-		return nil, err
-	}
-	shannon, err := entropy.ShannonSignal(w, cfg.RenyiBins)
-	if err != nil {
-		return nil, err
-	}
-	peL6, err := entropy.Permutation(dec.Detail(minInt(6, cfg.Level)), 5)
-	if err != nil {
-		return nil, err
-	}
-	peL7, err := entropy.Permutation(dec.Detail(cfg.Level), 7)
-	if err != nil {
-		return nil, err
-	}
-	renyiL3, err := entropy.RenyiSignal(dec.Detail(3), cfg.RenyiAlpha, cfg.RenyiBins)
-	if err != nil {
-		return nil, err
-	}
-	seL602, err := entropy.SampleK(dec.Detail(minInt(6, cfg.Level)), cfg.SampleM, 0.2)
-	if err != nil {
-		return nil, err
-	}
-	seL6035, err := entropy.SampleK(dec.Detail(minInt(6, cfg.Level)), cfg.SampleM, 0.35)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, pe3, pe5, seA3, renyi, shannon,
-		peL6, peL7, renyiL3, seL602, seL6035, teagerEnergy(w))
-
-	if len(out) != 54 {
-		return nil, fmt.Errorf("features: internal error, %d features instead of 54", len(out))
-	}
-	return out, nil
 }
 
 // lineLength is the summed absolute first difference, a classic seizure
@@ -478,32 +317,6 @@ func zeroCrossings(w []float64) int {
 		prev = cur
 	}
 	return count
-}
-
-// hjorth returns the Hjorth activity, mobility and complexity parameters.
-func hjorth(w []float64) (activity, mobility, complexity float64) {
-	activity = stats.Variance(w)
-	if len(w) < 3 || activity == 0 {
-		return activity, 0, 0
-	}
-	d1 := diff(w)
-	d2 := diff(d1)
-	v1 := stats.Variance(d1)
-	v2 := stats.Variance(d2)
-	mobility = math.Sqrt(v1 / activity)
-	if v1 == 0 {
-		return activity, mobility, 0
-	}
-	complexity = math.Sqrt(v2/v1) / mobility
-	return activity, mobility, complexity
-}
-
-func diff(w []float64) []float64 {
-	out := make([]float64, len(w)-1)
-	for i := 1; i < len(w); i++ {
-		out[i-1] = w[i] - w[i-1]
-	}
-	return out
 }
 
 // spectralEntropy is the Shannon entropy of the normalized PSD.

@@ -24,6 +24,8 @@ type Streamer struct {
 	rows       int       // rows emitted
 	scratch0   []float64
 	scratch1   []float64
+	ws         *Workspace
+	row        []float64 // reused emission buffer, 10 wide
 }
 
 // NewStreamer builds a streaming extractor for sampling rate fs.
@@ -39,6 +41,10 @@ func NewStreamer(fs float64, cfg Config) (*Streamer, error) {
 	if win <= 0 || hop <= 0 {
 		return nil, fmt.Errorf("features: degenerate window %d/%d at %g Hz", win, hop, fs)
 	}
+	ws, err := NewWorkspace(fs, cfg)
+	if err != nil {
+		return nil, err
+	}
 	return &Streamer{
 		cfg:        cfg,
 		fs:         fs,
@@ -48,15 +54,26 @@ func NewStreamer(fs float64, cfg Config) (*Streamer, error) {
 		buf1:       make([]float64, win),
 		scratch0:   make([]float64, win),
 		scratch1:   make([]float64, win),
+		ws:         ws,
+		row:        make([]float64, 0, 10),
 	}, nil
 }
 
 // RowsEmitted returns how many feature rows have been produced.
 func (s *Streamer) RowsEmitted() int { return s.rows }
 
+// NumFeatures returns the width of every emitted feature row, so
+// consumers sizing storage for rows derive it rather than assume it.
+func (s *Streamer) NumFeatures() int { return len(PaperFeatureNames()) }
+
 // Push feeds one synchronized sample pair (F7T3, F8T4). When a full
 // window boundary is reached it returns the freshly computed feature row
 // and ready = true; otherwise row is nil.
+//
+// The returned row is the Streamer's reusable emission buffer: it is
+// valid until the next emitted row, and callers that retain rows must
+// copy them. Together with the Workspace underneath, this keeps the
+// steady-state push path completely allocation-free.
 func (s *Streamer) Push(v0, v1 float64) (row []float64, ready bool, err error) {
 	s.buf0[s.pos] = v0
 	s.buf1[s.pos] = v1
@@ -76,17 +93,19 @@ func (s *Streamer) Push(v0, v1 float64) (row []float64, ready bool, err error) {
 	return nil, false, nil
 }
 
-// emit linearizes the rings into scratch buffers and computes the row.
+// emit linearizes the rings into scratch buffers and computes the row
+// into the reusable emission buffer.
 func (s *Streamer) emit() ([]float64, bool, error) {
 	// Oldest sample sits at s.pos.
 	n := copy(s.scratch0, s.buf0[s.pos:])
 	copy(s.scratch0[n:], s.buf0[:s.pos])
 	n = copy(s.scratch1, s.buf1[s.pos:])
 	copy(s.scratch1[n:], s.buf1[:s.pos])
-	row, err := windowFeatures10(s.scratch0, s.scratch1, s.fs, s.cfg)
+	row, err := s.ws.Features10Into(s.row[:0], s.scratch0, s.scratch1)
 	if err != nil {
 		return nil, false, err
 	}
+	s.row = row
 	s.sinceEmit = 0
 	s.rows++
 	return row, true, nil
@@ -123,7 +142,8 @@ func StreamRecording(rec *signal.Recording, cfg Config) (*Matrix, error) {
 			return nil, err
 		}
 		if ready {
-			m.Rows = append(m.Rows, row)
+			// Push reuses its emission buffer; retained rows are copied.
+			m.Rows = append(m.Rows, append([]float64(nil), row...))
 		}
 	}
 	return m, nil

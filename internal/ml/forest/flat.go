@@ -1,0 +1,338 @@
+package forest
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	"selflearn/internal/ml/tree"
+)
+
+// FlatForest is the inference-optimized form of a trained forest: every
+// tree packed into one contiguous node table (see tree.FlatNode — 16
+// bytes per node, left child implicit in preorder layout), no pointers
+// to chase and nothing allocated per prediction. It produces bit-identical
+// predictions and probabilities to the pointer Forest it was flattened
+// from, and is immutable after construction, so one instance may be
+// shared by any number of goroutines. This is the representation the
+// serving hot path classifies with; the pointer Forest remains the
+// training-side structure.
+type FlatForest struct {
+	nodes     []tree.FlatNode
+	roots     []int32
+	nFeatures int
+	oob       float64
+}
+
+// Flatten packs the forest into a FlatForest.
+func (f *Forest) Flatten() *FlatForest {
+	if len(f.trees) == 0 {
+		return nil
+	}
+	nodes := 0
+	for _, t := range f.trees {
+		nodes += t.NumNodes()
+	}
+	ff := &FlatForest{
+		nodes:     make([]tree.FlatNode, 0, nodes),
+		roots:     make([]int32, 0, len(f.trees)),
+		nFeatures: f.trees[0].NumFeatures(),
+		oob:       f.oob,
+	}
+	for _, t := range f.trees {
+		ff.roots = append(ff.roots, int32(len(ff.nodes)))
+		ff.nodes = t.AppendFlat(ff.nodes)
+	}
+	return ff
+}
+
+// NumTrees returns the ensemble size.
+func (ff *FlatForest) NumTrees() int { return len(ff.roots) }
+
+// NumNodes returns the total node count across all trees.
+func (ff *FlatForest) NumNodes() int { return len(ff.nodes) }
+
+// NumFeatures returns the feature dimensionality the forest was trained on.
+func (ff *FlatForest) NumFeatures() int { return ff.nFeatures }
+
+// OOBError returns the out-of-bag misclassification estimate carried
+// over from the pointer forest (NaN when unavailable).
+func (ff *FlatForest) OOBError() float64 { return ff.oob }
+
+// step advances one descent cursor by a single level. The child select
+// is arithmetic — b materializes as a SETcc, so the near-random split
+// outcome never reaches the branch predictor (a compare-and-jump here
+// would mispredict roughly half the time). b = 1 exactly when
+// x <= threshold, so NaN features fall right, matching the pointer
+// tree's else-branch semantics.
+func step(x []float64, n tree.FlatNode, i int32) int32 {
+	var b int32
+	if x[n.Feature] <= n.Value {
+		b = 1
+	}
+	return n.Right + (i+1-n.Right)*b
+}
+
+// votes counts the trees classifying x positive. len(x) must be at
+// least NumFeatures, as with Forest.Predict.
+//
+// Two micro-optimizations carry the speedup over the pointer forest:
+// the branch-free child select (see step), and walking four trees in
+// lock-step — each tree's descent is a serial load→compare→load chain,
+// but the four chains are independent, so their node loads overlap
+// instead of serializing. At the leaf, Right is the precomputed 0/1
+// vote and a finished cursor simply stops advancing.
+func (ff *FlatForest) votes(x []float64) int {
+	nodes := ff.nodes
+	roots := ff.roots
+	votes := int32(0)
+	t := 0
+	for ; t+4 <= len(roots); t += 4 {
+		i0, i1, i2, i3 := roots[t], roots[t+1], roots[t+2], roots[t+3]
+		n0, n1, n2, n3 := nodes[i0], nodes[i1], nodes[i2], nodes[i3]
+		for n0.Feature >= 0 || n1.Feature >= 0 || n2.Feature >= 0 || n3.Feature >= 0 {
+			if n0.Feature >= 0 {
+				i0 = step(x, n0, i0)
+				n0 = nodes[i0]
+			}
+			if n1.Feature >= 0 {
+				i1 = step(x, n1, i1)
+				n1 = nodes[i1]
+			}
+			if n2.Feature >= 0 {
+				i2 = step(x, n2, i2)
+				n2 = nodes[i2]
+			}
+			if n3.Feature >= 0 {
+				i3 = step(x, n3, i3)
+				n3 = nodes[i3]
+			}
+		}
+		votes += n0.Right + n1.Right + n2.Right + n3.Right
+	}
+	for ; t < len(roots); t++ {
+		i := roots[t]
+		n := nodes[i]
+		for n.Feature >= 0 {
+			i = step(x, n, i)
+			n = nodes[i]
+		}
+		votes += n.Right
+	}
+	return int(votes)
+}
+
+// Prob returns the fraction of trees voting positive for x.
+func (ff *FlatForest) Prob(x []float64) float64 {
+	return float64(ff.votes(x)) / float64(len(ff.roots))
+}
+
+// Predict returns the majority-vote class for x. It allocates nothing.
+func (ff *FlatForest) Predict(x []float64) bool {
+	return 2*ff.votes(x) >= len(ff.roots)
+}
+
+// smallBatch is the batch size up to which PredictBatchInto keeps its
+// vote tally on the stack; the serving path classifies one window at a
+// time and must stay allocation-free.
+const smallBatch = 64
+
+// parallelWork is the rows×trees product beyond which PredictBatchInto
+// fans the tree loop out across GOMAXPROCS goroutines.
+const parallelWork = 1 << 15
+
+// PredictBatchInto classifies every row of X into dst, which must be at
+// least len(X) long, and returns dst[:len(X)]. The walk is tree-major —
+// each tree's contiguous node block stays cache-resident while it scores
+// the whole batch — and large batches are parallelized across trees.
+// Small batches (up to 64 rows) allocate nothing.
+func (ff *FlatForest) PredictBatchInto(dst []bool, X [][]float64) []bool {
+	dst = dst[:len(X)]
+	if len(X) == 0 {
+		return dst
+	}
+	var stack [smallBatch]int32
+	var votes []int32
+	if len(X) <= smallBatch {
+		votes = stack[:len(X)]
+		for i := range votes {
+			votes[i] = 0
+		}
+	} else {
+		votes = make([]int32, len(X))
+	}
+	if procs := runtime.GOMAXPROCS(0); procs > 1 && len(X)*len(ff.roots) >= parallelWork {
+		ff.parallelVotes(votes, X, procs)
+	} else {
+		ff.treeVotes(votes, X, 0, len(ff.roots))
+	}
+	nTrees := int32(len(ff.roots))
+	for i, v := range votes {
+		dst[i] = 2*v >= nTrees
+	}
+	return dst
+}
+
+// treeVotes accumulates votes for trees [lo, hi) over every row of X,
+// tree-major so each tree's node block stays cache-resident across the
+// whole batch.
+func (ff *FlatForest) treeVotes(votes []int32, X [][]float64, lo, hi int) {
+	nodes := ff.nodes
+	for t := lo; t < hi; t++ {
+		root := ff.roots[t]
+		r := 0
+		// Four rows descend the tree in lock-step: independent chains,
+		// overlapping node loads — the row-wise analog of votes().
+		for ; r+4 <= len(X); r += 4 {
+			x0, x1, x2, x3 := X[r], X[r+1], X[r+2], X[r+3]
+			i0, i1, i2, i3 := root, root, root, root
+			n0, n1, n2, n3 := nodes[i0], nodes[i1], nodes[i2], nodes[i3]
+			for n0.Feature >= 0 || n1.Feature >= 0 || n2.Feature >= 0 || n3.Feature >= 0 {
+				if n0.Feature >= 0 {
+					i0 = step(x0, n0, i0)
+					n0 = nodes[i0]
+				}
+				if n1.Feature >= 0 {
+					i1 = step(x1, n1, i1)
+					n1 = nodes[i1]
+				}
+				if n2.Feature >= 0 {
+					i2 = step(x2, n2, i2)
+					n2 = nodes[i2]
+				}
+				if n3.Feature >= 0 {
+					i3 = step(x3, n3, i3)
+					n3 = nodes[i3]
+				}
+			}
+			votes[r] += n0.Right
+			votes[r+1] += n1.Right
+			votes[r+2] += n2.Right
+			votes[r+3] += n3.Right
+		}
+		for ; r < len(X); r++ {
+			x := X[r]
+			i := root
+			n := nodes[i]
+			for n.Feature >= 0 {
+				i = step(x, n, i)
+				n = nodes[i]
+			}
+			votes[r] += n.Right
+		}
+	}
+}
+
+// parallelVotes splits the tree range across workers, each tallying into
+// its own slice, then reduces. Vote counts are integers, so the merge
+// order cannot perturb results.
+func (ff *FlatForest) parallelVotes(votes []int32, X [][]float64, procs int) {
+	nTrees := len(ff.roots)
+	if procs > nTrees {
+		procs = nTrees
+	}
+	partials := make([][]int32, procs)
+	var wg sync.WaitGroup
+	wg.Add(procs)
+	for w := 0; w < procs; w++ {
+		lo := w * nTrees / procs
+		hi := (w + 1) * nTrees / procs
+		part := make([]int32, len(X))
+		partials[w] = part
+		go func(part []int32, lo, hi int) {
+			defer wg.Done()
+			ff.treeVotes(part, X, lo, hi)
+		}(part, lo, hi)
+	}
+	wg.Wait()
+	for _, part := range partials {
+		for i, v := range part {
+			votes[i] += v
+		}
+	}
+}
+
+// PredictBatch classifies every row of X into a fresh slice.
+func (ff *FlatForest) PredictBatch(X [][]float64) []bool {
+	return ff.PredictBatchInto(make([]bool, len(X)), X)
+}
+
+// MarshalJSON encodes the flat forest in the exact interchange format of
+// Forest.MarshalJSON (preorder node arrays per tree), so checkpoints
+// written from either representation load into either.
+func (ff *FlatForest) MarshalJSON() ([]byte, error) {
+	if len(ff.roots) == 0 {
+		return nil, errors.New("forest: empty forest")
+	}
+	type nodeDTO struct {
+		Leaf      bool    `json:"leaf"`
+		Positive  bool    `json:"positive,omitempty"`
+		Prob      float64 `json:"prob,omitempty"`
+		Feature   int     `json:"feature,omitempty"`
+		Threshold float64 `json:"threshold,omitempty"`
+		Left      int     `json:"left,omitempty"`
+		Right     int     `json:"right,omitempty"`
+	}
+	type treeDTO struct {
+		NumFeatures int       `json:"num_features"`
+		Nodes       []nodeDTO `json:"nodes"`
+	}
+	oob := ff.oob
+	if math.IsNaN(oob) {
+		oob = -1
+	}
+	dto := struct {
+		Trees    []treeDTO `json:"trees"`
+		OOBError float64   `json:"oob_error"`
+	}{OOBError: oob}
+	for t := range ff.roots {
+		base := int(ff.roots[t])
+		end := len(ff.nodes)
+		if t+1 < len(ff.roots) {
+			end = int(ff.roots[t+1])
+		}
+		td := treeDTO{NumFeatures: ff.nFeatures, Nodes: make([]nodeDTO, 0, end-base)}
+		for i := base; i < end; i++ {
+			n := ff.nodes[i]
+			if n.Feature < 0 {
+				td.Nodes = append(td.Nodes, nodeDTO{
+					Leaf: true, Positive: n.Value >= 0.5, Prob: n.Value,
+				})
+				continue
+			}
+			td.Nodes = append(td.Nodes, nodeDTO{
+				Feature:   int(n.Feature),
+				Threshold: n.Value,
+				Left:      i - base + 1,
+				Right:     int(n.Right) - base,
+			})
+		}
+		dto.Trees = append(dto.Trees, td)
+	}
+	return json.Marshal(dto)
+}
+
+// Save writes the flat forest as JSON to w, in the same format as
+// Forest.Save.
+func (ff *FlatForest) Save(w io.Writer) error {
+	data, err := ff.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// LoadFlat reads a forest checkpoint (written by either Forest.Save or
+// FlatForest.Save) directly into the flat representation, reusing the
+// pointer loader's link validation.
+func LoadFlat(r io.Reader) (*FlatForest, error) {
+	f, err := Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return f.Flatten(), nil
+}

@@ -12,6 +12,13 @@ type AdmissionPolicy interface {
 	// under the server's read lock, so it may block only briefly
 	// (blocking delays Close by at most the policy's deadline).
 	admit(s *Server, w *worker, j job) error
+	// fastReject reports whether a batch push may be refused before the
+	// job is even built — the cheap overload path. Only policies whose
+	// admit would certainly refuse a full queue return true; the check
+	// is racy (the queue may drain concurrently), which a caller of such
+	// a policy must tolerate anyway. It runs outside the server's read
+	// lock and must not block.
+	fastReject(w *worker) bool
 }
 
 // DropOnFull rejects immediately when the shard queue is full — the
@@ -30,6 +37,14 @@ func (dropOnFull) admit(s *Server, w *worker, j job) error {
 	}
 }
 
+// fastReject short-circuits a full queue: under sustained overload the
+// retry loop of every gateway hammers Push, and rejecting before the
+// lock and the job copy keeps that spin from stealing the very worker
+// time that would drain the queue.
+func (dropOnFull) fastReject(w *worker) bool {
+	return len(w.jobs) == cap(w.jobs)
+}
+
 // BlockWithDeadline waits up to d for queue space before giving up with
 // ErrBackpressure — smoothing short bursts without unbounded blocking.
 // A non-positive d blocks until space frees (use with care: it also
@@ -37,6 +52,10 @@ func (dropOnFull) admit(s *Server, w *worker, j job) error {
 func BlockWithDeadline(d time.Duration) AdmissionPolicy { return blockWithDeadline{d: d} }
 
 type blockWithDeadline struct{ d time.Duration }
+
+// fastReject never triggers: a full queue is exactly when this policy
+// wants to block.
+func (blockWithDeadline) fastReject(*worker) bool { return false }
 
 func (p blockWithDeadline) admit(s *Server, w *worker, j job) error {
 	select {
@@ -72,6 +91,10 @@ func (p blockWithDeadline) admit(s *Server, w *worker, j job) error {
 func ShedOldest() AdmissionPolicy { return shedOldest{} }
 
 type shedOldest struct{}
+
+// fastReject never triggers: a full queue is exactly when this policy
+// sheds to make room.
+func (shedOldest) fastReject(*worker) bool { return false }
 
 func (shedOldest) admit(s *Server, w *worker, j job) error {
 	// pending holds jobs awaiting (re-)placement, oldest first: popped

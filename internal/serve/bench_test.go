@@ -11,38 +11,46 @@ import (
 	"time"
 )
 
-// benchSnapshot accumulates BenchmarkServe results; TestMain writes
-// them to BENCH_serve.json (override with BENCH_SERVE_OUT) so the
-// repo's perf trajectory has a machine-readable sample per run.
+// benchSnapshot and pipelineSnapshot accumulate BenchmarkServe and
+// BenchmarkPipeline results; TestMain writes them to BENCH_serve.json
+// and BENCH_pipeline.json (override with BENCH_SERVE_OUT /
+// BENCH_PIPELINE_OUT) so the repo's perf trajectory has a
+// machine-readable sample per run.
 var benchSnapshot = struct {
+	mu sync.Mutex
+	m  map[string]float64
+}{m: map[string]float64{}}
+
+var pipelineSnapshot = struct {
 	mu sync.Mutex
 	m  map[string]float64
 }{m: map[string]float64{}}
 
 func TestMain(m *testing.M) {
 	code := m.Run()
-	writeBenchSnapshot()
+	writeSnapshot("BenchmarkServe", "BENCH_SERVE_OUT", "BENCH_serve.json", &benchSnapshot.mu, benchSnapshot.m)
+	writeSnapshot("BenchmarkPipeline", "BENCH_PIPELINE_OUT", "BENCH_pipeline.json", &pipelineSnapshot.mu, pipelineSnapshot.m)
 	os.Exit(code)
 }
 
-func writeBenchSnapshot() {
-	benchSnapshot.mu.Lock()
-	defer benchSnapshot.mu.Unlock()
-	if len(benchSnapshot.m) == 0 {
+func writeSnapshot(name, env, def string, mu *sync.Mutex, m map[string]float64) {
+	mu.Lock()
+	defer mu.Unlock()
+	if len(m) == 0 {
 		return
 	}
-	out := os.Getenv("BENCH_SERVE_OUT")
+	out := os.Getenv(env)
 	if out == "" {
-		out = "BENCH_serve.json"
+		out = def
 	}
 	data, err := json.MarshalIndent(struct {
 		Benchmark     string             `json:"benchmark"`
 		GOMAXPROCS    int                `json:"gomaxprocs"`
 		WindowsPerSec map[string]float64 `json:"windows_per_sec"`
 	}{
-		Benchmark:     "BenchmarkServe",
+		Benchmark:     name,
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		WindowsPerSec: benchSnapshot.m,
+		WindowsPerSec: m,
 	}, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench snapshot: %v\n", err)
@@ -91,16 +99,21 @@ func benchServe(b *testing.B, workers, patients int) {
 		}
 		streams[p] = h
 	}
-	// Prime every session (first window costs 4 s of fill).
+	// Prime every session (first window costs 4 s of fill). Retries
+	// yield: a busy spin would steal the very CPU time the workers need
+	// to drain the queue and the benchmark would measure its own
+	// spinning instead of the processing rate.
 	for _, h := range streams {
 		for i := 0; i < 4; i++ {
 			for h.Push(c0, c1) == ErrBackpressure {
+				runtime.Gosched()
 			}
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for streams[i%patients].Push(c0, c1) == ErrBackpressure {
+			runtime.Gosched()
 		}
 	}
 	b.StopTimer()
@@ -110,6 +123,58 @@ func benchServe(b *testing.B, workers, patients int) {
 	benchSnapshot.mu.Lock()
 	benchSnapshot.m[fmt.Sprintf("workers=%d", workers)] = st.WindowsPerSec
 	benchSnapshot.mu.Unlock()
+}
+
+// BenchmarkPipeline measures the full samples-in → alarm-out window
+// pipeline on one session with no queue hops: Streamer.Push through
+// the feature workspace, history ring copy, FlatForest classification,
+// and alarm smoothing. One iteration is one one-second batch, i.e. one
+// classified window in steady state, so windows/s here is the
+// single-core ceiling the sharded server fans out. allocs/op is the
+// pipeline's allocation budget and must stay 0 (enforced by
+// TestSessionBatchPathZeroAlloc).
+func BenchmarkPipeline(b *testing.B) {
+	model := trainOnRecording(b)
+	for _, tc := range []struct {
+		name    string
+		trained bool
+	}{{"untrained", false}, {"trained", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			sess, _ := benchSession(b, 3600)
+			if tc.trained {
+				sess.model.Store(model)
+			}
+			rec := testRecording(b, 21, 60, -1, 0)
+			c0, c1 := rec.Data[0], rec.Data[1]
+			batch := int(testRate)
+			pos := 0
+			push := func() {
+				rows, err := sess.ingest(c0[pos:pos+batch], c1[pos:pos+batch])
+				if err != nil {
+					b.Fatal(err)
+				}
+				sess.classify(rows)
+				pos += batch
+				if pos+batch > len(c0) {
+					pos = 8 * batch
+				}
+			}
+			for i := 0; i < 8; i++ {
+				push() // fill the first window and size all buffers
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				push()
+			}
+			b.StopTimer()
+			wps := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(wps, "windows/s")
+			pipelineSnapshot.mu.Lock()
+			pipelineSnapshot.m[tc.name] = wps
+			pipelineSnapshot.mu.Unlock()
+		})
+	}
 }
 
 // BenchmarkShard isolates the shard-hash fix: the stdlib path pays the

@@ -83,7 +83,7 @@ func (c *lru[V]) evictOldest() {
 // lands in both the LRU and the store.
 type modelCache struct {
 	mu    sync.Mutex
-	t     *lru[*forest.Forest]
+	t     *lru[*forest.FlatForest]
 	store ModelStore
 	// onErr observes store Load/Save failures (the serving path treats
 	// them as misses rather than stalling on persistence).
@@ -91,12 +91,12 @@ type modelCache struct {
 }
 
 func newModelCache(capacity int, store ModelStore, onErr func(error)) *modelCache {
-	return &modelCache{t: newLRU[*forest.Forest](capacity, nil), store: store, onErr: onErr}
+	return &modelCache{t: newLRU[*forest.FlatForest](capacity, nil), store: store, onErr: onErr}
 }
 
 // Get returns the patient's model, reading through to the store on an
 // LRU miss, or nil when the patient has never been trained.
-func (m *modelCache) Get(patient string) *forest.Forest {
+func (m *modelCache) Get(patient string) *forest.FlatForest {
 	if f := m.cached(patient); f != nil {
 		return f
 	}
@@ -129,7 +129,7 @@ func (m *modelCache) Get(patient string) *forest.Forest {
 // reconcile path, which must never touch the (possibly on-disk) store.
 // Learner publishes always pass through the LRU, so in-process model
 // updates are visible here; only cross-restart warm starts need Get.
-func (m *modelCache) cached(patient string) *forest.Forest {
+func (m *modelCache) cached(patient string) *forest.FlatForest {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	f, _ := m.t.Get(patient)
@@ -138,7 +138,7 @@ func (m *modelCache) cached(patient string) *forest.Forest {
 
 // Put publishes the patient's model to the LRU and writes it through to
 // the store.
-func (m *modelCache) Put(patient string, f *forest.Forest) {
+func (m *modelCache) Put(patient string, f *forest.FlatForest) {
 	if f == nil {
 		return
 	}

@@ -64,10 +64,11 @@ func TestModelCacheRoundTrip(t *testing.T) {
 	}
 	X := [][]float64{{0, 0}, {1, 1}, {0, 0.1}, {1, 0.9}}
 	y := []bool{false, true, false, true}
-	f, err := forest.Train(X, y, forest.Config{NumTrees: 3, MinLeaf: 1, Seed: 1})
+	pf, err := forest.Train(X, y, forest.Config{NumTrees: 3, MinLeaf: 1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
+	f := pf.Flatten()
 	mc.Put("p1", f)
 	mc.Put("p1", f) // refresh must not double-count
 	if mc.Len() != 1 {

@@ -89,6 +89,10 @@ func (l *learner) retrain(j retrainJob) error {
 	if err != nil {
 		return err
 	}
+	// Flatten once at train time: everything downstream — the live
+	// session's classify path, the model cache, and checkpoints — works
+	// on the inference-optimized representation.
+	flat := f.Flatten()
 	// Two learners can finish the same patient's retrains out of order;
 	// only the highest sequence may install. The check and the publish
 	// must be one critical section: a bare CAS gate would let a
@@ -103,8 +107,8 @@ func (l *learner) retrain(j retrainJob) error {
 	// if the session was LRU-evicted and recreated while training ran,
 	// the live replacement reconciles from the cache (dispatch.go), so
 	// the cache must never lag the session.
-	l.srv.cache.Put(j.sess.id, f)
-	j.sess.model.Store(f)
+	l.srv.cache.Put(j.sess.id, flat)
+	j.sess.model.Store(flat)
 	return nil
 }
 

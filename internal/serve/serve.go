@@ -193,6 +193,10 @@ type Server struct {
 
 	mu     sync.RWMutex // guards closed against in-flight Open/Push/Confirm
 	closed bool
+	// closedFast mirrors closed for lock-free reads on the Push fast
+	// paths (set in Close before the workers drain); the mutex remains
+	// the authority for the channel-close handshake.
+	closedFast atomic.Bool
 
 	// snapMu guards the rate-sampling state behind Stats.WindowsPerSec.
 	snapMu      sync.Mutex
@@ -378,7 +382,7 @@ func (s *Server) Events() <-chan Event {
 
 // Model returns the patient's current trained detector from the model
 // cache (reading through to the store), or nil while untrained.
-func (s *Server) Model(patientID string) *forest.Forest {
+func (s *Server) Model(patientID string) *forest.FlatForest {
 	return s.cache.Get(patientID)
 }
 
@@ -394,6 +398,7 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	s.closedFast.Store(true)
 	s.mu.Unlock()
 	for _, w := range s.workers {
 		close(w.jobs)

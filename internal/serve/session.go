@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -16,18 +17,31 @@ import (
 // All fields except model are confined to the owning worker goroutine;
 // model is an atomic pointer because the background learner installs
 // retrained forests into live sessions.
+//
+// The steady-state batch path (ingest → classify) allocates nothing:
+// the streamer reuses its emission buffer, emitted rows are copied into
+// one flat preallocated history backing, and classification runs the
+// flat forest into a reused prediction buffer.
 type session struct {
 	id       string
 	streamer *features.Streamer
 	alarm    *rt.Detector
-	model    atomic.Pointer[forest.Forest]
+	model    atomic.Pointer[forest.FlatForest]
 
 	// history is a ring of the most recent feature rows (one per hop,
 	// i.e. one per second in the paper's configuration), the streaming
-	// equivalent of the wearable's "buffered last hour".
+	// equivalent of the wearable's "buffered last hour". Each slot is a
+	// fixed view into histBuf; rows are copied in on emission, so the
+	// ring owns its data and the streamer's buffer can be reused.
 	history [][]float64
 	histPos int
 	histLen int
+
+	// rowsScratch collects the slot views of the rows a batch completed;
+	// predScratch is the matching classification buffer. Both are reused
+	// across batches.
+	rowsScratch [][]float64
+	predScratch []bool
 
 	// retrainSeq counts confirmations dispatched to the learner; it
 	// seeds forest training so retrains stay deterministic per patient.
@@ -50,6 +64,11 @@ type nopClassifier struct{}
 func (nopClassifier) Predict([]float64) bool { return false }
 
 func newSession(id string, historyRows int, cfg Config) (*session, error) {
+	if historyRows < 1 {
+		// Server.New validates this from Config.History; guard here too
+		// because remember() indexes the ring unconditionally.
+		return nil, fmt.Errorf("serve: session needs at least one history row, got %d", historyRows)
+	}
 	st, err := features.NewStreamer(cfg.SampleRate, cfg.FeatureCfg)
 	if err != nil {
 		return nil, err
@@ -58,51 +77,82 @@ func newSession(id string, historyRows int, cfg Config) (*session, error) {
 	if err != nil {
 		return nil, err
 	}
+	nf := st.NumFeatures()
+	histBuf := make([]float64, historyRows*nf)
+	history := make([][]float64, historyRows)
+	for i := range history {
+		history[i] = histBuf[i*nf : (i+1)*nf : (i+1)*nf]
+	}
 	return &session{
 		id:       id,
 		streamer: st,
 		alarm:    det,
-		history:  make([][]float64, historyRows),
+		history:  history,
 	}, nil
 }
 
 // ingest pushes one batch of synchronized samples through the feature
-// extractor and returns the feature rows completed by this batch. Rows
-// are also appended to the rolling history.
+// extractor and returns the feature rows completed by this batch, as
+// their stable history-ring views. The returned slice is the session's
+// reusable scratch: it is valid until the next ingest call.
 func (s *session) ingest(c0, c1 []float64) ([][]float64, error) {
-	var rows [][]float64
+	rows := s.rowsScratch[:0]
 	for i := range c0 {
 		row, ready, err := s.streamer.Push(c0[i], c1[i])
 		if err != nil {
+			s.rowsScratch = rows
 			return rows, err
 		}
 		if ready {
-			rows = append(rows, row)
-			s.remember(row)
+			// Copy immediately: the streamer reuses its emission buffer,
+			// so the row must land in its ring slot before the next Push.
+			if len(row) != len(s.history[s.histPos]) {
+				// Slot width is derived from the streamer at construction;
+				// a mismatch means the extractor changed shape mid-stream —
+				// fail loudly rather than silently truncate the history
+				// the learner trains on.
+				s.rowsScratch = rows
+				return rows, fmt.Errorf("serve: feature row width %d does not match history slot width %d",
+					len(row), len(s.history[s.histPos]))
+			}
+			if n := len(s.history); len(rows) >= n {
+				// A batch longer than the whole history ring: remember is
+				// about to recycle the slot handed out n rows ago, so give
+				// that row its own copy first. Pathological (one Push
+				// spanning more than the History duration) — the common
+				// path stays allocation-free.
+				k := len(rows) - n
+				rows[k] = append([]float64(nil), rows[k]...)
+			}
+			rows = append(rows, s.remember(row))
 		}
 	}
+	s.rowsScratch = rows
 	return rows, nil
 }
 
-// remember appends one feature row to the rolling history ring.
-func (s *session) remember(row []float64) {
-	if len(s.history) == 0 {
-		return
-	}
-	s.history[s.histPos] = row
+// remember copies one feature row into the rolling history ring and
+// returns the slot view, which stays valid until the ring wraps past it
+// (History duration later — far beyond the enclosing batch).
+func (s *session) remember(row []float64) []float64 {
+	slot := s.history[s.histPos]
+	copy(slot, row)
 	s.histPos = (s.histPos + 1) % len(s.history)
 	if s.histLen < len(s.history) {
 		s.histLen++
 	}
+	return slot
 }
 
-// historySnapshot linearizes the history ring oldest-first into a fresh
-// slice; the row slices themselves are shared (immutable once emitted).
+// historySnapshot linearizes the history ring oldest-first into freshly
+// allocated rows. The copy is deliberate: the snapshot crosses to the
+// learner goroutine while the worker keeps overwriting ring slots.
 func (s *session) historySnapshot() [][]float64 {
 	out := make([][]float64, 0, s.histLen)
 	start := s.histPos - s.histLen
 	for i := 0; i < s.histLen; i++ {
-		out = append(out, s.history[((start+i)%len(s.history)+len(s.history))%len(s.history)])
+		slot := s.history[((start+i)%len(s.history)+len(s.history))%len(s.history)]
+		out = append(out, append([]float64(nil), slot...))
 	}
 	return out
 }
@@ -114,11 +164,16 @@ func (s *session) classify(rows [][]float64) int {
 	if len(rows) == 0 {
 		return 0
 	}
-	var preds []bool
+	if cap(s.predScratch) < len(rows) {
+		s.predScratch = make([]bool, len(rows))
+	}
+	preds := s.predScratch[:len(rows)]
 	if f := s.model.Load(); f != nil {
-		preds = f.PredictBatch(rows)
+		f.PredictBatchInto(preds, rows)
 	} else {
-		preds = make([]bool, len(rows))
+		for i := range preds {
+			preds[i] = false
+		}
 	}
 	fired := 0
 	for _, p := range preds {

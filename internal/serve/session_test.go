@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"selflearn/internal/ml/forest"
+	"selflearn/internal/rt"
+)
+
+// benchSession builds a worker-confined session the way a shard does,
+// with an alarm config strict enough that background EEG never fires
+// (an alarm appends to the detector's alarm log, which is the one
+// legitimate allocation on the path).
+func benchSession(tb testing.TB, historyRows int) (*session, Config) {
+	tb.Helper()
+	cfg := Config{
+		Workers:    1,
+		SampleRate: testRate,
+		History:    time.Minute,
+		AlarmCfg: rt.Config{
+			VoteWindow:   12,
+			VotesToRaise: 12,
+			Refractory:   5 * time.Minute,
+			Hop:          time.Second,
+		},
+	}.withDefaults()
+	sess, err := newSession("alloc-guard", historyRows, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sess, cfg
+}
+
+// trainOnRecording extracts a session's worth of rows from a synthetic
+// recording and fits a small forest, giving the classify path a real
+// model to walk.
+func trainOnRecording(tb testing.TB) *forest.FlatForest {
+	tb.Helper()
+	sess, _ := benchSession(tb, 256)
+	rec := testRecording(tb, 5, 120, 40, 20)
+	rows, err := sess.ingest(rec.Data[0], rec.Data[1])
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if len(rows) < 20 {
+		tb.Fatalf("only %d rows extracted", len(rows))
+	}
+	X := make([][]float64, 0, len(rows))
+	y := make([]bool, 0, len(rows))
+	for i, r := range rows {
+		X = append(X, append([]float64(nil), r...))
+		sec := float64(i) // one row per second after the first window
+		y = append(y, sec >= 36 && sec < 56)
+	}
+	f, err := forest.Train(X, y, forest.Config{NumTrees: 20, MaxDepth: 8, MinLeaf: 2, Seed: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return f.Flatten()
+}
+
+// TestSessionBatchPathZeroAlloc is the end-to-end allocation guard for
+// the serving hot path: one-second sample batches through
+// Streamer.Push → history ring → FlatForest classification → alarm
+// smoothing, with zero allocations per batch in steady state.
+func TestSessionBatchPathZeroAlloc(t *testing.T) {
+	sess, _ := benchSession(t, 256)
+	sess.model.Store(trainOnRecording(t))
+	rec := testRecording(t, 9, 60, -1, 0)
+	c0, c1 := rec.Data[0], rec.Data[1]
+	batch := int(testRate)
+	// Warm-up: size every buffer (first windows, scratch, prediction).
+	pos := 0
+	push := func() {
+		rows, err := sess.ingest(c0[pos:pos+batch], c1[pos:pos+batch])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess.classify(rows)
+		pos += batch
+		if pos+batch > len(c0) {
+			pos = 8 * batch
+		}
+	}
+	for i := 0; i < 10; i++ {
+		push()
+	}
+	if allocs := testing.AllocsPerRun(30, push); allocs != 0 {
+		t.Fatalf("ingest+classify allocates %.1f objects per one-second batch, want 0", allocs)
+	}
+}
+
+// TestSessionBatchLongerThanHistoryRing pins the wraparound escape
+// hatch: a single batch that emits more rows than the ring has slots
+// must still hand classify distinct, correct rows — the recycled
+// entries get private copies.
+func TestSessionBatchLongerThanHistoryRing(t *testing.T) {
+	cfg := Config{Workers: 1, SampleRate: testRate, History: 6 * time.Second}.withDefaults()
+	sess, err := newSession("wrap", 6, cfg) // 6-slot ring
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecording(t, 13, 30, -1, 0) // one 30 s batch → ~27 rows
+	rows, err := sess.ingest(rec.Data[0], rec.Data[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) <= 6 {
+		t.Fatalf("want more rows than ring slots, got %d", len(rows))
+	}
+	// Reference: the same recording through a fresh streamer.
+	ref, err := newSession("ref", len(rows), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.ingest(rec.Data[0], rec.Data[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(rows) {
+		t.Fatalf("reference emitted %d rows vs %d", len(want), len(rows))
+	}
+	for i := range want {
+		for f := range want[i] {
+			if rows[i][f] != want[i][f] {
+				t.Fatalf("row %d feature %d corrupted by ring wraparound: %g vs %g",
+					i, f, rows[i][f], want[i][f])
+			}
+		}
+	}
+}
+
+// TestSessionHistorySurvivesStreamerReuse pins the row-copy semantics:
+// rows handed to the history ring must not alias the streamer's reused
+// emission buffer, so later batches cannot corrupt the buffered hour
+// the learner trains on.
+func TestSessionHistorySurvivesStreamerReuse(t *testing.T) {
+	sess, _ := benchSession(t, 64)
+	rec := testRecording(t, 11, 30, -1, 0)
+	rows, err := sess.ingest(rec.Data[0], rec.Data[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("want several rows, got %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if &rows[i][0] == &rows[0][0] {
+			t.Fatal("distinct rows alias the same backing buffer")
+		}
+	}
+	first := append([]float64(nil), rows[0]...)
+	snap := sess.historySnapshot()
+	// Stream another batch: must not mutate the earlier snapshot or the
+	// remembered row.
+	if _, err := sess.ingest(rec.Data[0], rec.Data[1]); err != nil {
+		t.Fatal(err)
+	}
+	for f, v := range first {
+		if snap[0][f] != v {
+			t.Fatalf("history snapshot row 0 feature %d changed under streaming", f)
+		}
+	}
+}

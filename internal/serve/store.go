@@ -12,14 +12,16 @@ import (
 
 // ModelStore is the persistence layer behind the in-process model
 // cache: trained per-patient detectors outlive LRU eviction — and, with
-// a durable implementation, the process itself. Implementations must be
-// safe for concurrent use.
+// a durable implementation, the process itself. The serving layer works
+// entirely on the inference-optimized forest.FlatForest; the on-disk
+// interchange format is unchanged (see FileStore). Implementations must
+// be safe for concurrent use.
 type ModelStore interface {
 	// Load returns the patient's checkpointed detector, or (nil, nil)
 	// when none is stored.
-	Load(patientID string) (*forest.Forest, error)
+	Load(patientID string) (*forest.FlatForest, error)
 	// Save checkpoints the patient's detector, replacing any previous one.
-	Save(patientID string, f *forest.Forest) error
+	Save(patientID string, f *forest.FlatForest) error
 }
 
 // MemoryStore keeps checkpoints in an in-process map: models evicted
@@ -29,23 +31,23 @@ type ModelStore interface {
 // (Config.ModelCacheSize then caps model memory).
 type MemoryStore struct {
 	mu sync.RWMutex
-	m  map[string]*forest.Forest
+	m  map[string]*forest.FlatForest
 }
 
 // NewMemoryStore returns an empty in-memory model store.
 func NewMemoryStore() *MemoryStore {
-	return &MemoryStore{m: make(map[string]*forest.Forest)}
+	return &MemoryStore{m: make(map[string]*forest.FlatForest)}
 }
 
 // Load implements ModelStore.
-func (s *MemoryStore) Load(patientID string) (*forest.Forest, error) {
+func (s *MemoryStore) Load(patientID string) (*forest.FlatForest, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.m[patientID], nil
 }
 
 // Save implements ModelStore.
-func (s *MemoryStore) Save(patientID string, f *forest.Forest) error {
+func (s *MemoryStore) Save(patientID string, f *forest.FlatForest) error {
 	if f == nil {
 		return fmt.Errorf("serve: nil model for %q", patientID)
 	}
@@ -64,7 +66,9 @@ func (s *MemoryStore) Len() int {
 
 // FileStore persists one JSON forest checkpoint per patient under a
 // directory, using the ml/forest serialization format shared with
-// cmd/deploy. A server restarted against the same directory serves
+// cmd/deploy (FlatForest.Save writes it and forest.LoadFlat reads it,
+// so checkpoints interoperate with pointer-forest tools in both
+// directions). A server restarted against the same directory serves
 // previously-trained patients warm. Writes are atomic (temp file +
 // rename), so a crash mid-checkpoint leaves the previous one intact.
 type FileStore struct {
@@ -89,7 +93,7 @@ func (s *FileStore) path(patientID string) string {
 }
 
 // Load implements ModelStore; a missing checkpoint is (nil, nil).
-func (s *FileStore) Load(patientID string) (*forest.Forest, error) {
+func (s *FileStore) Load(patientID string) (*forest.FlatForest, error) {
 	r, err := os.Open(s.path(patientID))
 	if os.IsNotExist(err) {
 		return nil, nil
@@ -98,7 +102,7 @@ func (s *FileStore) Load(patientID string) (*forest.Forest, error) {
 		return nil, fmt.Errorf("serve: model store: %w", err)
 	}
 	defer r.Close()
-	f, err := forest.Load(r)
+	f, err := forest.LoadFlat(r)
 	if err != nil {
 		return nil, fmt.Errorf("serve: model store: corrupt checkpoint for %q: %w", patientID, err)
 	}
@@ -106,7 +110,7 @@ func (s *FileStore) Load(patientID string) (*forest.Forest, error) {
 }
 
 // Save implements ModelStore.
-func (s *FileStore) Save(patientID string, f *forest.Forest) error {
+func (s *FileStore) Save(patientID string, f *forest.FlatForest) error {
 	if f == nil {
 		return fmt.Errorf("serve: nil model for %q", patientID)
 	}

@@ -9,8 +9,9 @@ import (
 	"selflearn/internal/ml/forest"
 )
 
-// tinyForest trains a trivially separable two-feature detector.
-func tinyForest(t testing.TB, seed int64) *forest.Forest {
+// tinyForest trains a trivially separable two-feature detector and
+// flattens it to the serving representation.
+func tinyForest(t testing.TB, seed int64) *forest.FlatForest {
 	t.Helper()
 	X := [][]float64{{0, 0}, {1, 1}, {0, 0.1}, {1, 0.9}, {0.1, 0}, {0.9, 1}}
 	y := []bool{false, true, false, true, false, true}
@@ -18,7 +19,7 @@ func tinyForest(t testing.TB, seed int64) *forest.Forest {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return f
+	return f.Flatten()
 }
 
 func TestFileStoreRoundTrip(t *testing.T) {
@@ -57,6 +58,63 @@ func TestFileStoreRoundTrip(t *testing.T) {
 	}
 	if err := fs.Save(id, nil); err == nil {
 		t.Fatal("Save(nil) accepted")
+	}
+}
+
+// TestFileStoreFlatCheckpointInterop proves checkpoints cross the
+// representation boundary in both directions: a pointer-forest
+// checkpoint (as cmd/deploy writes) loads into the serving FlatForest,
+// and a FlatForest checkpoint loads back as a pointer forest, with
+// identical predictions throughout.
+func TestFileStoreFlatCheckpointInterop(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := [][]float64{{0, 0}, {1, 1}, {0, 0.1}, {1, 0.9}, {0.1, 0}, {0.9, 1}}
+	y := []bool{false, true, false, true, false, true}
+	pointer, err := forest.Train(X, y, forest.Config{NumTrees: 7, MinLeaf: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := [][]float64{{0, 0}, {1, 1}, {0.05, 0.02}, {0.97, 0.95}, {0.5, 0.5}}
+
+	// Pointer checkpoint on disk → flat serving load.
+	f, err := os.Create(fs.path("legacy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pointer.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	flat, err := fs.Load("legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range probe {
+		if flat.Predict(x) != pointer.Predict(x) {
+			t.Fatalf("flat load of pointer checkpoint diverges on %v", x)
+		}
+	}
+
+	// Flat checkpoint on disk → pointer tooling load.
+	if err := fs.Save("flat", pointer.Flatten()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := os.Open(fs.path("flat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	back, err := forest.Load(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range probe {
+		if back.Predict(x) != pointer.Predict(x) {
+			t.Fatalf("pointer load of flat checkpoint diverges on %v", x)
+		}
 	}
 }
 

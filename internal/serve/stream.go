@@ -92,6 +92,18 @@ func (st *Stream) Push(c0, c1 []float64) error {
 	if len(c0) == 0 {
 		return nil
 	}
+	// Cheap overload path: policies that would certainly refuse a full
+	// queue get to say so before the lock is taken and the job built.
+	// The closed check comes first so a closed server keeps returning
+	// ErrClosed (not ErrBackpressure) while its shard queues drain.
+	if st.srv.closedFast.Load() {
+		return ErrClosed
+	}
+	if st.adm.fastReject(st.w) {
+		st.srv.batchesDropped.Add(1)
+		st.dropped.Add(1)
+		return ErrBackpressure
+	}
 	err := st.srv.enqueue(st.w, st.adm, job{patient: st.patient, stream: st, c0: c0, c1: c1})
 	switch err {
 	case nil:

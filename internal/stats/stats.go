@@ -272,8 +272,22 @@ func Histogram(xs []float64, nbins int) []int {
 	if len(xs) == 0 || nbins <= 0 {
 		return nil
 	}
+	return HistogramInto(make([]int, nbins), xs)
+}
+
+// HistogramInto counts xs into the caller-provided bins, zeroing them
+// first — the allocation-free form of Histogram with nbins = len(dst).
+// It returns dst (nil in the cases Histogram returns nil).
+func HistogramInto(dst []int, xs []float64) []int {
+	nbins := len(dst)
+	if len(xs) == 0 || nbins <= 0 {
+		return nil
+	}
 	lo, hi := Min(xs), Max(xs)
-	counts := make([]int, nbins)
+	counts := dst
+	for i := range counts {
+		counts[i] = 0
+	}
 	if hi == lo {
 		counts[0] = len(xs)
 		return counts
