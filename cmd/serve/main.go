@@ -15,12 +15,20 @@
 // failures; the final summary cross-checks that every alarm the server
 // counted was delivered.
 //
+// The backend is pluggable: by default the harness runs an in-process
+// serve.Server, while -cluster host:port,... replays the identical
+// workload across N cmd/shardd processes through the rendezvous-hashing
+// TCP router (internal/cluster), with every shard's live alarm stream
+// merged back into one feed. Per-patient results are bit-identical
+// between the two modes; what changes is the topology.
+//
 // Flags select the admission policy applied on full shard queues
-// (-admission drop|block|shed), an on-disk model store so detectors
-// survive restarts (-store DIR; rerun with the same directory and the
-// replay starts warm, alarming before any confirmation), and
-// machine-readable output (-json emits one JSON object per line:
-// "stats", "alarm", "retrain-error" and a final "summary").
+// (-admission drop|block|shed — client-side queues in cluster mode), an
+// on-disk model store so detectors survive restarts (-store DIR, local
+// mode only; shardds own their stores), machine-readable output (-json
+// emits one JSON object per line: "stats", "alarm", "retrain-error" and
+// a final "summary"), and a summary snapshot file (-benchout FILE, how
+// CI captures BENCH_cluster.json).
 package main
 
 import (
@@ -30,72 +38,135 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
+	"selflearn/internal/cluster"
 	"selflearn/internal/serve"
 	"selflearn/internal/synth"
 )
 
+// streamHandle is the per-patient surface the replay drives; both
+// serve.Stream and cluster.Stream satisfy it.
+type streamHandle interface {
+	Push(c0, c1 []float64) error
+	Confirm() error
+	Patient() string
+	Close()
+}
+
+// backend abstracts the serving topology: one in-process server, or a
+// router over N shardd processes.
+type backend interface {
+	open(patient string) (streamHandle, error)
+	events() <-chan serve.Event
+	snapshot() serve.Stats
+	close()
+}
+
+type localBackend struct{ srv *serve.Server }
+
+func (b localBackend) open(p string) (streamHandle, error) { return b.srv.Open(p) }
+func (b localBackend) events() <-chan serve.Event          { return b.srv.Events() }
+func (b localBackend) snapshot() serve.Stats               { return b.srv.Snapshot() }
+func (b localBackend) close()                              { b.srv.Close() }
+
+type clusterBackend struct{ r *cluster.Router }
+
+func (b clusterBackend) open(p string) (streamHandle, error) { return b.r.Open(p) }
+func (b clusterBackend) events() <-chan serve.Event          { return b.r.Events() }
+func (b clusterBackend) snapshot() serve.Stats               { return b.r.Snapshot() }
+func (b clusterBackend) close()                              { b.r.Close() }
+
 func main() {
 	patients := flag.Int("patients", 64, "number of simulated patients streaming concurrently")
 	duration := flag.Float64("duration", 120, "seconds of signal streamed per patient")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "serving worker (shard) count")
-	learners := flag.Int("learners", 2, "background retraining workers")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "serving worker (shard) count (local mode)")
+	learners := flag.Int("learners", 2, "background retraining workers (local mode)")
 	speed := flag.Float64("speed", 0, "real-time multiplier (1 = wall clock, 0 = as fast as possible)")
 	rate := flag.Float64("rate", 256, "sampling rate in Hz")
-	queue := flag.Int("queue", 256, "per-worker queue depth")
+	queue := flag.Int("queue", 256, "queue depth: per-worker locally, per-shard outbound in cluster mode")
 	statsEvery := flag.Duration("stats", 2*time.Second, "statistics print interval")
 	admission := flag.String("admission", "drop", "admission policy on full shard queues: drop, block or shed")
 	deadline := flag.Duration("deadline", 50*time.Millisecond, "queue-space wait for -admission block")
 	storeDir := flag.String("store", "", "model checkpoint directory (persists detectors across runs); empty = in-memory")
+	clusterAddrs := flag.String("cluster", "", "comma-separated shardd addresses; replaces the in-process server with the TCP router")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON lines instead of text")
+	benchOut := flag.String("benchout", "", "write the final summary JSON object to this file")
 	flag.Parse()
 
 	if *duration < 60 {
 		log.Fatal("serve: -duration must be at least 60 s to fit a seizure and its confirmation")
 	}
-	opts := []serve.Option{serve.WithEventBuffer(16 * *patients)}
+	var adm serve.AdmissionPolicy
 	switch *admission {
 	case "drop":
-		opts = append(opts, serve.WithAdmission(serve.DropOnFull()))
+		adm = serve.DropOnFull()
 	case "block":
-		opts = append(opts, serve.WithAdmission(serve.BlockWithDeadline(*deadline)))
+		adm = serve.BlockWithDeadline(*deadline)
 	case "shed":
-		opts = append(opts, serve.WithAdmission(serve.ShedOldest()))
+		adm = serve.ShedOldest()
 	default:
 		log.Fatalf("serve: unknown -admission %q (want drop, block or shed)", *admission)
 	}
-	if *storeDir != "" {
-		fs, err := serve.NewFileStore(*storeDir)
+
+	clusterMode := *clusterAddrs != ""
+	var bk backend
+	var topology string
+	if clusterMode {
+		if *storeDir != "" {
+			log.Fatal("serve: -store is a shardd concern in cluster mode (give each shardd its own -store)")
+		}
+		addrs := strings.Split(*clusterAddrs, ",")
+		r, err := cluster.Dial(addrs, cluster.Options{
+			QueueDepth:  *queue,
+			Admission:   adm,
+			EventBuffer: 16 * *patients,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts = append(opts, serve.WithModelStore(fs))
-	}
-	srv, err := serve.New(serve.Config{
-		Workers:            *workers,
-		QueueDepth:         *queue,
-		Learners:           *learners,
-		LearnerQueue:       *patients,
-		SampleRate:         *rate,
-		History:            time.Duration(*duration) * time.Second,
-		AvgSeizureDuration: 25 * time.Second,
-	}, opts...)
-	if err != nil {
-		log.Fatal(err)
+		if err := r.WaitReady(10 * time.Second); err != nil {
+			log.Fatal(err)
+		}
+		bk = clusterBackend{r}
+		topology = fmt.Sprintf("%d shardd processes %v", len(addrs), addrs)
+	} else {
+		opts := []serve.Option{serve.WithEventBuffer(16 * *patients), serve.WithAdmission(adm)}
+		if *storeDir != "" {
+			fs, err := serve.NewFileStore(*storeDir)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts = append(opts, serve.WithModelStore(fs))
+		}
+		srv, err := serve.New(serve.Config{
+			Workers:            *workers,
+			QueueDepth:         *queue,
+			Learners:           *learners,
+			LearnerQueue:       *patients,
+			SampleRate:         *rate,
+			History:            time.Duration(*duration) * time.Second,
+			AvgSeizureDuration: 25 * time.Second,
+		}, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bk = localBackend{srv}
+		topology = fmt.Sprintf("%d workers, %d learners", *workers, *learners)
 	}
 
 	out := &printer{json: *jsonOut, start: time.Now()}
-	out.headline("serving %d patients × %.0f s at %g Hz (%d workers, %d learners, admission %s, speed ×%g)",
-		*patients, *duration, *rate, *workers, *learners, *admission, *speed)
+	out.headline("serving %d patients × %.0f s at %g Hz (%s, admission %s, speed ×%g)",
+		*patients, *duration, *rate, topology, *admission, *speed)
 
 	// The delivery path: one subscriber drains every alarm, retrain
-	// outcome and eviction; the summary cross-checks its alarm count
-	// against the server's counter.
-	var alarmsObserved, retrainsObserved, evictionsObserved uint64
+	// outcome, eviction and shed; the summary cross-checks its alarm
+	// count against the server's counter.
+	var alarmsObserved, retrainsObserved, evictionsObserved, shedsObserved uint64
 	eventsDone := make(chan struct{})
-	events := srv.Events() // subscribe before any traffic can emit
+	events := bk.events() // subscribe before any traffic can emit
 	go func() {
 		defer close(eventsDone)
 		for ev := range events {
@@ -110,6 +181,8 @@ func main() {
 				}
 			case serve.EventEviction:
 				evictionsObserved++
+			case serve.EventShed:
+				shedsObserved++
 			}
 		}
 	}()
@@ -123,7 +196,7 @@ func main() {
 			case <-stop:
 				return
 			case <-tick.C:
-				out.stats(srv.Snapshot())
+				out.stats(bk.snapshot())
 			}
 		}
 	}()
@@ -134,7 +207,7 @@ func main() {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			replayPatient(srv, p, *duration, *rate, *speed)
+			replayPatient(bk, p, *duration, *rate, *speed)
 		}(p)
 	}
 	wg.Wait()
@@ -144,21 +217,39 @@ func main() {
 	// observers would slice each other's WindowsPerSec intervals.
 	close(stop)
 
-	// Let the learner pool drain outstanding confirmations.
+	// Let the learner pools drain outstanding confirmations.
 	drainDeadline := time.Now().Add(2 * time.Minute)
+	var st serve.Stats
 	for {
-		st := srv.Snapshot()
+		st = bk.snapshot()
 		if st.Retrains+st.RetrainErrors+st.ConfirmsDropped >= st.Confirms || time.Now().After(drainDeadline) {
 			break
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	srv.Close()
-	<-eventsDone // Events channel closed by Close; subscriber has seen everything
+	if clusterMode {
+		// The final snapshot must precede close: once the router hangs
+		// up there is no healthy shard left to answer a stats request.
+		st = bk.snapshot()
+	}
+	bk.close()
+	<-eventsDone // events channel closed by close; subscriber has seen everything
+	if !clusterMode {
+		st = bk.snapshot()
+	}
 
-	st := srv.Snapshot()
 	out.headline("replayed %d patient-streams in %v", *patients, elapsed.Round(time.Millisecond))
-	out.summary(st, elapsed, alarmsObserved, retrainsObserved, evictionsObserved)
+	summary := summaryFields(st, elapsed, alarmsObserved, retrainsObserved, evictionsObserved, shedsObserved)
+	out.summary(st, summary)
+	if *benchOut != "" {
+		data, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
 	fail := false
 	if st.Retrains < uint64(*patients) {
 		out.headline("warning: only %d/%d patients retrained", st.Retrains, *patients)
@@ -171,7 +262,12 @@ func main() {
 	if alarmsObserved != st.Alarms {
 		out.headline("warning: subscriber observed %d alarms but the server raised %d (events dropped: %d)",
 			alarmsObserved, st.Alarms, st.EventsDropped)
-		fail = true
+		// Local delivery is lossless with an attentive subscriber; the
+		// cluster merge is at-most-once across two hops, so there only
+		// total silence is a failure.
+		if !clusterMode || alarmsObserved == 0 && st.Alarms > 0 {
+			fail = true
+		}
 	}
 	if fail {
 		os.Exit(1)
@@ -181,7 +277,7 @@ func main() {
 // replayPatient generates one patient's recording (background plus one
 // seizure) and streams it through a session handle in one-second
 // batches, confirming the seizure 15 s after it ends.
-func replayPatient(srv *serve.Server, p int, duration, rate, speed float64) {
+func replayPatient(bk backend, p int, duration, rate, speed float64) {
 	id := fmt.Sprintf("patient-%04d", p)
 	// Stagger seizure onsets across patients so confirmations (and the
 	// retrains they trigger) don't arrive in one synchronized burst,
@@ -203,7 +299,7 @@ func replayPatient(srv *serve.Server, p int, duration, rate, speed float64) {
 	if err != nil {
 		log.Fatalf("%s: %v", id, err)
 	}
-	h, err := srv.Open(id)
+	h, err := bk.open(id)
 	if err != nil {
 		log.Fatalf("%s: %v", id, err)
 	}
@@ -233,24 +329,42 @@ func replayPatient(srv *serve.Server, p int, duration, rate, speed float64) {
 	}
 }
 
+// retryable reports transient refusals the gateway retries: admission
+// backpressure everywhere, plus shard outages in cluster mode (a
+// failover window looks like a brief full queue to the caller).
+func retryable(err error) bool {
+	switch err {
+	case serve.ErrBackpressure, cluster.ErrShardDown, cluster.ErrNoShards:
+		return true
+	}
+	return false
+}
+
 // push retries one batch until the shard accepts it; the wearable
 // gateway's local buffer-and-resend policy. (Under -admission shed the
 // first attempt always lands: the server makes room itself.)
-func push(h *serve.Stream, c0, c1 []float64) {
+func push(h streamHandle, c0, c1 []float64) {
 	for {
 		err := h.Push(c0, c1)
 		if err == nil {
 			return
 		}
-		if err != serve.ErrBackpressure {
+		if !retryable(err) {
 			log.Fatalf("%s: %v", h.Patient(), err)
 		}
 		time.Sleep(time.Millisecond)
 	}
 }
 
-func confirm(h *serve.Stream) {
-	for h.Confirm() == serve.ErrBackpressure {
+func confirm(h streamHandle) {
+	for {
+		err := h.Confirm()
+		if err == nil {
+			return
+		}
+		if !retryable(err) {
+			log.Fatalf("%s: %v", h.Patient(), err)
+		}
 		time.Sleep(time.Millisecond)
 	}
 }
@@ -326,6 +440,22 @@ func statsFields(st serve.Stats) map[string]any {
 	}
 }
 
+// summaryFields is the final summary object — printed as the "summary"
+// JSON line and written verbatim to -benchout.
+func summaryFields(st serve.Stats, elapsed time.Duration, alarmsObserved, retrainsObserved, evictionsObserved, shedsObserved uint64) map[string]any {
+	f := statsFields(st)
+	f["type"] = "summary"
+	f["elapsed_s"] = elapsed.Seconds()
+	// windows_per_sec covers the final (idle) drain interval; the
+	// replay-wide average is what dashboards want.
+	f["windows_per_sec_avg"] = float64(st.Windows) / elapsed.Seconds()
+	f["alarms_observed"] = alarmsObserved
+	f["retrains_observed"] = retrainsObserved
+	f["evictions_observed"] = evictionsObserved
+	f["sheds_observed"] = shedsObserved
+	return f
+}
+
 func (p *printer) stats(st serve.Stats) {
 	if p.json {
 		f := statsFields(st)
@@ -341,24 +471,15 @@ func (p *printer) stats(st serve.Stats) {
 	p.mu.Unlock()
 }
 
-func (p *printer) summary(st serve.Stats, elapsed time.Duration, alarmsObserved, retrainsObserved, evictionsObserved uint64) {
+func (p *printer) summary(st serve.Stats, fields map[string]any) {
 	if p.json {
-		f := statsFields(st)
-		f["type"] = "summary"
-		f["elapsed_s"] = elapsed.Seconds()
-		// windows_per_sec covers the final (idle) drain interval; the
-		// replay-wide average is what dashboards want.
-		f["windows_per_sec_avg"] = float64(st.Windows) / elapsed.Seconds()
-		f["alarms_observed"] = alarmsObserved
-		f["retrains_observed"] = retrainsObserved
-		f["evictions_observed"] = evictionsObserved
-		p.emit(f)
+		p.emit(fields)
 		return
 	}
 	p.stats(st)
 	p.mu.Lock()
-	avg := float64(st.Windows) / elapsed.Seconds()
-	fmt.Printf("replay average %.0f windows/s | events delivered: %d alarms, %d retrains, %d evictions (%d dropped)\n",
-		avg, alarmsObserved, retrainsObserved, evictionsObserved, st.EventsDropped)
+	fmt.Printf("replay average %.0f windows/s | events delivered: %d alarms, %d retrains, %d evictions, %d sheds (%d dropped)\n",
+		fields["windows_per_sec_avg"].(float64), fields["alarms_observed"], fields["retrains_observed"],
+		fields["evictions_observed"], fields["sheds_observed"], st.EventsDropped)
 	p.mu.Unlock()
 }

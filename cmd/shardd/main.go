@@ -1,0 +1,96 @@
+// Command shardd is a standalone shard worker: one serve.Server —
+// sessions, model cache, background learners, the whole self-learning
+// loop — wrapped in the cluster wire protocol and exposed over TCP.
+// A serving front end (cmd/serve -cluster host:port,...) routes
+// patients across N shardd processes by rendezvous hashing; each shardd
+// owns its patients' sessions and streams alarm/retrain/eviction/shed
+// events back to every connected client.
+//
+// The shard's own admission policy defaults to block-forever: the read
+// loop stalling on a full queue is the cluster's flow control (the TCP
+// window fills, and the client-side admission policy — where drop/shed
+// decisions belong — takes over). Give each shardd its own -store
+// directory to persist detectors across restarts; point two shardds at
+// shared storage only if they can never own the same patient.
+//
+// Configuration must agree with the front end where it matters: -rate
+// must match the client's replay rate, and the wire protocol version is
+// checked in the connection handshake.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"selflearn/internal/cluster"
+	"selflearn/internal/serve"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7461", "TCP address to serve the shard protocol on")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "serving worker (shard) count inside this process")
+	learners := flag.Int("learners", 2, "background retraining workers")
+	queue := flag.Int("queue", 256, "per-worker queue depth")
+	rate := flag.Float64("rate", 256, "sampling rate in Hz (must match the front end)")
+	history := flag.Duration("history", time.Hour, "feature history buffered per session for a-posteriori labeling")
+	avgSeizure := flag.Duration("avg-seizure", 25*time.Second, "expert average seizure duration W for the labeling algorithm")
+	admission := flag.String("admission", "block", "admission policy on full worker queues: drop, block or shed")
+	deadline := flag.Duration("deadline", 0, "queue-space wait for -admission block (0 = wait forever: socket backpressure)")
+	storeDir := flag.String("store", "", "model checkpoint directory (persists detectors across restarts); empty = in-memory only")
+	eventBuffer := flag.Int("events", 4096, "event hub buffer before a lagging consumer drops events")
+	flag.Parse()
+
+	opts := []serve.Option{serve.WithEventBuffer(*eventBuffer)}
+	switch *admission {
+	case "drop":
+		opts = append(opts, serve.WithAdmission(serve.DropOnFull()))
+	case "block":
+		opts = append(opts, serve.WithAdmission(serve.BlockWithDeadline(*deadline)))
+	case "shed":
+		opts = append(opts, serve.WithAdmission(serve.ShedOldest()))
+	default:
+		log.Fatalf("shardd: unknown -admission %q (want drop, block or shed)", *admission)
+	}
+	if *storeDir != "" {
+		fs, err := serve.NewFileStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, serve.WithModelStore(fs))
+	}
+	srv, err := serve.New(serve.Config{
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		Learners:           *learners,
+		SampleRate:         *rate,
+		History:            *history,
+		AvgSeizureDuration: *avgSeizure,
+	}, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ss := cluster.Serve(srv, ln)
+	log.Printf("shardd: serving on %s (workers=%d learners=%d admission=%s rate=%gHz store=%q)",
+		ss.Addr(), *workers, *learners, *admission, *rate, *storeDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shardd: shutting down")
+	ss.Close()  // stop accepting, sever clients
+	srv.Close() // drain queues, finish retrains, flush checkpoints
+	st := srv.Snapshot()
+	log.Printf("shardd: served %d windows, %d alarms, %d retrains (%d errors) across %d sessions",
+		st.Windows, st.Alarms, st.Retrains, st.RetrainErrors, st.SessionsCreated)
+}

@@ -1,0 +1,572 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"selflearn/internal/serve"
+	"selflearn/internal/serve/servetest"
+	"selflearn/internal/signal"
+	"selflearn/internal/synth"
+	"selflearn/internal/wire"
+)
+
+// testRate keeps feature extraction cheap: 4 s windows at 128 Hz are
+// 512 samples, still divisible by 2^7 for the level-7 DWT.
+const testRate = 128
+
+func testServerConfig() serve.Config {
+	return serve.Config{
+		Workers:            2,
+		SampleRate:         testRate,
+		History:            4 * time.Minute,
+		AvgSeizureDuration: 20 * time.Second,
+	}
+}
+
+// testShard stands up one shardd-equivalent backend on loopback.
+type testShard struct {
+	srv *serve.Server
+	ss  *ShardServer
+}
+
+func startShard(t *testing.T, addr string) *testShard {
+	t.Helper()
+	srv, err := serve.New(testServerConfig(), serve.WithEventBuffer(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	return &testShard{srv: srv, ss: Serve(srv, ln)}
+}
+
+func (ts *testShard) stop() {
+	ts.ss.Close()
+	ts.srv.Close()
+}
+
+func (ts *testShard) addr() string { return ts.ss.Addr().String() }
+
+func testRecording(t testing.TB, seed int64, duration, seizureStart, seizureDur float64) *signal.Recording {
+	t.Helper()
+	cfg := synth.RecordConfig{
+		PatientID:  fmt.Sprintf("synthetic-%d", seed),
+		RecordID:   "r1",
+		Seed:       seed,
+		Duration:   duration,
+		SampleRate: testRate,
+		Background: synth.DefaultBackground(),
+	}
+	if seizureStart >= 0 {
+		cfg.Seizures = []synth.SeizureEvent{{Start: seizureStart, Duration: seizureDur, Config: synth.DefaultSeizure()}}
+	}
+	rec, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// pusher is the handle surface shared by serve.Stream and
+// cluster.Stream; the equivalence scenario drives both through it.
+type pusher interface {
+	Push(c0, c1 []float64) error
+	Confirm() error
+}
+
+// push streams rec through h in one-second batches, retrying transient
+// refusals (backpressure locally; backpressure or shard outage in
+// cluster mode).
+func push(t testing.TB, h pusher, rec *signal.Recording) {
+	t.Helper()
+	c0, c1 := rec.Data[0], rec.Data[1]
+	for off := 0; off < len(c0); off += testRate {
+		end := min(off+testRate, len(c0))
+		for {
+			err := h.Push(c0[off:end], c1[off:end])
+			if err == nil {
+				break
+			}
+			switch err {
+			case serve.ErrBackpressure, ErrShardDown, ErrNoShards:
+				time.Sleep(time.Millisecond)
+			default:
+				t.Fatalf("Push: %v", err)
+			}
+		}
+	}
+}
+
+func confirm(t testing.TB, h pusher) {
+	t.Helper()
+	for {
+		err := h.Confirm()
+		if err == nil {
+			return
+		}
+		switch err {
+		case serve.ErrBackpressure, ErrShardDown, ErrNoShards:
+			time.Sleep(time.Millisecond)
+		default:
+			t.Fatalf("Confirm: %v", err)
+		}
+	}
+}
+
+// backend abstracts the two serving modes for the equivalence test.
+type backend interface {
+	open(patient string) (pusher, error)
+	events() <-chan serve.Event
+	snapshot() serve.Stats
+}
+
+type localBackend struct{ srv *serve.Server }
+
+func (b localBackend) open(p string) (pusher, error) { return b.srv.Open(p) }
+func (b localBackend) events() <-chan serve.Event    { return b.srv.Events() }
+func (b localBackend) snapshot() serve.Stats         { return b.srv.Snapshot() }
+
+type clusterBackend struct{ r *Router }
+
+func (b clusterBackend) open(p string) (pusher, error) { return b.r.Open(p) }
+func (b clusterBackend) events() <-chan serve.Event    { return b.r.Events() }
+func (b clusterBackend) snapshot() serve.Stats         { return b.r.Snapshot() }
+
+// awaitSnapshot polls until cond holds; cluster counters are remote, so
+// assertions poll instead of relying on local synchronization.
+func awaitSnapshot(t testing.TB, b backend, what string, cond func(serve.Stats) bool) serve.Stats {
+	t.Helper()
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		st := b.snapshot()
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never happened: %+v", what, st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// scenarioInner runs the full self-learning loop for each patient —
+// stream a seizure, confirm it, quiesce retraining, then stream a fresh
+// seizure against the retrained detector — and returns per-patient
+// alarm counts (from events), the final stats, and the event-collector
+// completion channel (closed once the backend closes its event stream).
+// Phases quiesce between pushes, so the outcome is deterministic for a
+// given backend.
+func scenarioInner(t *testing.T, b backend, patients []string) (map[string]int, serve.Stats, chan struct{}) {
+	t.Helper()
+	var alarmsMu sync.Mutex
+	alarms := map[string]int{}
+	eventsDone := make(chan struct{})
+	events := b.events()
+	go func() {
+		defer close(eventsDone)
+		for ev := range events {
+			if ev.Kind == serve.EventAlarm {
+				alarmsMu.Lock()
+				alarms[ev.Patient]++
+				alarmsMu.Unlock()
+			}
+		}
+	}()
+
+	handles := map[string]pusher{}
+	for i, p := range patients {
+		h, err := b.open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[p] = h
+		push(t, h, testRecording(t, int64(10+i), 150, 80, 22))
+		confirm(t, h)
+	}
+	want := uint64(len(patients))
+	awaitSnapshot(t, b, "retraining", func(st serve.Stats) bool {
+		if st.RetrainErrors > 0 || st.ConfirmsDropped > 0 {
+			t.Fatalf("retrain failed or confirm lost: %+v", st)
+		}
+		return st.Retrains >= want
+	})
+	for i, p := range patients {
+		push(t, handles[p], testRecording(t, int64(100+i), 150, 90, 22))
+	}
+	// Per patient: 150−4+1 windows while the first stream fills the
+	// window, then 150 more on the continued session.
+	wantWindows := uint64(len(patients)) * uint64((150-4+1)+150)
+	st := awaitSnapshot(t, b, "window drain", func(st serve.Stats) bool {
+		return st.Windows >= wantWindows
+	})
+	if st.Windows != wantWindows {
+		t.Fatalf("windows = %d, want %d", st.Windows, wantWindows)
+	}
+	// Wait for the alarm events to traverse the delivery path before
+	// closing it, then compare against the counter.
+	st = awaitSnapshot(t, b, "alarm delivery", func(serve.Stats) bool {
+		alarmsMu.Lock()
+		total := 0
+		for _, n := range alarms {
+			total += n
+		}
+		alarmsMu.Unlock()
+		return uint64(total) >= st.Alarms
+	})
+	return alarms, st, eventsDone
+}
+
+// runScenario closes the backend once the scenario quiesces (ending the
+// event stream) and waits for the collector before handing results back.
+func runScenario(t *testing.T, b backend, patients []string, closeBackend func()) (map[string]int, serve.Stats) {
+	alarms, st, done := scenarioInner(t, b, patients)
+	closeBackend()
+	<-done
+	return alarms, st
+}
+
+// TestClusterMatchesSingleProcess is the PR's acceptance scenario: the
+// same per-patient workload served by one in-process serve.Server and
+// by two shardd processes behind a Router must produce bit-identical
+// predictions — pinned here as identical per-patient alarm counts and
+// identical window totals, with zero events lost in either mode.
+// Determinism holds because a patient's batches arrive in order at
+// exactly one stock serve.Server either way, and retrain seeds derive
+// from the patient, not the topology.
+func TestClusterMatchesSingleProcess(t *testing.T) {
+	shardA := startShard(t, "127.0.0.1:0")
+	defer shardA.stop()
+	shardB := startShard(t, "127.0.0.1:0")
+	defer shardB.stop()
+	r, err := Dial([]string{shardA.addr(), shardB.addr()}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Pick two patients rendezvous-homed on each shard, so the cluster
+	// run is guaranteed to exercise both processes (listener ports — and
+	// with them the routing — vary per run).
+	patients := make([]string, 0, 4)
+	perShard := map[*shardConn]int{}
+	for i := 0; len(patients) < 4 && i < 1000; i++ {
+		p := fmt.Sprintf("chb%03d", i)
+		sc, err := r.pick(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perShard[sc] < 2 {
+			perShard[sc]++
+			patients = append(patients, p)
+		}
+	}
+	if len(patients) < 4 {
+		t.Fatalf("could not spread 4 patients over 2 shards: %v", patients)
+	}
+
+	srv, err := serve.New(testServerConfig(), serve.WithEventBuffer(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	localAlarms, localStats := runScenario(t, localBackend{srv}, patients, srv.Close)
+	if localStats.EventsDropped != 0 {
+		t.Fatalf("local events dropped: %+v", localStats)
+	}
+	if localStats.Alarms == 0 {
+		t.Fatal("local scenario raised no alarms; equivalence would be vacuous")
+	}
+
+	clusterAlarms, clusterStats := runScenario(t, clusterBackend{r}, patients, r.Close)
+	if clusterStats.EventsDropped != 0 {
+		t.Fatalf("cluster events dropped: %+v", clusterStats)
+	}
+
+	// Both shards must actually serve patients — otherwise this is a
+	// single-process test wearing a TCP hat.
+	if a, b := shardA.srv.Snapshot().Windows, shardB.srv.Snapshot().Windows; a == 0 || b == 0 {
+		t.Fatalf("workload not spread across shards: windows %d / %d", a, b)
+	}
+	if clusterStats.Windows != localStats.Windows {
+		t.Fatalf("windows: cluster %d vs local %d", clusterStats.Windows, localStats.Windows)
+	}
+	if clusterStats.Alarms != localStats.Alarms {
+		t.Fatalf("alarms: cluster %d vs local %d", clusterStats.Alarms, localStats.Alarms)
+	}
+	for _, p := range patients {
+		if clusterAlarms[p] != localAlarms[p] {
+			t.Fatalf("patient %s alarms: cluster %d vs local %d (full: %v vs %v)",
+				p, clusterAlarms[p], localAlarms[p], clusterAlarms, localAlarms)
+		}
+	}
+}
+
+// TestFailoverReroutesAndRecovers: killing a shard marks it unhealthy
+// via the broken connection, live streams re-resolve to the surviving
+// shard and keep serving, and restarting the shard on the same address
+// routes its rendezvous patients home again.
+func TestFailoverReroutesAndRecovers(t *testing.T) {
+	shardA := startShard(t, "127.0.0.1:0")
+	defer shardA.stop()
+	shardB := startShard(t, "127.0.0.1:0")
+	addrB := shardB.addr()
+
+	r, err := Dial([]string{shardA.addr(), addrB}, Options{
+		PingInterval:     25 * time.Millisecond,
+		PingTimeout:      150 * time.Millisecond,
+		ReconnectBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a patient whose rendezvous home is shard B.
+	connB := r.shards[1]
+	patient := ""
+	for i := 0; i < 1000; i++ {
+		p := fmt.Sprintf("patient-%03d", i)
+		if sc, err := r.pick(p); err == nil && sc == connB {
+			patient = p
+			break
+		}
+	}
+	if patient == "" {
+		t.Fatal("no patient rendezvous-routed to shard B")
+	}
+	h, err := r.Open(patient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecording(t, 77, 30, -1, 0)
+	push(t, h, rec)
+	awaitShardWindows := func(ts *testShard, want uint64, what string) {
+		deadline := time.Now().Add(30 * time.Second)
+		for ts.srv.Snapshot().Windows < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: windows = %d, want ≥ %d", what, ts.srv.Snapshot().Windows, want)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	awaitShardWindows(shardB, 1, "pre-failover traffic to B")
+
+	// Kill B. The severed connection fails fast; ping timeout is the
+	// backstop for silent deaths.
+	shardB.stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if sc, err := r.pick(patient); err == nil && sc != connB {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("patient never rerouted off the dead shard")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The same live handle now reaches the survivor.
+	push(t, h, rec)
+	awaitShardWindows(shardA, 1, "failover traffic to A")
+
+	// Resurrect B on its old address: the router reconnects and the
+	// patient routes home (their session there restarts cold — models
+	// survive only via a shared store, which is a deployment choice).
+	shardB2 := startShard(t, addrB)
+	defer shardB2.stop()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if sc, err := r.pick(patient); err == nil && sc == connB {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("patient never routed home after shard recovery")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	push(t, h, rec)
+	awaitShardWindows(shardB2, 1, "post-recovery traffic to B")
+}
+
+// TestRendezvousStability pins the routing properties failover depends
+// on: deterministic assignment, movement limited to the failed shard's
+// patients, and exact restoration on recovery.
+func TestRendezvousStability(t *testing.T) {
+	r := &Router{opts: Options{}.withDefaults()}
+	for _, addr := range []string{"10.0.0.1:7461", "10.0.0.2:7461", "10.0.0.3:7461"} {
+		sc := newShardConn(r, addr)
+		sc.healthy.Store(true)
+		r.shards = append(r.shards, sc)
+	}
+	const n = 300
+	home := make(map[string]*shardConn, n)
+	perShard := map[*shardConn]int{}
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("patient-%04d", i)
+		sc, err := r.pick(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		home[p] = sc
+		perShard[sc]++
+	}
+	for _, sc := range r.shards {
+		if perShard[sc] < n/6 {
+			t.Fatalf("rendezvous is lopsided: %s owns %d of %d patients", sc.addr, perShard[sc], n)
+		}
+	}
+	// Fail one shard: only its patients move, and all of them do.
+	down := r.shards[1]
+	down.healthy.Store(false)
+	for p, h := range home {
+		sc, err := r.pick(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == down && sc == down {
+			t.Fatalf("patient %s still routed to the down shard", p)
+		}
+		if h != down && sc != h {
+			t.Fatalf("patient %s moved from %s to %s though their shard is healthy", p, h.addr, sc.addr)
+		}
+	}
+	// Recovery restores the original assignment exactly.
+	down.healthy.Store(true)
+	for p, h := range home {
+		if sc, _ := r.pick(p); sc != h {
+			t.Fatalf("patient %s not routed home after recovery", p)
+		}
+	}
+}
+
+// TestClusterAdmissionSuite runs the shared transport admission suite
+// against a cluster shard connection: the same drop/block/shed
+// semantics the local worker queue proves, now on the client side of
+// the wire. The connection is held pre-dial (healthy flag forced) so
+// the suite owns the drain side.
+func TestClusterAdmissionSuite(t *testing.T) {
+	servetest.RunAdmissionSuite(t, func(t *testing.T, depth int) servetest.Harness {
+		r := &Router{opts: Options{QueueDepth: depth}.withDefaults()}
+		r.events = make(chan serve.Event, r.opts.EventBuffer)
+		sc := newShardConn(r, "test:0")
+		sc.healthy.Store(true)
+		return servetest.Harness{
+			Shard: sc,
+			Drain: sc.queue.TryRecv,
+		}
+	})
+}
+
+// TestShardServerSurvivesClientChurn pins the disconnect race: client
+// connections coming and going while the shard emits events must never
+// crash the shard process. The original bug closed a connection's
+// fanout channel before deregistering it, so a concurrent fanout send
+// panicked shardd; connections now leave the fanout set first.
+func TestShardServerSurvivesClientChurn(t *testing.T) {
+	ts := startShard(t, "127.0.0.1:0")
+	defer ts.stop()
+
+	// A resident client hammers Confirm so the shard broadcasts a steady
+	// stream of retrain events into the fanout while churn runs.
+	r, err := Dial([]string{ts.addr()}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Open("resident")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecording(t, 55, 60, 20, 15)
+	push(t, h, rec)
+	stopEmit := make(chan struct{})
+	emitDone := make(chan struct{})
+	go func() {
+		defer close(emitDone)
+		for {
+			select {
+			case <-stopEmit:
+				return
+			default:
+				confirm(t, h) // each confirm → a retrain event broadcast
+				// Throttle: unpaced confirms pile up in TCP buffers far
+				// beyond the bounded queues (tiny frames, megabyte
+				// windows) and the liveness check below would then wait
+				// behind a minutes-long confirm backlog.
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	// Churn: connections that register with the fanout and vanish mid
+	// event stream. Half die raw before the handshake, half right after
+	// it — both shapes must deregister before their channel closes.
+	for i := 0; i < 200; i++ {
+		conn, err := net.Dial("tcp", ts.addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			enc := wire.NewEncoder(conn)
+			if err := enc.Hello(); err == nil {
+				enc.Flush()
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		conn.Close()
+	}
+	close(stopEmit)
+	<-emitDone
+	// The shard must still be alive and serving: a fresh push succeeds
+	// and shows up in its stats.
+	before := ts.srv.Snapshot().Windows
+	push(t, h, rec)
+	deadline := time.Now().Add(30 * time.Second)
+	for ts.srv.Snapshot().Windows <= before {
+		if time.Now().After(deadline) {
+			t.Fatalf("shard stopped serving after client churn: %+v", ts.srv.Snapshot())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRouterValidation covers Dial's address hygiene and the
+// empty-patient guard.
+func TestRouterValidation(t *testing.T) {
+	if _, err := Dial(nil, Options{}); err == nil {
+		t.Fatal("Dial accepted an empty address list")
+	}
+	if _, err := Dial([]string{"a:1", "a:1"}, Options{}); err == nil {
+		t.Fatal("Dial accepted duplicate addresses")
+	}
+	r, err := Dial([]string{"127.0.0.1:1"}, Options{ReconnectBackoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Open(""); err == nil {
+		t.Fatal("Open accepted an empty patient ID")
+	}
+	// With no shard reachable, pushes surface the outage rather than
+	// silently buffering forever.
+	h, err := r.Open("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Push([]float64{0}, []float64{0}); err != ErrNoShards {
+		t.Fatalf("Push with all shards down = %v, want ErrNoShards", err)
+	}
+}

@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selflearn/internal/serve"
+	"selflearn/internal/wire"
+)
+
+// ShardServer is the process side of a shard: it exposes one local
+// serve.Server over the wire protocol so a Router can drive it from
+// another process. cmd/shardd wraps it in a main; tests run it
+// in-process on loopback listeners. The ShardServer is the sole
+// consumer of its server's Events channel, fanning events out to every
+// connected client without ever blocking the serving path.
+//
+// Lifetime: Serve starts the accept and fanout loops and returns.
+// Close stops accepting and tears down client connections; the caller
+// closes the serve.Server afterwards (that close also ends the fanout
+// loop by closing the Events channel).
+type ShardServer struct {
+	srv *serve.Server
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[*clientConn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// fanoutDropped counts events lost to a lagging client connection;
+	// it is folded into the EventsDropped of every stats reply.
+	fanoutDropped atomic.Uint64
+}
+
+// Serve starts a shard server for srv on ln and returns it. srv must
+// not have another Events consumer.
+func Serve(srv *serve.Server, ln net.Listener) *ShardServer {
+	s := &ShardServer{srv: srv, ln: ln, conns: make(map[*clientConn]struct{})}
+	go s.fanout()
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address (useful with ":0" listeners).
+func (s *ShardServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, disconnects every client, and waits for the
+// connection handlers. The underlying serve.Server keeps running.
+func (s *ShardServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]*clientConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *ShardServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		c := &clientConn{s: s, conn: conn, events: make(chan serve.Event, 1024), streams: make(map[string]*serve.Stream)}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go c.handle()
+	}
+}
+
+// fanout is the single Events consumer, broadcasting to every client.
+// It exits when the serve.Server closes its Events channel.
+func (s *ShardServer) fanout() {
+	for ev := range s.srv.Events() {
+		s.mu.Lock()
+		for c := range s.conns {
+			select {
+			case c.events <- ev:
+			default:
+				s.fanoutDropped.Add(1)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *ShardServer) dropConn(c *clientConn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// clientConn is one Router connection into this shard: a read loop
+// applying Push/Confirm to per-patient serve.Streams, and an event
+// writer draining the fanout buffer. Stats replies and pongs are
+// written from the read loop; the write mutex keeps frames whole.
+type clientConn struct {
+	s    *ShardServer
+	conn net.Conn
+
+	writeMu sync.Mutex
+	enc     *wire.Encoder
+
+	events  chan serve.Event
+	streams map[string]*serve.Stream
+}
+
+// stream lazily opens this connection's handle for a patient. Handles
+// are per connection, so a reconnecting client gets fresh handles while
+// the server-side sessions (and models) persist untouched.
+func (c *clientConn) stream(patient string) (*serve.Stream, error) {
+	if h, ok := c.streams[patient]; ok {
+		return h, nil
+	}
+	h, err := c.s.srv.Open(patient)
+	if err != nil {
+		return nil, err
+	}
+	c.streams[patient] = h
+	return h, nil
+}
+
+func (c *clientConn) handle() {
+	defer c.s.wg.Done()
+	defer c.conn.Close()
+	var writerDone chan struct{}
+	defer func() {
+		// Deregister from fanout before closing the event channel:
+		// dropConn takes s.mu, which fanout holds across its sends, so
+		// once it returns no fanout iteration can still see this conn —
+		// closing first would race fanout into a send on a closed
+		// channel and panic the whole shard process.
+		c.s.dropConn(c)
+		close(c.events)
+		if writerDone != nil {
+			<-writerDone
+		}
+		for _, h := range c.streams {
+			h.Close()
+		}
+	}()
+
+	enc := wire.NewEncoder(c.conn)
+	dec := wire.NewDecoder(c.conn)
+	// Handshake mirrors the client: Hello both ways, versions must match.
+	c.conn.SetDeadline(time.Now().Add(10 * time.Second))
+	m, err := dec.Next()
+	if err != nil || m.Kind != wire.KindHello || m.Version != wire.Version {
+		return
+	}
+	if err := enc.Hello(); err != nil {
+		return
+	}
+	if err := enc.Flush(); err != nil {
+		return
+	}
+	c.conn.SetDeadline(time.Time{})
+	c.writeMu.Lock()
+	c.enc = enc
+	c.writeMu.Unlock()
+
+	writerDone = make(chan struct{})
+	go c.eventWriter(writerDone)
+
+	for {
+		m, err := dec.Next()
+		if err != nil {
+			return
+		}
+		switch m.Kind {
+		case wire.KindPush:
+			h, err := c.stream(m.Patient)
+			if err != nil {
+				return // server closed; connection is useless now
+			}
+			if !c.apply(func() error { return h.Push(m.C0, m.C1) }) {
+				return
+			}
+		case wire.KindConfirm:
+			h, err := c.stream(m.Patient)
+			if err != nil {
+				return
+			}
+			if !c.apply(h.Confirm) {
+				return
+			}
+		case wire.KindPing:
+			if err := c.send(func(e *wire.Encoder) error { return e.Pong(m.Token) }); err != nil {
+				return
+			}
+		case wire.KindStatsReq:
+			st := c.s.srv.Snapshot()
+			st.EventsDropped += c.s.fanoutDropped.Load()
+			if err := c.send(func(e *wire.Encoder) error { return e.Stats(m.Token, st) }); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// apply runs one serving call, retrying on backpressure: stalling this
+// connection's read loop is the cluster's flow control — the TCP
+// window fills and the client's outbound queue (where the admission
+// policy lives) takes over. Only a closed server gives up.
+func (c *clientConn) apply(fn func() error) bool {
+	for {
+		err := fn()
+		if err == nil {
+			return true
+		}
+		if err != serve.ErrBackpressure {
+			return false
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+// send runs one encode+flush under the write lock.
+func (c *clientConn) send(f func(*wire.Encoder) error) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := f(c.enc); err != nil {
+		return err
+	}
+	return c.enc.Flush()
+}
+
+// eventWriter drains this connection's fanout buffer onto the wire,
+// flushing when the buffer goes idle.
+func (c *clientConn) eventWriter(done chan struct{}) {
+	defer close(done)
+	for ev := range c.events {
+		c.writeMu.Lock()
+		err := c.enc.Event(ev)
+		if err == nil && len(c.events) == 0 {
+			err = c.enc.Flush()
+		}
+		c.writeMu.Unlock()
+		if err != nil {
+			// The read loop will notice the dead socket; keep draining so
+			// fanout never blocks on this connection.
+			for range c.events {
+			}
+			return
+		}
+	}
+}

@@ -2,23 +2,26 @@ package serve
 
 import "time"
 
-// AdmissionPolicy decides what happens when a stream's shard queue is
-// full. The zero-configuration default is DropOnFull — the wearable
-// gateway owns the retry. Policies are picked per server (WithAdmission)
-// or per stream (WithStreamAdmission); the set is closed over this
-// package's queue internals.
+// AdmissionPolicy decides what happens when a shard queue is full. The
+// zero-configuration default is DropOnFull — the wearable gateway owns
+// the retry. Policies are picked per server (WithAdmission), per stream
+// (WithStreamAdmission), or per cluster client; the set is closed over
+// this package's Queue internals, so every transport — the in-process
+// worker pool and the cluster client's per-shard senders — shares one
+// admission implementation.
 type AdmissionPolicy interface {
-	// admit places j on w's queue or returns ErrBackpressure. It runs
-	// under the server's read lock, so it may block only briefly
-	// (blocking delays Close by at most the policy's deadline).
-	admit(s *Server, w *worker, j job) error
+	// admit places j on q or returns ErrBackpressure. On the local
+	// transport it runs under the server's read lock, so it may block
+	// only briefly (blocking delays Close by at most the policy's
+	// deadline).
+	admit(q *Queue, j Job) error
 	// fastReject reports whether a batch push may be refused before the
 	// job is even built — the cheap overload path. Only policies whose
 	// admit would certainly refuse a full queue return true; the check
 	// is racy (the queue may drain concurrently), which a caller of such
-	// a policy must tolerate anyway. It runs outside the server's read
-	// lock and must not block.
-	fastReject(w *worker) bool
+	// a policy must tolerate anyway. It runs outside any lock and must
+	// not block.
+	fastReject(q *Queue) bool
 }
 
 // DropOnFull rejects immediately when the shard queue is full — the
@@ -28,9 +31,9 @@ func DropOnFull() AdmissionPolicy { return dropOnFull{} }
 
 type dropOnFull struct{}
 
-func (dropOnFull) admit(s *Server, w *worker, j job) error {
+func (dropOnFull) admit(q *Queue, j Job) error {
 	select {
-	case w.jobs <- j:
+	case q.jobs <- j:
 		return nil
 	default:
 		return ErrBackpressure
@@ -41,8 +44,8 @@ func (dropOnFull) admit(s *Server, w *worker, j job) error {
 // retry loop of every gateway hammers Push, and rejecting before the
 // lock and the job copy keeps that spin from stealing the very worker
 // time that would drain the queue.
-func (dropOnFull) fastReject(w *worker) bool {
-	return len(w.jobs) == cap(w.jobs)
+func (dropOnFull) fastReject(q *Queue) bool {
+	return len(q.jobs) == cap(q.jobs)
 }
 
 // BlockWithDeadline waits up to d for queue space before giving up with
@@ -55,22 +58,22 @@ type blockWithDeadline struct{ d time.Duration }
 
 // fastReject never triggers: a full queue is exactly when this policy
 // wants to block.
-func (blockWithDeadline) fastReject(*worker) bool { return false }
+func (blockWithDeadline) fastReject(*Queue) bool { return false }
 
-func (p blockWithDeadline) admit(s *Server, w *worker, j job) error {
+func (p blockWithDeadline) admit(q *Queue, j Job) error {
 	select {
-	case w.jobs <- j:
+	case q.jobs <- j:
 		return nil
 	default:
 	}
 	if p.d <= 0 {
-		w.jobs <- j
+		q.jobs <- j
 		return nil
 	}
 	t := time.NewTimer(p.d)
 	defer t.Stop()
 	select {
-	case w.jobs <- j:
+	case q.jobs <- j:
 		return nil
 	case <-t.C:
 		return ErrBackpressure
@@ -83,53 +86,50 @@ func (p blockWithDeadline) admit(s *Server, w *worker, j job) error {
 // shard queue is shared by every patient hashed to it, so shedding
 // discards the oldest batches regardless of which stream pushed them:
 // an already-accepted Push can vanish with no error to its caller,
-// surfacing only in Stats.BatchesShed and the victim stream's
-// StreamStats.BatchesShed. Per-stream use (WithStreamAdmission) still
-// sheds shard-wide — mix it with other policies deliberately.
-// Confirmations are never shed: any encountered while clearing space
-// are re-enqueued behind the new batch.
+// surfacing in Stats.BatchesShed, the victim stream's
+// StreamStats.BatchesShed, and an EventShed on the event stream.
+// Per-stream use (WithStreamAdmission) still sheds shard-wide — mix it
+// with other policies deliberately. Confirmations are never shed: any
+// encountered while clearing space are re-enqueued behind the new batch.
 func ShedOldest() AdmissionPolicy { return shedOldest{} }
 
 type shedOldest struct{}
 
 // fastReject never triggers: a full queue is exactly when this policy
 // sheds to make room.
-func (shedOldest) fastReject(*worker) bool { return false }
+func (shedOldest) fastReject(*Queue) bool { return false }
 
-func (shedOldest) admit(s *Server, w *worker, j job) error {
+func (shedOldest) admit(q *Queue, j Job) error {
 	// pending holds jobs awaiting (re-)placement, oldest first: popped
 	// confirmations are prepended so they re-enter the queue ahead of
 	// the new job — a confirmation may drift a few batches later than
 	// it arrived (harmless: retraining snapshots history at processing
 	// time), but it is never discarded. The new job stays last.
-	pending := []job{j}
+	pending := []Job{j}
 	// pops bounds queue-clearing work so concurrent shedders cannot
 	// livelock each other; sends are not bounded — each one strictly
 	// shrinks pending.
 	pops := 0
 	for len(pending) > 0 {
 		select {
-		case w.jobs <- pending[0]:
+		case q.jobs <- pending[0]:
 			pending = pending[1:]
 			continue
 		default:
 		}
-		if pops > cap(w.jobs)+2 {
+		if pops > cap(q.jobs)+2 {
 			break
 		}
 		pops++
 		select {
-		case old := <-w.jobs:
-			if old.confirm {
-				pending = append([]job{old}, pending...)
+		case old := <-q.jobs:
+			if old.Confirm {
+				pending = append([]Job{old}, pending...)
 			} else {
-				s.batchesShed.Add(1)
-				if old.stream != nil {
-					old.stream.shed.Add(1)
-				}
+				q.noteShed(old)
 			}
 		default:
-			// The worker drained the queue between probes; retry the send.
+			// The consumer drained the queue between probes; retry the send.
 		}
 	}
 	if len(pending) == 0 {
@@ -141,9 +141,9 @@ func (shedOldest) admit(s *Server, w *worker, j job) error {
 	// best-effort re-enqueue before being counted as lost.
 	for _, c := range pending[:len(pending)-1] {
 		select {
-		case w.jobs <- c:
+		case q.jobs <- c:
 		default:
-			s.confirmsDropped.Add(1)
+			q.noteConfirmLost(c)
 		}
 	}
 	return ErrBackpressure

@@ -5,6 +5,13 @@ import (
 	"time"
 )
 
+// The deterministic, queue-level admission semantics (drop rejects,
+// block expires, shed discards oldest and preserves confirms) live in
+// the shared behavioral suite in servetest, which transport_test.go
+// runs against the local Queue machinery and internal/cluster runs
+// against its TCP shard connections. The tests here exercise the same
+// policies end to end through a live Server under load.
+
 // saturate opens a depth-1 single-worker server and jams its shard: the
 // worker chews on a two-minute batch while one more batch waits in the
 // queue, so every subsequent admission faces a full queue.
@@ -60,34 +67,6 @@ func TestAdmissionDropOnFull(t *testing.T) {
 	}
 }
 
-func TestAdmissionBlockWithDeadline(t *testing.T) {
-	// An idle shard (no consumer) keeps the queue full forever, so the
-	// wait must expire — deterministically, unlike racing a real worker.
-	const deadline = 60 * time.Millisecond
-	s, w := idleShard(1)
-	p := BlockWithDeadline(deadline)
-	if err := p.admit(s, w, job{patient: "p"}); err != nil {
-		t.Fatal(err)
-	}
-	start := time.Now()
-	err := p.admit(s, w, job{patient: "p"})
-	elapsed := time.Since(start)
-	if err != ErrBackpressure {
-		t.Fatalf("admit on a stuck full queue = %v, want ErrBackpressure", err)
-	}
-	if elapsed < deadline {
-		t.Fatalf("gave up after %v, before the %v deadline", elapsed, deadline)
-	}
-	// Space freeing mid-wait lets the blocked admit through.
-	done := make(chan error, 1)
-	go func() { done <- p.admit(s, w, job{patient: "p"}) }()
-	time.Sleep(10 * time.Millisecond)
-	<-w.jobs
-	if err := <-done; err != nil {
-		t.Fatalf("admit after space freed = %v, want nil", err)
-	}
-}
-
 func TestAdmissionBlockRidesOutBurst(t *testing.T) {
 	// A short in-flight batch frees the queue well within the generous
 	// deadline, so blocked pushes must all eventually succeed — zero
@@ -115,86 +94,6 @@ func TestAdmissionBlockRidesOutBurst(t *testing.T) {
 	}
 	if st := srv.Snapshot(); st.BatchesDropped != 0 {
 		t.Fatalf("BatchesDropped = %d under blocking admission, want 0", st.BatchesDropped)
-	}
-}
-
-// idleShard fabricates a queue with no consuming worker, so shed
-// mechanics can be asserted deterministically, job by job.
-func idleShard(depth int) (*Server, *worker) {
-	return &Server{}, &worker{jobs: make(chan job, depth)}
-}
-
-func TestShedOldestDiscardsStaleBatches(t *testing.T) {
-	s, w := idleShard(2)
-	p := ShedOldest()
-	for i := 0; i < 2; i++ {
-		if err := p.admit(s, w, job{patient: "old"}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	// Full queue: the fresh batch must displace the oldest one.
-	if err := p.admit(s, w, job{patient: "fresh"}); err != nil {
-		t.Fatalf("admit on full queue = %v, want nil", err)
-	}
-	if got := s.batchesShed.Load(); got != 1 {
-		t.Fatalf("batchesShed = %d, want 1", got)
-	}
-	got := []string{(<-w.jobs).patient, (<-w.jobs).patient}
-	if got[0] != "old" || got[1] != "fresh" {
-		t.Fatalf("queue order = %v, want [old fresh]", got)
-	}
-}
-
-func TestShedOldestNeverShedsConfirms(t *testing.T) {
-	s, w := idleShard(3)
-	p := ShedOldest()
-	if err := p.admit(s, w, job{patient: "p", confirm: true}); err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 2; i++ {
-		if err := p.admit(s, w, job{patient: "p"}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	// Queue is [confirm batch batch]. Shedding for a new batch must pop
-	// the confirmation, re-enqueue it, and discard a batch instead.
-	if err := p.admit(s, w, job{patient: "p"}); err != nil {
-		t.Fatalf("admit = %v, want nil", err)
-	}
-	if got := s.batchesShed.Load(); got != 1 {
-		t.Fatalf("batchesShed = %d, want 1", got)
-	}
-	if got := s.confirmsDropped.Load(); got != 0 {
-		t.Fatalf("confirmsDropped = %d, want 0", got)
-	}
-	confirms, batches := 0, 0
-	for len(w.jobs) > 0 {
-		if (<-w.jobs).confirm {
-			confirms++
-		} else {
-			batches++
-		}
-	}
-	if confirms != 1 || batches != 2 {
-		t.Fatalf("queue drained to %d confirms / %d batches, want 1/2", confirms, batches)
-	}
-}
-
-func TestShedOldestRefusesRatherThanShedLoneConfirm(t *testing.T) {
-	s, w := idleShard(1)
-	p := ShedOldest()
-	if err := p.admit(s, w, job{patient: "p", confirm: true}); err != nil {
-		t.Fatal(err)
-	}
-	// The only slot holds a confirmation; a batch cannot displace it.
-	if err := p.admit(s, w, job{patient: "p"}); err != ErrBackpressure {
-		t.Fatalf("admit over a lone confirm = %v, want ErrBackpressure", err)
-	}
-	if got := s.confirmsDropped.Load(); got != 0 {
-		t.Fatalf("confirmsDropped = %d, want 0", got)
-	}
-	if j := <-w.jobs; !j.confirm {
-		t.Fatal("confirmation no longer in the queue")
 	}
 }
 

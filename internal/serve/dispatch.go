@@ -1,24 +1,57 @@
 package serve
 
-// job is one unit of worker input: either a sample batch or a seizure
-// confirmation. Both kinds flow through the same queue so a patient's
-// confirmation is processed after every batch submitted before it.
-// stream points back at the originating handle for per-stream stats
-// (nil for internally generated jobs).
-type job struct {
-	patient string
-	stream  *Stream
-	c0, c1  []float64
-	confirm bool
+// localTransport is the in-process ShardTransport: the goroutine worker
+// pool the server was born with, now behind the same seam a cluster of
+// shardd processes plugs into. Patients map to workers by FNV-1a hash;
+// a patient's jobs always land on the same worker, which preserves
+// per-stream ordering without locks. The per-batch path stays
+// allocation-free: a Job is a value on a channel, and per-stream
+// attribution rides a pre-existing pointer in its Stream field.
+type localTransport struct {
+	workers []*worker
+}
+
+func newLocalTransport(s *Server, historyRows int) *localTransport {
+	t := &localTransport{workers: make([]*worker, s.cfg.Workers)}
+	for i := range t.workers {
+		t.workers[i] = newWorker(s, i, historyRows)
+	}
+	return t
+}
+
+// Shard implements ShardTransport; local resolution cannot fail.
+func (t *localTransport) Shard(patientID string) (Shard, error) {
+	return t.workers[shardHash(patientID)%uint32(len(t.workers))], nil
+}
+
+// Depth implements ShardTransport.
+func (t *localTransport) Depth() int {
+	depth := 0
+	for _, w := range t.workers {
+		depth += w.queue.Depth()
+	}
+	return depth
+}
+
+// Close implements ShardTransport: closes every worker queue and waits
+// for the drains. The caller (Server.Close) guarantees no Enqueue is in
+// flight.
+func (t *localTransport) Close() {
+	for _, w := range t.workers {
+		w.queue.Close()
+	}
+	for _, w := range t.workers {
+		<-w.done
+	}
 }
 
 // worker owns a shard of patients: their sessions, the LRU session
 // table, and the goroutine that processes their jobs strictly in
-// arrival order.
+// arrival order. It implements Shard by delegating to its queue.
 type worker struct {
 	srv      *Server
 	index    int
-	jobs     chan job
+	queue    *Queue
 	done     chan struct{}
 	sessions *lru[*session]
 }
@@ -27,9 +60,15 @@ func newWorker(s *Server, index, historyRows int) *worker {
 	w := &worker{
 		srv:   s,
 		index: index,
-		jobs:  make(chan job, s.cfg.QueueDepth),
 		done:  make(chan struct{}),
 	}
+	w.queue = NewQueue(s.cfg.QueueDepth, QueueHooks{
+		Shed: func(j Job) {
+			s.batchesShed.Add(1)
+			s.hub.emit(Event{Kind: EventShed, Patient: j.Patient})
+		},
+		ConfirmLost: func(Job) { s.confirmsDropped.Add(1) },
+	})
 	w.sessions = newLRU[*session](s.cfg.MaxSessions, func(id string, sess *session) {
 		// The session's streaming state dies with it, but the trained
 		// model is already in the model cache/store (the learner
@@ -42,10 +81,19 @@ func newWorker(s *Server, index, historyRows int) *worker {
 	return w
 }
 
+// Enqueue implements Shard.
+func (w *worker) Enqueue(p AdmissionPolicy, j Job) error { return w.queue.Offer(p, j) }
+
+// Congested implements Shard.
+func (w *worker) Congested(p AdmissionPolicy) bool { return w.queue.FastReject(p) }
+
+// Depth implements Shard.
+func (w *worker) Depth() int { return w.queue.Depth() }
+
 func (w *worker) run(historyRows int) {
 	defer close(w.done)
-	for j := range w.jobs {
-		sess, err := w.session(j.patient, historyRows)
+	for j := range w.queue.C() {
+		sess, err := w.session(j.Patient, historyRows)
 		if err != nil {
 			// The pipeline was pre-flighted in New, so a constructor
 			// failure here should be unreachable; count it rather than
@@ -53,11 +101,11 @@ func (w *worker) run(historyRows int) {
 			w.srv.streamErrors.Add(1)
 			continue
 		}
-		if j.confirm {
+		if j.Confirm {
 			w.confirm(sess)
 			continue
 		}
-		rows, err := sess.ingest(j.c0, j.c1)
+		rows, err := sess.ingest(j.C0, j.C1)
 		if err != nil {
 			w.srv.streamErrors.Add(1)
 		}
@@ -66,21 +114,21 @@ func (w *worker) run(historyRows int) {
 			// there first, and a session recreated after LRU eviction
 			// would otherwise miss a retrain that completed in flight.
 			// LRU-only lookup — the store must stay off the batch path.
-			if f := w.srv.cache.cached(j.patient); f != nil && f != sess.model.Load() {
+			if f := w.srv.cache.cached(j.Patient); f != nil && f != sess.model.Load() {
 				sess.model.Store(f)
 			}
 			fired := sess.classify(rows)
 			w.srv.windows.Add(uint64(len(rows)))
-			if j.stream != nil {
-				j.stream.windows.Add(uint64(len(rows)))
+			if j.Stream != nil {
+				j.Stream.NoteWindows(len(rows))
 			}
 			if fired > 0 {
 				w.srv.alarms.Add(uint64(fired))
-				if j.stream != nil {
-					j.stream.alarms.Add(uint64(fired))
+				if j.Stream != nil {
+					j.Stream.NoteAlarms(fired)
 				}
 				for i := 0; i < fired; i++ {
-					w.srv.hub.emit(Event{Kind: EventAlarm, Patient: j.patient})
+					w.srv.hub.emit(Event{Kind: EventAlarm, Patient: j.Patient})
 				}
 			}
 		}

@@ -18,6 +18,12 @@ const (
 	// EventEviction reports a session LRU-evicted under load. The
 	// patient's trained model survives in the model cache/store.
 	EventEviction
+	// EventShed reports an accepted batch discarded to make room — a
+	// ShedOldest admission clearing a full shard queue, or a cluster
+	// transport dropping in-flight jobs when a shard connection died.
+	// The victim stream saw no error (its Push had already succeeded),
+	// so this event is how operators observe shedding.
+	EventShed
 )
 
 // String names the kind for logs.
@@ -29,6 +35,8 @@ func (k EventKind) String() string {
 		return "retrain"
 	case EventEviction:
 		return "eviction"
+	case EventShed:
+		return "shed"
 	default:
 		return "unknown"
 	}

@@ -97,6 +97,60 @@ func TestEventDelivery(t *testing.T) {
 	}
 }
 
+// TestShedEventEmitted: every batch a ShedOldest admission discards is
+// observable — the victim stream saw no error (its Push had succeeded),
+// so the EventShed stream is the only way operators notice data loss
+// before the stats scrape. One event per shed batch, carrying the
+// shed stream's patient, mirroring the eviction events.
+func TestShedEventEmitted(t *testing.T) {
+	var sinkMu sync.Mutex
+	shedEvents := 0
+	patients := map[string]bool{}
+	srv, err := New(Config{
+		Workers:    1,
+		QueueDepth: 1,
+		SampleRate: testRate,
+		History:    time.Minute,
+	}, WithAdmission(ShedOldest()), WithEventSink(func(ev Event) {
+		if ev.Kind != EventShed {
+			return
+		}
+		sinkMu.Lock()
+		shedEvents++
+		patients[ev.Patient] = true
+		sinkMu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := open(t, srv, "p")
+	// Jam the one worker on a two-minute batch, then keep pushing: with
+	// a depth-1 queue every extra push sheds the previously queued batch.
+	rec := testRecording(t, 6, 120, -1, 0)
+	if err := h.Push(rec.Data[0], rec.Data[1]); err != nil {
+		t.Fatal(err)
+	}
+	small0, small1 := make([]float64, testRate), make([]float64, testRate)
+	for i := 0; i < 50; i++ {
+		if err := h.Push(small0, small1); err != nil {
+			t.Fatalf("push %d under shed-oldest = %v", i, err)
+		}
+	}
+	st := srv.Snapshot()
+	if st.BatchesShed == 0 {
+		t.Fatalf("BatchesShed = 0; scenario did not shed: %+v", st)
+	}
+	sinkMu.Lock()
+	defer sinkMu.Unlock()
+	if uint64(shedEvents) != st.BatchesShed {
+		t.Fatalf("shed events = %d, BatchesShed counter = %d", shedEvents, st.BatchesShed)
+	}
+	if !patients["p"] || len(patients) != 1 {
+		t.Fatalf("shed events named patients %v, want only p", patients)
+	}
+}
+
 // TestEventsDroppedWhenUnread: an activated subscriber that never reads
 // loses events beyond the buffer — counted, never blocking the servers.
 func TestEventsDroppedWhenUnread(t *testing.T) {

@@ -181,11 +181,14 @@ type Stats struct {
 	Uptime time.Duration
 }
 
-// Server is the concurrent multi-patient serving subsystem.
+// Server is the concurrent multi-patient serving subsystem. Its
+// streams reach their shards through the local ShardTransport (the
+// in-process worker pool); internal/cluster serves the same workload
+// shape across shardd processes behind the same interface.
 type Server struct {
 	cfg       Config
 	admission AdmissionPolicy
-	workers   []*worker
+	transport *localTransport
 	learner   *learner
 	cache     *modelCache
 	hub       *eventHub
@@ -252,10 +255,7 @@ func New(cfg Config, opts ...Option) (*Server, error) {
 	s.hub = newEventHub(so.eventBuffer, so.sink)
 	s.cache = newModelCache(cfg.ModelCacheSize, so.store, func(error) { s.storeErrors.Add(1) })
 	s.learner = newLearner(s, cfg.Learners, cfg.LearnerQueue)
-	s.workers = make([]*worker, cfg.Workers)
-	for i := range s.workers {
-		s.workers[i] = newWorker(s, i, historyRows)
-	}
+	s.transport = newLocalTransport(s, historyRows)
 	return s, nil
 }
 
@@ -290,28 +290,24 @@ func shardHash(patientID string) uint32 {
 	return h
 }
 
-// shard maps a patient ID to its worker; a patient's jobs always land
-// on the same worker, which preserves per-stream ordering without
-// locks. Open resolves this once per handle, keeping Push hash-free.
-func (s *Server) shard(patientID string) *worker {
-	return s.workers[shardHash(patientID)%uint32(len(s.workers))]
-}
-
-// enqueue runs one job through the admission policy against w's queue,
-// maintaining the server-wide accept/reject counters.
-func (s *Server) enqueue(w *worker, adm AdmissionPolicy, j job) error {
+// enqueue runs one job through the admission policy against the
+// stream's shard, maintaining the server-wide accept/reject counters.
+// The read lock is the closed handshake: Close takes the write lock
+// before closing the shard queues, so no admit is in flight when they
+// close.
+func (s *Server) enqueue(sh Shard, adm AdmissionPolicy, j Job) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
-	err := adm.admit(s, w, j)
+	err := sh.Enqueue(adm, j)
 	switch {
-	case err == nil && j.confirm:
+	case err == nil && j.Confirm:
 		s.confirms.Add(1)
 	case err == nil:
 		s.batches.Add(1)
-	case j.confirm:
+	case j.Confirm:
 		s.confirmsRejected.Add(1)
 	default:
 		s.batchesDropped.Add(1)
@@ -324,10 +320,6 @@ func (s *Server) enqueue(w *worker, adm AdmissionPolicy, j job) error {
 // previous Snapshot call, so a periodic stats loop sees the current
 // rate rather than a lifetime average diluted by hours of history.
 func (s *Server) Snapshot() Stats {
-	depth := 0
-	for _, w := range s.workers {
-		depth += len(w.jobs)
-	}
 	now := time.Now()
 	st := Stats{
 		Sessions:         int(s.sessions.Load()),
@@ -348,25 +340,33 @@ func (s *Server) Snapshot() Stats {
 		ModelsCached:     s.cache.Len(),
 		StoreErrors:      s.storeErrors.Load(),
 		EventsDropped:    s.hub.dropped.Load(),
-		QueueDepth:       depth,
+		QueueDepth:       s.transport.Depth(),
 		Uptime:           now.Sub(s.start),
 	}
+	st.WindowsPerSec = s.sampleWindowRate(now)
+	return st
+}
+
+// sampleWindowRate advances the WindowsPerSec interval sampler to now
+// and returns the current rate. The counter is re-sampled under snapMu:
+// a sample loaded outside the lock would race with other Snapshot
+// callers, and a stale sample underflows the uint64 delta into an
+// absurd rate. Under the lock the monotonic counter can only have
+// advanced past lastWindows. A non-positive dt — two Snapshots within
+// the same clock tick, or clock reads reordered across callers — skips
+// the resample and returns the last completed interval's rate, so the
+// result is always finite: never the Inf/NaN a naive delta/dt would
+// produce, and 0 before any interval has completed.
+func (s *Server) sampleWindowRate(now time.Time) float64 {
 	s.snapMu.Lock()
-	// Re-sample the counter under snapMu: reusing st.Windows (loaded
-	// before the lock) would race with other Snapshot callers — a stale
-	// sample underflows the uint64 delta into an absurd rate. Under the
-	// lock the monotonic counter can only have advanced past lastWindows.
-	// A non-positive dt (clock reads reordered across callers) skips the
-	// resample rather than corrupting the interval.
+	defer s.snapMu.Unlock()
 	if dt := now.Sub(s.lastSnap).Seconds(); dt > 0 {
 		windows := s.windows.Load()
 		s.lastRate = float64(windows-s.lastWindows) / dt
 		s.lastSnap = now
 		s.lastWindows = windows
 	}
-	st.WindowsPerSec = s.lastRate
-	s.snapMu.Unlock()
-	return st
+	return s.lastRate
 }
 
 // Events returns the server's event stream: every alarm, retrain
@@ -400,12 +400,7 @@ func (s *Server) Close() {
 	s.closed = true
 	s.closedFast.Store(true)
 	s.mu.Unlock()
-	for _, w := range s.workers {
-		close(w.jobs)
-	}
-	for _, w := range s.workers {
-		<-w.done
-	}
+	s.transport.Close()
 	s.learner.close()
 	s.hub.close()
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -293,6 +294,36 @@ func TestShardHashMatchesFNV(t *testing.T) {
 		if got, want := shardHash(id), h.Sum32(); got != want {
 			t.Fatalf("shardHash(%q) = %#x, want %#x", id, got, want)
 		}
+	}
+}
+
+// TestWindowsPerSecSameTick pins the degenerate sampling interval: two
+// Snapshots within the same clock tick produce dt == 0, where a naive
+// delta/dt would return Inf (or NaN before any windows). The sampler
+// must skip the resample and return the last completed interval's
+// finite rate — 0 when no interval has completed yet.
+func TestWindowsPerSecSameTick(t *testing.T) {
+	srv, err := New(Config{Workers: 1, SampleRate: testRate, History: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Same tick as construction, before any interval completed: 0, not NaN.
+	if r := srv.sampleWindowRate(srv.start); r != 0 {
+		t.Fatalf("same-tick rate before any interval = %g, want 0", r)
+	}
+	h := open(t, srv, "p")
+	stream(t, h, testRecording(t, 4, 10, -1, 0))
+	now := time.Now()
+	r1 := srv.sampleWindowRate(now)
+	r2 := srv.sampleWindowRate(now) // dt == 0: same clock tick
+	for _, r := range []float64{r1, r2} {
+		if math.IsInf(r, 0) || math.IsNaN(r) || r < 0 {
+			t.Fatalf("rate = %g, want finite and non-negative", r)
+		}
+	}
+	if r2 != r1 {
+		t.Fatalf("same-tick resample changed the rate: %g then %g", r1, r2)
 	}
 }
 

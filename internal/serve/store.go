@@ -92,9 +92,18 @@ func (s *FileStore) path(patientID string) string {
 	return filepath.Join(s.dir, url.PathEscape(patientID)+".forest.json")
 }
 
-// Load implements ModelStore; a missing checkpoint is (nil, nil).
+// Load implements ModelStore; a missing checkpoint is (nil, nil). A
+// checkpoint that fails to parse — truncated by a crash predating
+// atomic writes, or corrupted on disk — is quarantined (renamed to
+// <checkpoint>.corrupt) rather than left to fail every future load:
+// the first Load reports the error once (surfacing in
+// Stats.StoreErrors, with the serving path treating it as a miss so
+// the patient streams untrained instead of failing), subsequent Loads
+// see a clean miss, and the next retrain checkpoints normally. The
+// quarantined bytes are kept for forensics.
 func (s *FileStore) Load(patientID string) (*forest.FlatForest, error) {
-	r, err := os.Open(s.path(patientID))
+	path := s.path(patientID)
+	r, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -104,7 +113,13 @@ func (s *FileStore) Load(patientID string) (*forest.FlatForest, error) {
 	defer r.Close()
 	f, err := forest.LoadFlat(r)
 	if err != nil {
-		return nil, fmt.Errorf("serve: model store: corrupt checkpoint for %q: %w", patientID, err)
+		if qerr := os.Rename(path, path+".corrupt"); qerr != nil {
+			// Quarantine failed (e.g. a read-only directory): remove the
+			// bad file as a last resort so the patient is not wedged on
+			// a permanently unreadable checkpoint.
+			os.Remove(path)
+		}
+		return nil, fmt.Errorf("serve: model store: corrupt checkpoint for %q (quarantined): %w", patientID, err)
 	}
 	return f, nil
 }

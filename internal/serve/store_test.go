@@ -118,16 +118,100 @@ func TestFileStoreFlatCheckpointInterop(t *testing.T) {
 	}
 }
 
-func TestFileStoreCorruptCheckpoint(t *testing.T) {
-	fs, err := NewFileStore(t.TempDir())
+// TestFileStoreCorruptCheckpointRecovery: a checkpoint that fails to
+// parse is reported once and quarantined, so the patient recovers —
+// subsequent loads are clean misses and the next save checkpoints
+// normally — instead of erroring on every load forever. Truncation (a
+// crash mid-write predating atomic renames) and byte corruption both
+// take this path.
+func TestFileStoreCorruptCheckpointRecovery(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		bytes []byte
+	}{
+		{"garbage", []byte("{not json")},
+		{"truncated", nil}, // zero-length file: crash at the worst moment
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, err := NewFileStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(fs.Dir(), "p.forest.json")
+			if err := os.WriteFile(path, tc.bytes, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// First load reports the corruption (it becomes a
+			// Stats.StoreErrors tick through the cache)...
+			if _, err := fs.Load("p"); err == nil {
+				t.Fatal("corrupt checkpoint loaded without error")
+			}
+			// ...and quarantines the file rather than deleting evidence.
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt checkpoint still at %s (stat err %v)", path, err)
+			}
+			if _, err := os.Stat(path + ".corrupt"); err != nil {
+				t.Fatalf("quarantine file missing: %v", err)
+			}
+			// Second load is a clean miss, not a repeated error.
+			if f, err := fs.Load("p"); err != nil || f != nil {
+				t.Fatalf("Load after quarantine = %v, %v; want nil, nil", f, err)
+			}
+			// The patient's next retrain checkpoints and reloads normally.
+			want := tinyForest(t, 1)
+			if err := fs.Save("p", want); err != nil {
+				t.Fatal(err)
+			}
+			got, err := fs.Load("p")
+			if err != nil || got == nil {
+				t.Fatalf("Load after re-save = %v, %v", got, err)
+			}
+			for _, x := range [][]float64{{0, 0}, {1, 1}} {
+				if got.Predict(x) != want.Predict(x) {
+					t.Fatalf("re-saved forest disagrees on %v", x)
+				}
+			}
+			// Atomic writes leave no temp droppings behind.
+			entries, err := os.ReadDir(fs.Dir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if e.Name() != "p.forest.json" && e.Name() != "p.forest.json.corrupt" {
+					t.Fatalf("unexpected file in store dir: %s", e.Name())
+				}
+			}
+		})
+	}
+}
+
+// TestServerServesPatientDespiteCorruptCheckpoint: end to end, a
+// corrupt on-disk model must cost the patient their warm start, not
+// their service — the session comes up untrained, batches stream, and
+// the failure surfaces exactly once in Stats.StoreErrors.
+func TestServerServesPatientDespiteCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(fs.Dir(), "p.forest.json"), []byte("{not json"), 0o644); err != nil {
+	if err := os.WriteFile(fs.path("chb01"), []byte("corrupt"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fs.Load("p"); err == nil {
-		t.Fatal("corrupt checkpoint loaded without error")
+	srv, err := New(Config{Workers: 1, SampleRate: testRate, History: time.Minute}, WithModelStore(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := open(t, srv, "chb01")
+	stream(t, h, testRecording(t, 8, 10, -1, 0))
+	srv.Close()
+	st := srv.Snapshot()
+	if st.Windows == 0 || st.StreamErrors != 0 {
+		t.Fatalf("patient did not stream past the corrupt checkpoint: %+v", st)
+	}
+	if st.StoreErrors != 1 {
+		t.Fatalf("StoreErrors = %d, want exactly 1 (quarantine must stop repeats)", st.StoreErrors)
 	}
 }
 

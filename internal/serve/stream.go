@@ -10,11 +10,13 @@ import (
 var ErrStreamClosed = errors.New("serve: stream closed")
 
 // Stream is a per-patient session handle returned by Server.Open. The
-// patient's shard is resolved once at Open, so the per-batch path is
-// hash-free; the handle also carries per-stream counters and the
-// stream's admission policy. A Stream's methods are safe for concurrent
-// use, but batches Pushed concurrently race for queue order — a
-// wearable gateway should Push each patient's stream from one goroutine.
+// patient's shard is resolved once at Open — through the server's
+// ShardTransport, so the handle never touches a worker directly — and
+// the per-batch path is hash-free; the handle also carries per-stream
+// counters and the stream's admission policy. A Stream's methods are
+// safe for concurrent use, but batches Pushed concurrently race for
+// queue order — a wearable gateway should Push each patient's stream
+// from one goroutine.
 //
 // Multiple handles may be open for the same patient (e.g. a hospital
 // gateway and a home gateway across a transfer); they share the
@@ -22,7 +24,7 @@ var ErrStreamClosed = errors.New("serve: stream closed")
 type Stream struct {
 	srv     *Server
 	patient string
-	w       *worker
+	shard   Shard
 	adm     AdmissionPolicy
 	closed  atomic.Bool
 
@@ -70,12 +72,26 @@ func (s *Server) Open(patientID string, opts ...StreamOption) (*Stream, error) {
 	for _, opt := range opts {
 		opt(&so)
 	}
+	sh, err := s.transport.Shard(patientID)
+	if err != nil {
+		return nil, err
+	}
 	s.streamsOpen.Add(1)
-	return &Stream{srv: s, patient: patientID, w: s.shard(patientID), adm: so.admission}, nil
+	return &Stream{srv: s, patient: patientID, shard: sh, adm: so.admission}, nil
 }
 
 // Patient returns the stream's patient ID.
 func (st *Stream) Patient() string { return st.patient }
+
+// NoteShed, NoteWindows and NoteAlarms implement StreamObserver: the
+// shard side of the transport attributes outcomes back to this handle.
+func (st *Stream) NoteShed() { st.shed.Add(1) }
+
+// NoteWindows implements StreamObserver.
+func (st *Stream) NoteWindows(n int) { st.windows.Add(uint64(n)) }
+
+// NoteAlarms implements StreamObserver.
+func (st *Stream) NoteAlarms(n int) { st.alarms.Add(uint64(n)) }
 
 // Push enqueues one batch of synchronized two-channel samples. It
 // returns ErrBackpressure when the stream's admission policy gives up
@@ -99,12 +115,12 @@ func (st *Stream) Push(c0, c1 []float64) error {
 	if st.srv.closedFast.Load() {
 		return ErrClosed
 	}
-	if st.adm.fastReject(st.w) {
+	if st.shard.Congested(st.adm) {
 		st.srv.batchesDropped.Add(1)
 		st.dropped.Add(1)
 		return ErrBackpressure
 	}
-	err := st.srv.enqueue(st.w, st.adm, job{patient: st.patient, stream: st, c0: c0, c1: c1})
+	err := st.srv.enqueue(st.shard, st.adm, Job{Patient: st.patient, Stream: st, C0: c0, C1: c1})
 	switch err {
 	case nil:
 		st.batches.Add(1)
@@ -121,7 +137,7 @@ func (st *Stream) Confirm() error {
 	if st.closed.Load() {
 		return ErrStreamClosed
 	}
-	err := st.srv.enqueue(st.w, st.adm, job{patient: st.patient, stream: st, confirm: true})
+	err := st.srv.enqueue(st.shard, st.adm, Job{Patient: st.patient, Stream: st, Confirm: true})
 	if err == nil {
 		st.confirms.Add(1)
 	}

@@ -1,0 +1,51 @@
+package serve_test
+
+import (
+	"testing"
+
+	"selflearn/internal/serve"
+	"selflearn/internal/serve/servetest"
+)
+
+// TestLocalTransportAdmissionSuite runs the shared admission suite
+// against the local transport's queue machinery — the exact Queue a
+// worker shard fronts, wrapped as a Shard the way Stream.Push reaches
+// it. internal/cluster runs the same suite against its TCP shard
+// connections, so both transports are pinned to one behavioral
+// contract.
+func TestLocalTransportAdmissionSuite(t *testing.T) {
+	servetest.RunAdmissionSuite(t, func(t *testing.T, depth int) servetest.Harness {
+		q := serve.NewQueue(depth, serve.QueueHooks{})
+		return servetest.Harness{
+			Shard: serve.QueueShard(q),
+			Drain: q.TryRecv,
+		}
+	})
+}
+
+// TestQueueHooksObserveShedding pins the hook contract remote
+// transports rely on: shed batches reach the Shed hook (with the job),
+// confirmations squeezed out by a confirm-saturated queue reach
+// ConfirmLost, and per-stream attribution happens independently of the
+// hooks.
+func TestQueueHooksObserveShedding(t *testing.T) {
+	var shed, lost []string
+	q := serve.NewQueue(1, serve.QueueHooks{
+		Shed:        func(j serve.Job) { shed = append(shed, j.Patient) },
+		ConfirmLost: func(j serve.Job) { lost = append(lost, j.Patient) },
+	})
+	sh := serve.QueueShard(q)
+	p := serve.ShedOldest()
+	if err := sh.Enqueue(p, serve.Job{Patient: "a", C0: []float64{0}, C1: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Enqueue(p, serve.Job{Patient: "b", C0: []float64{0}, C1: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(shed) != 1 || shed[0] != "a" {
+		t.Fatalf("Shed hook saw %v, want [a]", shed)
+	}
+	if len(lost) != 0 {
+		t.Fatalf("ConfirmLost hook saw %v, want none", lost)
+	}
+}

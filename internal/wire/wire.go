@@ -1,0 +1,426 @@
+// Package wire is the length-prefixed binary codec the cluster
+// transport speaks between a serving front end (internal/cluster.Router
+// inside cmd/serve -cluster) and shardd worker processes (cmd/shardd).
+//
+// Every frame is a little-endian uint32 body length followed by the
+// body: one kind byte and a kind-specific payload. Payload scalars are
+// little-endian fixed width; strings carry a uint32 length; float
+// slices carry a uint32 count followed by IEEE-754 bits. The choice is
+// deliberately boring — a replayable, inspectable framing with no
+// reflection and no per-field names, because the hot message (a
+// one-second two-channel sample batch) is ~4 KB of floats and the
+// encoder must not shred it into garbage.
+//
+// The protocol is versioned by the Hello exchange: both sides send
+// KindHello carrying Version first and refuse a peer that disagrees,
+// so field-order changes here only require bumping Version.
+//
+// Client → shard: Hello, Push, Confirm, StatsReq, Ping.
+// Shard → client: Hello, Event, Stats, Pong.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"selflearn/internal/serve"
+)
+
+// Version is the protocol revision exchanged in Hello frames. Bump it
+// on any change to frame layout (including serve.Stats gaining fields).
+const Version = 1
+
+// MaxFrame bounds a frame body so a corrupt or hostile length prefix
+// cannot make the decoder allocate gigabytes. 16 MiB fits >500 s of
+// two-channel samples at 1 kHz in one Push — far beyond any real batch.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge is returned by Decoder.Next for a frame whose
+// declared body exceeds MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+
+// Kind discriminates frame bodies.
+type Kind uint8
+
+const (
+	kindInvalid Kind = iota
+	// KindHello opens a connection in both directions: payload is the
+	// protocol Version.
+	KindHello
+	// KindPush carries one patient's sample batch: patient, then the
+	// two synchronized channels.
+	KindPush
+	// KindConfirm carries a patient's seizure confirmation.
+	KindConfirm
+	// KindEvent carries one serve.Event from shard to client.
+	KindEvent
+	// KindStatsReq asks the shard for a stats snapshot; Token correlates
+	// the KindStats reply.
+	KindStatsReq
+	// KindStats is the snapshot reply: Token, then serve.Stats.
+	KindStats
+	// KindPing and KindPong are the health probe; Pong echoes the
+	// ping's Token.
+	KindPing
+	KindPong
+)
+
+// String names the kind for logs and errors.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindPush:
+		return "push"
+	case KindConfirm:
+		return "confirm"
+	case KindEvent:
+		return "event"
+	case KindStatsReq:
+		return "stats-req"
+	case KindStats:
+		return "stats"
+	case KindPing:
+		return "ping"
+	case KindPong:
+		return "pong"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Msg is one decoded frame. Kind selects which fields are meaningful;
+// the rest are zero.
+type Msg struct {
+	Kind    Kind
+	Version uint32      // Hello
+	Patient string      // Push, Confirm
+	C0, C1  []float64   // Push
+	Event   serve.Event // Event
+	Stats   serve.Stats // Stats
+	Token   uint64      // StatsReq, Stats, Ping, Pong
+}
+
+// Encoder writes frames through an internal bufio.Writer. It is not
+// safe for concurrent use; connection owners serialize writers with a
+// mutex. Flush must be called when the caller wants buffered frames on
+// the wire (senders flush when their queue goes idle).
+type Encoder struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewEncoder returns an encoder framing onto w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Flush pushes buffered frames to the underlying writer.
+func (e *Encoder) Flush() error { return e.w.Flush() }
+
+func (e *Encoder) appendU8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *Encoder) appendU32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *Encoder) appendU64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *Encoder) appendI64(v int64)  { e.appendU64(uint64(v)) }
+func (e *Encoder) appendF64(v float64) {
+	e.appendU64(math.Float64bits(v))
+}
+
+func (e *Encoder) appendString(s string) {
+	e.appendU32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *Encoder) appendFloats(xs []float64) {
+	e.appendU32(uint32(len(xs)))
+	for _, x := range xs {
+		e.appendF64(x)
+	}
+}
+
+// begin resets the scratch body and stamps the kind byte.
+func (e *Encoder) begin(k Kind) {
+	e.buf = e.buf[:0]
+	e.appendU8(uint8(k))
+}
+
+// frame writes the pending body as one length-prefixed frame. The
+// scratch buffer is reused across frames, so steady-state encoding
+// allocates nothing once it has grown to the largest batch.
+func (e *Encoder) frame() error {
+	if len(e.buf) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(e.buf)))
+	if _, err := e.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := e.w.Write(e.buf)
+	return err
+}
+
+// Hello writes the version-exchange frame.
+func (e *Encoder) Hello() error {
+	e.begin(KindHello)
+	e.appendU32(Version)
+	return e.frame()
+}
+
+// Push writes one sample batch frame.
+func (e *Encoder) Push(patient string, c0, c1 []float64) error {
+	e.begin(KindPush)
+	e.appendString(patient)
+	e.appendFloats(c0)
+	e.appendFloats(c1)
+	return e.frame()
+}
+
+// Confirm writes one confirmation frame.
+func (e *Encoder) Confirm(patient string) error {
+	e.begin(KindConfirm)
+	e.appendString(patient)
+	return e.frame()
+}
+
+// Event writes one event frame. The error (if any) crosses as its
+// message string.
+func (e *Encoder) Event(ev serve.Event) error {
+	e.begin(KindEvent)
+	e.appendU8(uint8(ev.Kind))
+	e.appendString(ev.Patient)
+	e.appendI64(ev.Time.UnixNano())
+	e.appendU64(ev.Seq)
+	msg := ""
+	if ev.Err != nil {
+		msg = ev.Err.Error()
+	}
+	e.appendString(msg)
+	return e.frame()
+}
+
+// StatsReq writes a stats request carrying a correlation token.
+func (e *Encoder) StatsReq(token uint64) error {
+	e.begin(KindStatsReq)
+	e.appendU64(token)
+	return e.frame()
+}
+
+// Stats writes a stats reply. Fields cross in serve.Stats declaration
+// order; adding a field there requires appending here, in decodeStats,
+// and bumping Version.
+func (e *Encoder) Stats(token uint64, st serve.Stats) error {
+	e.begin(KindStats)
+	e.appendU64(token)
+	e.appendI64(int64(st.Sessions))
+	e.appendI64(int64(st.StreamsOpen))
+	e.appendU64(st.SessionsCreated)
+	e.appendU64(st.SessionsEvicted)
+	e.appendU64(st.Batches)
+	e.appendU64(st.BatchesDropped)
+	e.appendU64(st.BatchesShed)
+	e.appendU64(st.Windows)
+	e.appendF64(st.WindowsPerSec)
+	e.appendU64(st.Alarms)
+	e.appendU64(st.Confirms)
+	e.appendU64(st.ConfirmsRejected)
+	e.appendU64(st.ConfirmsDropped)
+	e.appendU64(st.Retrains)
+	e.appendU64(st.RetrainErrors)
+	e.appendU64(st.StreamErrors)
+	e.appendI64(int64(st.ModelsCached))
+	e.appendU64(st.StoreErrors)
+	e.appendU64(st.EventsDropped)
+	e.appendI64(int64(st.QueueDepth))
+	e.appendI64(int64(st.Uptime))
+	return e.frame()
+}
+
+// Ping writes a health probe; Pong echoes its token back.
+func (e *Encoder) Ping(token uint64) error {
+	e.begin(KindPing)
+	e.appendU64(token)
+	return e.frame()
+}
+
+// Pong writes a health probe reply.
+func (e *Encoder) Pong(token uint64) error {
+	e.begin(KindPong)
+	e.appendU64(token)
+	return e.frame()
+}
+
+// Decoder reads frames from an internal bufio.Reader. Not safe for
+// concurrent use; each connection has exactly one read loop.
+type Decoder struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewDecoder returns a decoder framing off r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next reads and decodes one frame. io.EOF crosses through cleanly on
+// a frame boundary; a connection cut mid-frame is io.ErrUnexpectedEOF.
+func (d *Decoder) Next() (Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		return Msg{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Msg{}, ErrFrameTooLarge
+	}
+	if cap(d.buf) < int(n) {
+		d.buf = make([]byte, n)
+	}
+	body := d.buf[:n]
+	if _, err := io.ReadFull(d.r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Msg{}, err
+	}
+	return parse(body)
+}
+
+// reader is a bounds-checked cursor over one frame body: the first
+// malformed read poisons it, and the caller checks err once at the end.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = errors.New("wire: truncated frame body")
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err != nil || r.off+int(n) > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *reader) floats() []float64 {
+	n := r.u32()
+	if r.err != nil || r.off+8*int(n) > len(r.b) {
+		r.fail()
+		return nil
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+		r.off += 8
+	}
+	return xs
+}
+
+func parse(body []byte) (Msg, error) {
+	r := &reader{b: body}
+	m := Msg{Kind: Kind(r.u8())}
+	switch m.Kind {
+	case KindHello:
+		m.Version = r.u32()
+	case KindPush:
+		m.Patient = r.str()
+		m.C0 = r.floats()
+		m.C1 = r.floats()
+	case KindConfirm:
+		m.Patient = r.str()
+	case KindEvent:
+		m.Event.Kind = serve.EventKind(r.u8())
+		m.Event.Patient = r.str()
+		m.Event.Time = time.Unix(0, r.i64())
+		m.Event.Seq = r.u64()
+		if msg := r.str(); msg != "" {
+			m.Event.Err = errors.New(msg)
+		}
+	case KindStatsReq, KindPing, KindPong:
+		m.Token = r.u64()
+	case KindStats:
+		m.Token = r.u64()
+		m.Stats = decodeStats(r)
+	default:
+		return Msg{}, fmt.Errorf("wire: unknown frame kind %d", uint8(m.Kind))
+	}
+	if r.err != nil {
+		return Msg{}, fmt.Errorf("wire: %s frame: %w", m.Kind, r.err)
+	}
+	if r.off != len(body) {
+		return Msg{}, fmt.Errorf("wire: %s frame has %d trailing bytes", m.Kind, len(body)-r.off)
+	}
+	return m, nil
+}
+
+func decodeStats(r *reader) serve.Stats {
+	var st serve.Stats
+	st.Sessions = int(r.i64())
+	st.StreamsOpen = int(r.i64())
+	st.SessionsCreated = r.u64()
+	st.SessionsEvicted = r.u64()
+	st.Batches = r.u64()
+	st.BatchesDropped = r.u64()
+	st.BatchesShed = r.u64()
+	st.Windows = r.u64()
+	st.WindowsPerSec = r.f64()
+	st.Alarms = r.u64()
+	st.Confirms = r.u64()
+	st.ConfirmsRejected = r.u64()
+	st.ConfirmsDropped = r.u64()
+	st.Retrains = r.u64()
+	st.RetrainErrors = r.u64()
+	st.StreamErrors = r.u64()
+	st.ModelsCached = int(r.i64())
+	st.StoreErrors = r.u64()
+	st.EventsDropped = r.u64()
+	st.QueueDepth = int(r.i64())
+	st.Uptime = time.Duration(r.i64())
+	return st
+}

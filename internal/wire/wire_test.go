@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"selflearn/internal/serve"
+)
+
+// encode runs fn against a fresh encoder and returns the framed bytes.
+func encode(t *testing.T, fn func(*Encoder) error) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	if err := fn(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func decodeOne(t *testing.T, raw []byte) Msg {
+	t.Helper()
+	m, err := NewDecoder(bytes.NewReader(raw)).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	ts := time.Unix(0, 1712345678901234567)
+	stats := serve.Stats{
+		Sessions: 3, StreamsOpen: 4, SessionsCreated: 5, SessionsEvicted: 1,
+		Batches: 100, BatchesDropped: 2, BatchesShed: 7, Windows: 96,
+		WindowsPerSec: 31148.5, Alarms: 12, Confirms: 3, ConfirmsRejected: 1,
+		ConfirmsDropped: 1, Retrains: 3, RetrainErrors: 1, StreamErrors: 0,
+		ModelsCached: 3, StoreErrors: 2, EventsDropped: 9, QueueDepth: 17,
+		Uptime: 90 * time.Second,
+	}
+	steps := []func() error{
+		e.Hello,
+		func() error { return e.Push("ward-3/bed 12", []float64{1.5, -2.25, math.Pi}, []float64{0, 1e-300, 4}) },
+		func() error { return e.Confirm("chb01") },
+		func() error {
+			return e.Event(serve.Event{Kind: serve.EventAlarm, Patient: "chb01", Time: ts, Seq: 42})
+		},
+		func() error {
+			return e.Event(serve.Event{Kind: serve.EventRetrain, Patient: "p", Time: ts, Seq: 43, Err: errors.New("labeling failed")})
+		},
+		func() error { return e.StatsReq(7) },
+		func() error { return e.Stats(7, stats) },
+		func() error { return e.Ping(99) },
+		func() error { return e.Pong(99) },
+	}
+	for i, fn := range steps {
+		if err := fn(); err != nil {
+			t.Fatalf("encode step %d: %v", i, err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewDecoder(&buf)
+	next := func() Msg {
+		t.Helper()
+		m, err := d.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if m := next(); m.Kind != KindHello || m.Version != Version {
+		t.Fatalf("hello = %+v", m)
+	}
+	m := next()
+	if m.Kind != KindPush || m.Patient != "ward-3/bed 12" {
+		t.Fatalf("push = %+v", m)
+	}
+	if len(m.C0) != 3 || m.C0[2] != math.Pi || len(m.C1) != 3 || m.C1[1] != 1e-300 {
+		t.Fatalf("push channels = %v / %v", m.C0, m.C1)
+	}
+	if m := next(); m.Kind != KindConfirm || m.Patient != "chb01" {
+		t.Fatalf("confirm = %+v", m)
+	}
+	m = next()
+	if m.Kind != KindEvent || m.Event.Kind != serve.EventAlarm || m.Event.Patient != "chb01" ||
+		!m.Event.Time.Equal(ts) || m.Event.Seq != 42 || m.Event.Err != nil {
+		t.Fatalf("alarm event = %+v", m.Event)
+	}
+	m = next()
+	if m.Event.Err == nil || m.Event.Err.Error() != "labeling failed" {
+		t.Fatalf("retrain event error = %v", m.Event.Err)
+	}
+	if m := next(); m.Kind != KindStatsReq || m.Token != 7 {
+		t.Fatalf("stats-req = %+v", m)
+	}
+	m = next()
+	if m.Kind != KindStats || m.Token != 7 || m.Stats != stats {
+		t.Fatalf("stats = %+v, want %+v", m.Stats, stats)
+	}
+	if m := next(); m.Kind != KindPing || m.Token != 99 {
+		t.Fatalf("ping = %+v", m)
+	}
+	if m := next(); m.Kind != KindPong || m.Token != 99 {
+		t.Fatalf("pong = %+v", m)
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("after last frame err = %v, want io.EOF", err)
+	}
+}
+
+func TestEmptyBatchRoundTrips(t *testing.T) {
+	m := decodeOne(t, encode(t, func(e *Encoder) error { return e.Push("p", nil, nil) }))
+	if m.Kind != KindPush || len(m.C0) != 0 || len(m.C1) != 0 {
+		t.Fatalf("empty push = %+v", m)
+	}
+}
+
+// TestCutMidFrame: a connection dying inside a frame surfaces as
+// ErrUnexpectedEOF, distinguishable from a clean close on a boundary.
+func TestCutMidFrame(t *testing.T) {
+	raw := encode(t, func(e *Encoder) error { return e.Push("p", []float64{1, 2, 3}, []float64{4, 5, 6}) })
+	for _, cut := range []int{2, 5, len(raw) - 1} {
+		if _, err := NewDecoder(bytes.NewReader(raw[:cut])).Next(); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+// TestCorruptFramesRejected: lying length fields inside the body must
+// produce an error, not a crash or a silent misparse.
+func TestCorruptFramesRejected(t *testing.T) {
+	raw := encode(t, func(e *Encoder) error { return e.Push("patient", []float64{1}, []float64{2}) })
+	// Inflate the patient-string length beyond the body.
+	corrupt := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(corrupt[5:], 1<<30) // body starts at 4, kind byte at 4, str len at 5
+	if _, err := NewDecoder(bytes.NewReader(corrupt)).Next(); err == nil {
+		t.Fatal("decoder accepted a string length beyond the frame")
+	}
+	// Unknown kind byte.
+	unknown := append([]byte(nil), raw...)
+	unknown[4] = 0xEE
+	if _, err := NewDecoder(bytes.NewReader(unknown)).Next(); err == nil {
+		t.Fatal("decoder accepted an unknown frame kind")
+	}
+	// Trailing garbage inside a framed body.
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	if err := e.Ping(1); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	padded := buf.Bytes()
+	padded = append(padded, 0xFF)
+	binary.LittleEndian.PutUint32(padded[0:], uint32(len(padded)-4))
+	if _, err := NewDecoder(bytes.NewReader(padded)).Next(); err == nil {
+		t.Fatal("decoder accepted trailing bytes in a frame body")
+	}
+}
+
+// TestOversizedFrameRejected: a hostile or corrupt length prefix must
+// be refused before any allocation of that size.
+func TestOversizedFrameRejected(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := NewDecoder(bytes.NewReader(hdr[:])).Next(); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestEncoderReusesScratch: steady-state push encoding must not grow
+// garbage per batch — the scratch body buffer is reused once sized.
+func TestEncoderReusesScratch(t *testing.T) {
+	e := NewEncoder(io.Discard)
+	c0, c1 := make([]float64, 256), make([]float64, 256)
+	if err := e.Push("p", c0, c1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := e.Push("p", c0, c1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One alloc of slack is tolerated for bufio internals; the float
+	// payload itself (4 KB/batch) must not be reallocated.
+	if allocs > 1 {
+		t.Fatalf("Push allocates %.1f objects per batch in steady state", allocs)
+	}
+}
