@@ -13,9 +13,16 @@
 // directory to persist detectors across restarts; point two shardds at
 // shared storage only if they can never own the same patient.
 //
+// With -peers (the full fleet address list) the shard replicates every
+// checkpoint it saves to the next -replicas shards in each patient's
+// rendezvous order — the same order the front end routes by — so the
+// shard a patient fails over to already holds their detector and the
+// patient resumes warm at the same model version.
+//
 // Configuration must agree with the front end where it matters: -rate
-// must match the client's replay rate, and the wire protocol version is
-// checked in the connection handshake.
+// must match the client's replay rate, the wire protocol version is
+// checked in the connection handshake, and the -peers strings must be
+// byte-identical to the front end's -cluster list.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +52,10 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "queue-space wait for -admission block (0 = wait forever: socket backpressure)")
 	storeDir := flag.String("store", "", "model checkpoint directory (persists detectors across restarts); empty = in-memory only")
 	eventBuffer := flag.Int("events", 4096, "event hub buffer before a lagging consumer drops events")
+	peers := flag.String("peers", "", "comma-separated fleet addresses (every shardd, including this one) enabling checkpoint replication")
+	advertise := flag.String("advertise", "", "this shard's address as it appears in -peers and the front end's -cluster list (default -listen)")
+	replicas := flag.Int("replicas", 1, "next-in-line shards holding a copy of each checkpoint (with -peers)")
+	writeDeadline := flag.Duration("write-deadline", 10*time.Second, "socket write deadline for the shard protocol")
 	flag.Parse()
 
 	opts := []serve.Option{serve.WithEventBuffer(*eventBuffer)}
@@ -76,13 +88,34 @@ func main() {
 		log.Fatal(err)
 	}
 
+	copts := cluster.Options{WriteDeadline: *writeDeadline}
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = *listen
+		}
+		repl := &cluster.ReplicationConfig{
+			Self:     self,
+			Fleet:    strings.Split(*peers, ","),
+			Replicas: *replicas,
+		}
+		if err := repl.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		copts.Replication = repl
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ss := cluster.Serve(srv, ln)
-	log.Printf("shardd: serving on %s (workers=%d learners=%d admission=%s rate=%gHz store=%q)",
-		ss.Addr(), *workers, *learners, *admission, *rate, *storeDir)
+	ss := cluster.Serve(srv, ln, copts)
+	replication := "off"
+	if copts.Replication != nil {
+		replication = *peers
+	}
+	log.Printf("shardd: serving on %s (workers=%d learners=%d admission=%s rate=%gHz store=%q replication=%s)",
+		ss.Addr(), *workers, *learners, *admission, *rate, *storeDir, replication)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

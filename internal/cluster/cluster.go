@@ -64,8 +64,17 @@ type Options struct {
 	// consumer lagging this far behind loses events, counted in
 	// Stats.EventsDropped.
 	EventBuffer int
-	// StatsTimeout bounds one backend's stats reply (default 2 s).
+	// StatsTimeout bounds one backend's stats reply, and one model
+	// request during a failover checkpoint transfer (default 2 s).
 	StatsTimeout time.Duration
+	// WriteDeadline bounds one socket write on both sides of the
+	// protocol — every router frame batch, every shard reply and event
+	// flush, and the server side of the handshake — so a peer that
+	// stops reading cannot wedge a writer forever (default 10 s).
+	WriteDeadline time.Duration
+	// Replication configures shard-side checkpoint replication; nil
+	// disables it. Read by ShardServer only — routers ignore it.
+	Replication *ReplicationConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +102,9 @@ func (o Options) withDefaults() Options {
 	if o.StatsTimeout <= 0 {
 		o.StatsTimeout = 2 * time.Second
 	}
+	if o.WriteDeadline <= 0 {
+		o.WriteDeadline = 10 * time.Second
+	}
 	return o
 }
 
@@ -113,6 +125,14 @@ type Router struct {
 	events        chan serve.Event
 	eventSeq      atomic.Uint64
 	eventsDropped atomic.Uint64
+
+	// modelVersions is the router's view of each patient's latest model
+	// version, fed by ModelAnnounce frames and EventModelUpdated events
+	// from every connected shard. It is what failover compares against:
+	// a re-resolved stream resumes only after its new shard serves at
+	// least this version (replica-first, ModelGet fallback).
+	modelMu       sync.Mutex
+	modelVersions map[string]uint64
 
 	mu     sync.RWMutex // guards closed against in-flight Open/Push
 	closed bool
@@ -147,7 +167,7 @@ func Dial(addrs []string, opts Options) (*Router, error) {
 		}
 		seen[a] = true
 	}
-	r := &Router{opts: opts.withDefaults(), start: time.Now()}
+	r := &Router{opts: opts.withDefaults(), start: time.Now(), modelVersions: make(map[string]uint64)}
 	r.events = make(chan serve.Event, r.opts.EventBuffer)
 	r.shards = make([]*shardConn, len(addrs))
 	for i, addr := range addrs {
@@ -208,6 +228,18 @@ func rendezvousScore(addr, patient string) uint64 {
 	return x
 }
 
+// rendezvousLess is the one ordering rule both rankings share: higher
+// score wins, ties (astronomically rare with 64-bit scores, but the
+// replica placement and the routing MUST agree) break toward the
+// lexically smaller address. replicator.target sorts the whole fleet
+// with it; pick takes its argmax over the healthy subset.
+func rendezvousLess(addrA string, scoreA uint64, addrB string, scoreB uint64) bool {
+	if scoreA != scoreB {
+		return scoreA > scoreB
+	}
+	return addrA < addrB
+}
+
 // pick resolves a patient to the healthy shard winning the rendezvous.
 func (r *Router) pick(patient string) (*shardConn, error) {
 	var best *shardConn
@@ -217,7 +249,7 @@ func (r *Router) pick(patient string) (*shardConn, error) {
 			continue
 		}
 		score := rendezvousScore(sc.addr, patient)
-		if best == nil || score > bestScore {
+		if best == nil || rendezvousLess(sc.addr, score, best.addr, bestScore) {
 			best, bestScore = sc, score
 		}
 	}
@@ -258,6 +290,75 @@ func (r *Router) emit(ev serve.Event) {
 	default:
 		r.eventsDropped.Add(1)
 	}
+}
+
+// noteModelVersion max-merges one shard's announced model version into
+// the router's per-patient table.
+func (r *Router) noteModelVersion(patient string, version uint64) {
+	if patient == "" || version == 0 {
+		return
+	}
+	r.modelMu.Lock()
+	if version > r.modelVersions[patient] {
+		r.modelVersions[patient] = version
+	}
+	r.modelMu.Unlock()
+}
+
+// ModelVersions snapshots the router's per-patient model version table:
+// the latest version any connected shard has announced serving. A
+// patient absent from the map has never had a model announced this
+// session.
+func (r *Router) ModelVersions() map[string]uint64 {
+	r.modelMu.Lock()
+	defer r.modelMu.Unlock()
+	out := make(map[string]uint64, len(r.modelVersions))
+	for p, v := range r.modelVersions {
+		out[p] = v
+	}
+	return out
+}
+
+// warmTransfer moves a patient's latest checkpoint onto their new shard
+// before the first post-failover batch, so the patient resumes at the
+// same model version instead of cold. Replica-first: when shard-side
+// replication already placed the checkpoint on the target (the normal
+// case — the failover target is exactly the next-in-line shard replicas
+// go to), the version probe confirms it and nothing is transferred.
+// Otherwise the healthy fleet is swept for the freshest copy (ModelGet)
+// and it is pushed to the target (ModelPut). Best-effort: a transfer
+// that cannot complete leaves the patient serving at whatever the
+// target has — exactly today's cold-failover behavior, never worse.
+func (r *Router) warmTransfer(patient string, target *shardConn) {
+	r.modelMu.Lock()
+	want := r.modelVersions[patient]
+	r.modelMu.Unlock()
+	if want == 0 {
+		return // never saw a model for this patient; nothing to move
+	}
+	timeout := r.opts.StatsTimeout
+	have, _, err := target.modelGet(patient, timeout)
+	if err == nil && have >= want {
+		return // replica already in place at (at least) the wanted version
+	}
+	if err != nil {
+		have = 0
+	}
+	bestV, bestData := have, []byte(nil)
+	for _, sc := range r.shards {
+		if sc == target || !sc.healthy.Load() {
+			continue
+		}
+		v, data, err := sc.modelGet(patient, timeout)
+		if err != nil || v <= bestV || len(data) == 0 {
+			continue
+		}
+		bestV, bestData = v, data
+	}
+	if bestData == nil {
+		return // no surviving shard holds anything fresher
+	}
+	target.modelPut(patient, bestV, bestData)
 }
 
 // lostJob accounts for an accepted job discarded in transit — cleared
@@ -413,7 +514,15 @@ func (st *Stream) NoteWindows(int) {}
 func (st *Stream) NoteAlarms(int) {}
 
 // resolve returns the stream's shard, re-running the rendezvous when
-// the fleet's health epoch moved or the cached shard went down.
+// the fleet's health epoch moved or the cached shard went down. A
+// resolution that moves the stream to a different shard — failover, or
+// routing home after recovery — first transfers the patient's latest
+// checkpoint to the new shard (warmTransfer), so the batches that
+// follow are classified at the same model version as before the move.
+// The transfer completes (its frames are flushed on the new shard's
+// socket, and the shard's serial read loop installs the model) before
+// this stream's next Push can reach that socket, because both are
+// ordered behind resolveMu here.
 func (st *Stream) resolve() (*shardConn, error) {
 	ep := st.r.epoch.Load()
 	st.resolveMu.Lock()
@@ -424,6 +533,9 @@ func (st *Stream) resolve() (*shardConn, error) {
 	sc, err := st.r.pick(st.patient)
 	if err != nil {
 		return nil, err
+	}
+	if st.shard != nil && sc != st.shard {
+		st.r.warmTransfer(st.patient, sc)
 	}
 	st.shard, st.epoch = sc, ep
 	return sc, nil

@@ -34,6 +34,10 @@ type testShard struct {
 }
 
 func startShard(t *testing.T, addr string) *testShard {
+	return startShardOpts(t, addr, Options{})
+}
+
+func startShardOpts(t *testing.T, addr string, opts Options) *testShard {
 	t.Helper()
 	srv, err := serve.New(testServerConfig(), serve.WithEventBuffer(4096))
 	if err != nil {
@@ -44,7 +48,7 @@ func startShard(t *testing.T, addr string) *testShard {
 		srv.Close()
 		t.Fatal(err)
 	}
-	return &testShard{srv: srv, ss: Serve(srv, ln)}
+	return &testShard{srv: srv, ss: Serve(srv, ln, opts)}
 }
 
 func (ts *testShard) stop() {
@@ -81,12 +85,11 @@ type pusher interface {
 	Confirm() error
 }
 
-// push streams rec through h in one-second batches, retrying transient
-// refusals (backpressure locally; backpressure or shard outage in
-// cluster mode).
-func push(t testing.TB, h pusher, rec *signal.Recording) {
+// pushSamples streams raw channels through h in one-second batches,
+// retrying transient refusals (backpressure locally; backpressure or
+// shard outage in cluster mode).
+func pushSamples(t testing.TB, h pusher, c0, c1 []float64) {
 	t.Helper()
-	c0, c1 := rec.Data[0], rec.Data[1]
 	for off := 0; off < len(c0); off += testRate {
 		end := min(off+testRate, len(c0))
 		for {
@@ -102,6 +105,12 @@ func push(t testing.TB, h pusher, rec *signal.Recording) {
 			}
 		}
 	}
+}
+
+// push streams rec through h in one-second batches.
+func push(t testing.TB, h pusher, rec *signal.Recording) {
+	t.Helper()
+	pushSamples(t, h, rec.Data[0], rec.Data[1])
 }
 
 func confirm(t testing.TB, h pusher) {
@@ -396,6 +405,273 @@ func TestFailoverReroutesAndRecovers(t *testing.T) {
 	}
 	push(t, h, rec)
 	awaitShardWindows(shardB2, 1, "post-recovery traffic to B")
+}
+
+// replicatedPair stands up a two-shard fleet with checkpoint
+// replication enabled on both shards and a fast-failover router over
+// them, and picks a patient rendezvous-homed on the second shard.
+func replicatedPair(t *testing.T) (shardA, shardB *testShard, addrB string, r *Router, patient string) {
+	t.Helper()
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrA, addrB := lnA.Addr().String(), lnB.Addr().String()
+	fleet := []string{addrA, addrB}
+	shardOpts := func(self string) Options {
+		return Options{Replication: &ReplicationConfig{Self: self, Fleet: fleet, Replicas: 1}}
+	}
+	newShard := func(ln net.Listener, self string) *testShard {
+		srv, err := serve.New(testServerConfig(), serve.WithEventBuffer(4096))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &testShard{srv: srv, ss: Serve(srv, ln, shardOpts(self))}
+	}
+	shardA = newShard(lnA, addrA)
+	shardB = newShard(lnB, addrB)
+
+	r, err = Dial(fleet, Options{
+		PingInterval:     25 * time.Millisecond,
+		PingTimeout:      150 * time.Millisecond,
+		ReconnectBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	connB := r.shards[1]
+	for i := 0; i < 1000 && patient == ""; i++ {
+		p := fmt.Sprintf("patient-%03d", i)
+		if sc, err := r.pick(p); err == nil && sc == connB {
+			patient = p
+		}
+	}
+	if patient == "" {
+		t.Fatal("no patient rendezvous-routed to shard B")
+	}
+	return shardA, shardB, addrB, r, patient
+}
+
+// awaitModelVersion polls one shard's server until it serves the
+// patient at least at version want.
+func awaitModelVersion(t testing.TB, srv *serve.Server, patient string, want uint64, what string) uint64 {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, v := srv.ModelVersioned(patient); v >= want {
+			return v
+		}
+		if time.Now().After(deadline) {
+			_, v := srv.ModelVersioned(patient)
+			t.Fatalf("%s: model version = %d, want ≥ %d", what, v, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFailoverWarmResume is the PR's acceptance scenario: with two
+// shardds and checkpoint replication on, killing the patient's shard
+// mid-replay must hand the surviving shard a patient who resumes WARM —
+// the post-failover alarms are bit-identical to an uninterrupted
+// single-process run that starts from the same checkpoint, at an
+// equal-or-newer model version. Without replication this is exactly the
+// cold-start the self-learning methodology exists to avoid: the
+// survivor would classify everything negative until enough seizures
+// re-trigger retraining.
+func TestFailoverWarmResume(t *testing.T) {
+	shardA, shardB, _, r, patient := replicatedPair(t)
+	defer shardA.stop()
+	defer shardB.stop()
+	defer r.Close()
+
+	h, err := r.Open(patient)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: train the patient's detector on their home shard (B).
+	push(t, h, testRecording(t, 21, 150, 80, 22))
+	confirm(t, h)
+	deadline := time.Now().Add(60 * time.Second)
+	for shardB.srv.Snapshot().Retrains < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("retrain never completed: %+v", shardB.srv.Snapshot())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Replication must place the checkpoint on the failover target (A)
+	// before the failure — that is the whole point.
+	versionA := awaitModelVersion(t, shardA.srv, patient, 1, "replication to shard A")
+	awaitRouterVersion := func(want uint64) {
+		deadline := time.Now().Add(30 * time.Second)
+		for r.ModelVersions()[patient] < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("router never learned model version %d: %v", want, r.ModelVersions())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	awaitRouterVersion(versionA)
+	if shardA.srv.Snapshot().Retrains != 0 {
+		t.Fatalf("shard A retrained; replica provenance would be ambiguous: %+v", shardA.srv.Snapshot())
+	}
+
+	// The reference model is shard A's replica itself (it crossed the
+	// wire as JSON), so the uninterrupted reference run classifies with
+	// exactly the representation the failed-over patient will get.
+	refModel, refVersion := shardA.srv.ModelVersioned(patient)
+	if refModel == nil {
+		t.Fatal("no replica on shard A")
+	}
+
+	// Phase 2: replay a fresh recording; kill B mid-replay, before the
+	// seizure. The tail is served by A from a fresh session — which must
+	// match an uninterrupted run over the same tail from the same
+	// checkpoint, batch for batch.
+	rec := testRecording(t, 22, 150, 100, 22)
+	const killAt = 60 // seconds into the replay
+	c0, c1 := rec.Data[0], rec.Data[1]
+	pushSamples(t, h, c0[:killAt*testRate], c1[:killAt*testRate])
+	shardB.stop()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if sc, err := r.pick(patient); err == nil && sc != r.shards[1] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("patient never rerouted off the dead shard")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	pushSamples(t, h, c0[killAt*testRate:], c1[killAt*testRate:])
+
+	// The tail spans 150−60 = 90 s: a fresh session completes its first
+	// 4 s window after 4 s, then one per hop — 87 windows.
+	wantWindows := uint64(150 - killAt - 4 + 1)
+	deadline = time.Now().Add(60 * time.Second)
+	for shardA.srv.Snapshot().Windows < wantWindows {
+		if time.Now().After(deadline) {
+			t.Fatalf("failover tail never drained on A: %+v", shardA.srv.Snapshot())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Uninterrupted reference: a fresh single-process server seeded with
+	// the same checkpoint serves the identical tail.
+	refSrv, err := serve.New(testServerConfig(), serve.WithEventBuffer(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refSrv.Close()
+	if !refSrv.InstallModel(patient, refModel, refVersion) {
+		t.Fatal("reference server refused the checkpoint")
+	}
+	refHandle, err := refSrv.Open(patient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushSamples(t, refHandle, c0[killAt*testRate:], c1[killAt*testRate:])
+	refSrv.Close()
+	refStats := refSrv.Snapshot()
+
+	aStats := shardA.srv.Snapshot()
+	if refStats.Windows != wantWindows || aStats.Windows != wantWindows {
+		t.Fatalf("windows: failover %d, reference %d, want %d", aStats.Windows, refStats.Windows, wantWindows)
+	}
+	if refStats.Alarms == 0 {
+		t.Fatal("reference run raised no alarms; warm-resume equivalence would be vacuous")
+	}
+	if aStats.Alarms != refStats.Alarms {
+		t.Fatalf("post-failover alarms = %d, uninterrupted reference = %d — failover was not warm",
+			aStats.Alarms, refStats.Alarms)
+	}
+	// Warmth must come from replication, not from a retrain on A, and
+	// the patient must resume at an equal-or-newer model version.
+	if aStats.Retrains != 0 || aStats.Confirms != 0 {
+		t.Fatalf("shard A trained (%d retrains, %d confirms); warmth is not replication's", aStats.Retrains, aStats.Confirms)
+	}
+	if _, v := shardA.srv.ModelVersioned(patient); v < refVersion {
+		t.Fatalf("post-failover model version %d < pre-failover %d", v, refVersion)
+	}
+}
+
+// TestRecoveryTransfersModelHome pins the router-mediated ModelGet
+// fallback of the warm-transfer path: a shard that comes back empty
+// (fresh process, no store) is handed the freshest surviving checkpoint
+// when a patient routes home to it — pulled from whichever healthy
+// shard still holds it, since the reborn home shard's replica died with
+// the old process.
+func TestRecoveryTransfersModelHome(t *testing.T) {
+	shardA, shardB, addrB, r, patient := replicatedPair(t)
+	defer shardA.stop()
+	defer r.Close()
+
+	h, err := r.Open(patient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train v1 on the home shard (B); replication copies it to A.
+	push(t, h, testRecording(t, 31, 150, 80, 22))
+	confirm(t, h)
+	awaitModelVersion(t, shardB.srv, patient, 1, "home training")
+	awaitModelVersion(t, shardA.srv, patient, 1, "replication to A")
+
+	// Kill B; the patient fails over to A and retrains there, advancing
+	// the model to v2 — a version the reborn B has never seen.
+	shardB.stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if sc, err := r.pick(patient); err == nil && sc == r.shards[0] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("patient never rerouted off the dead shard")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	push(t, h, testRecording(t, 32, 150, 80, 22))
+	confirm(t, h)
+	v2 := awaitModelVersion(t, shardA.srv, patient, 2, "failover retrain on A")
+
+	// Resurrect B empty on its old address. The patient routes home, and
+	// the router must carry the freshest checkpoint (A's v2) with them:
+	// B's own replica is gone, so this exercises the ModelGet sweep, not
+	// the replica-first path.
+	lnB, err := net.Listen("tcp", addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB2, err := serve.New(testServerConfig(), serve.WithEventBuffer(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardB2 := &testShard{srv: srvB2, ss: Serve(srvB2, lnB, Options{})}
+	defer shardB2.stop()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if sc, err := r.pick(patient); err == nil && sc == r.shards[1] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("patient never routed home after shard recovery")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rec := testRecording(t, 33, 30, -1, 0)
+	push(t, h, rec)
+	if v := awaitModelVersion(t, shardB2.srv, patient, v2, "transfer home"); v < v2 {
+		t.Fatalf("reborn shard serves version %d, want ≥ %d", v, v2)
+	}
+	if st := shardB2.srv.Snapshot(); st.Retrains != 0 {
+		t.Fatalf("reborn shard retrained (%d); the version must have come over the wire", st.Retrains)
+	}
 }
 
 // TestRendezvousStability pins the routing properties failover depends

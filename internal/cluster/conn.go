@@ -33,8 +33,9 @@ type shardConn struct {
 
 	lastPong atomic.Int64 // UnixNano of the latest pong
 
-	pendMu  sync.Mutex
-	pending map[uint64]chan serve.Stats
+	pendMu        sync.Mutex
+	pending       map[uint64]chan serve.Stats
+	pendingModels map[uint64]chan modelReply
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -43,11 +44,12 @@ type shardConn struct {
 
 func newShardConn(r *Router, addr string) *shardConn {
 	sc := &shardConn{
-		r:       r,
-		addr:    addr,
-		pending: make(map[uint64]chan serve.Stats),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		r:             r,
+		addr:          addr,
+		pending:       make(map[uint64]chan serve.Stats),
+		pendingModels: make(map[uint64]chan modelReply),
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
 	}
 	sc.queue = serve.NewQueue(r.opts.QueueDepth, serve.QueueHooks{
 		Shed: func(j serve.Job) {
@@ -213,13 +215,15 @@ func handshake(conn net.Conn, enc *wire.Encoder, dec *wire.Decoder, timeout time
 }
 
 // send runs one encode+flush under the write lock; ErrShardDown while
-// disconnected.
+// disconnected. The configured write deadline bounds the flush so a
+// peer that stopped reading cannot wedge the caller.
 func (sc *shardConn) send(f func(*wire.Encoder) error) error {
 	sc.writeMu.Lock()
 	defer sc.writeMu.Unlock()
 	if sc.enc == nil {
 		return ErrShardDown
 	}
+	sc.conn.SetWriteDeadline(time.Now().Add(sc.r.opts.WriteDeadline))
 	if err := f(sc.enc); err != nil {
 		return err
 	}
@@ -240,10 +244,13 @@ func (sc *shardConn) writeLoop(conn net.Conn, stop, done chan struct{}) {
 			var err error
 			if sc.enc == nil {
 				err = ErrShardDown
-			} else if j.Confirm {
-				err = sc.enc.Confirm(j.Patient)
 			} else {
-				err = sc.enc.Push(j.Patient, j.C0, j.C1)
+				sc.conn.SetWriteDeadline(time.Now().Add(sc.r.opts.WriteDeadline))
+				if j.Confirm {
+					err = sc.enc.Confirm(j.Patient)
+				} else {
+					err = sc.enc.Push(j.Patient, j.C0, j.C1)
+				}
 			}
 			if err == nil && sc.queue.Depth() == 0 {
 				err = sc.enc.Flush()
@@ -272,6 +279,9 @@ func (sc *shardConn) readLoop(dec *wire.Decoder, done chan struct{}) {
 		}
 		switch m.Kind {
 		case wire.KindEvent:
+			if m.Event.Kind == serve.EventModelUpdated {
+				sc.r.noteModelVersion(m.Event.Patient, m.Event.Version)
+			}
 			sc.r.emit(m.Event)
 		case wire.KindPong:
 			sc.lastPong.Store(time.Now().UnixNano())
@@ -283,8 +293,64 @@ func (sc *shardConn) readLoop(dec *wire.Decoder, done chan struct{}) {
 			if ch != nil {
 				ch <- m.Stats
 			}
+		case wire.KindModelAnnounce:
+			sc.r.noteModelVersion(m.Patient, m.ModelVersion)
+		case wire.KindModelPut:
+			// A ModelGet reply; unsolicited puts toward a client have no
+			// waiter and are dropped here.
+			sc.pendMu.Lock()
+			ch := sc.pendingModels[m.Token]
+			delete(sc.pendingModels, m.Token)
+			sc.pendMu.Unlock()
+			if ch != nil {
+				ch <- modelReply{version: m.ModelVersion, data: m.Model}
+			}
 		}
 	}
+}
+
+// modelReply is one shard's answer to a model request: version 0 with
+// no data means the shard holds no model for the patient.
+type modelReply struct {
+	version uint64
+	data    []byte
+}
+
+// modelGet requests the backend's current checkpoint for a patient and
+// waits for the correlated ModelPut reply.
+func (sc *shardConn) modelGet(patient string, timeout time.Duration) (uint64, []byte, error) {
+	token := sc.r.statsToken.Add(1)
+	ch := make(chan modelReply, 1)
+	sc.pendMu.Lock()
+	sc.pendingModels[token] = ch
+	sc.pendMu.Unlock()
+	if err := sc.send(func(e *wire.Encoder) error { return e.ModelGet(token, patient) }); err != nil {
+		sc.dropPendingModel(token)
+		return 0, nil, err
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case rep := <-ch:
+		return rep.version, rep.data, nil
+	case <-t.C:
+		sc.dropPendingModel(token)
+		return 0, nil, fmt.Errorf("cluster: model reply timeout from %s", sc.addr)
+	}
+}
+
+// modelPut pushes one versioned checkpoint to the backend — the
+// router-mediated leg of a failover transfer. The put is flushed on the
+// socket before it returns, so frames sent afterwards are processed
+// after the shard installed the model.
+func (sc *shardConn) modelPut(patient string, version uint64, checkpoint []byte) error {
+	return sc.send(func(e *wire.Encoder) error { return e.ModelPut(0, patient, version, checkpoint) })
+}
+
+func (sc *shardConn) dropPendingModel(token uint64) {
+	sc.pendMu.Lock()
+	delete(sc.pendingModels, token)
+	sc.pendMu.Unlock()
 }
 
 // stats requests one snapshot from the backend and waits for the
@@ -316,10 +382,11 @@ func (sc *shardConn) dropPending(token uint64) {
 	sc.pendMu.Unlock()
 }
 
-// failPending abandons stats requests in flight on a dying connection;
-// their waiters time out.
+// failPending abandons stats and model requests in flight on a dying
+// connection; their waiters time out.
 func (sc *shardConn) failPending() {
 	sc.pendMu.Lock()
 	clear(sc.pending)
+	clear(sc.pendingModels)
 	sc.pendMu.Unlock()
 }

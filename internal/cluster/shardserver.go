@@ -1,11 +1,13 @@
 package cluster
 
 import (
+	"bytes"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"selflearn/internal/ml/forest"
 	"selflearn/internal/serve"
 	"selflearn/internal/wire"
 )
@@ -17,13 +19,24 @@ import (
 // consumer of its server's Events channel, fanning events out to every
 // connected client without ever blocking the serving path.
 //
+// The ShardServer is also the shard's end of the model-distribution
+// path: it answers ModelGet with the patient's current versioned
+// checkpoint, installs checkpoints arriving via ModelPut (replication
+// pushes from peers, failover transfers from routers), announces every
+// model install to connected clients (ModelAnnounce), and — when
+// Options.Replication is set — pushes each checkpoint save to the
+// next-in-line shard under the patient's rendezvous order, so the shard
+// a patient would fail over to already holds their detector.
+//
 // Lifetime: Serve starts the accept and fanout loops and returns.
 // Close stops accepting and tears down client connections; the caller
 // closes the serve.Server afterwards (that close also ends the fanout
 // loop by closing the Events channel).
 type ShardServer struct {
-	srv *serve.Server
-	ln  net.Listener
+	srv  *serve.Server
+	ln   net.Listener
+	opts Options
+	repl *replicator // nil without Options.Replication
 
 	mu     sync.Mutex
 	conns  map[*clientConn]struct{}
@@ -36,9 +49,13 @@ type ShardServer struct {
 }
 
 // Serve starts a shard server for srv on ln and returns it. srv must
-// not have another Events consumer.
-func Serve(srv *serve.Server, ln net.Listener) *ShardServer {
-	s := &ShardServer{srv: srv, ln: ln, conns: make(map[*clientConn]struct{})}
+// not have another Events consumer. Zero-value opts select the same
+// defaults as the Router's side of the protocol.
+func Serve(srv *serve.Server, ln net.Listener, opts Options) *ShardServer {
+	s := &ShardServer{srv: srv, ln: ln, opts: opts.withDefaults(), conns: make(map[*clientConn]struct{})}
+	if s.opts.Replication != nil {
+		s.repl = newReplicator(s, *s.opts.Replication)
+	}
 	go s.fanout()
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -48,8 +65,9 @@ func Serve(srv *serve.Server, ln net.Listener) *ShardServer {
 // Addr returns the listener address (useful with ":0" listeners).
 func (s *ShardServer) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops accepting, disconnects every client, and waits for the
-// connection handlers. The underlying serve.Server keeps running.
+// Close stops accepting, disconnects every client, stops the
+// replicator, and waits for the connection handlers. The underlying
+// serve.Server keeps running.
 func (s *ShardServer) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -65,6 +83,9 @@ func (s *ShardServer) Close() {
 	s.ln.Close()
 	for _, c := range conns {
 		c.conn.Close()
+	}
+	if s.repl != nil {
+		s.repl.close()
 	}
 	s.wg.Wait()
 }
@@ -91,9 +112,16 @@ func (s *ShardServer) acceptLoop() {
 }
 
 // fanout is the single Events consumer, broadcasting to every client.
-// It exits when the serve.Server closes its Events channel.
+// Model updates — learner publishes and replica installs alike — also
+// feed the replicator here: versions are monotonic and the replicator
+// re-reads the latest checkpoint per push, so replaying or coalescing
+// updates is harmless. It exits when the serve.Server closes its
+// Events channel.
 func (s *ShardServer) fanout() {
 	for ev := range s.srv.Events() {
+		if ev.Kind == serve.EventModelUpdated && s.repl != nil {
+			s.repl.schedule(ev.Patient)
+		}
 		s.mu.Lock()
 		for c := range s.conns {
 			select {
@@ -112,10 +140,12 @@ func (s *ShardServer) dropConn(c *clientConn) {
 	s.mu.Unlock()
 }
 
-// clientConn is one Router connection into this shard: a read loop
-// applying Push/Confirm to per-patient serve.Streams, and an event
-// writer draining the fanout buffer. Stats replies and pongs are
-// written from the read loop; the write mutex keeps frames whole.
+// clientConn is one peer connection into this shard — a Router, or a
+// peer shard's replicator: a read loop applying Push/Confirm to
+// per-patient serve.Streams and ModelPut to the model cache, and an
+// event writer draining the fanout buffer. Stats and model replies and
+// pongs are written from the read loop; the write mutex keeps frames
+// whole.
 type clientConn struct {
 	s    *ShardServer
 	conn net.Conn
@@ -164,8 +194,9 @@ func (c *clientConn) handle() {
 
 	enc := wire.NewEncoder(c.conn)
 	dec := wire.NewDecoder(c.conn)
-	// Handshake mirrors the client: Hello both ways, versions must match.
-	c.conn.SetDeadline(time.Now().Add(10 * time.Second))
+	// Handshake mirrors the client: Hello both ways, versions must
+	// match, bounded by the shared write deadline.
+	c.conn.SetDeadline(time.Now().Add(c.s.opts.WriteDeadline))
 	m, err := dec.Next()
 	if err != nil || m.Kind != wire.KindHello || m.Version != wire.Version {
 		return
@@ -216,8 +247,44 @@ func (c *clientConn) handle() {
 			if err := c.send(func(e *wire.Encoder) error { return e.Stats(m.Token, st) }); err != nil {
 				return
 			}
+		case wire.KindModelGet:
+			v, data := c.s.modelCheckpoint(m.Patient)
+			if err := c.send(func(e *wire.Encoder) error { return e.ModelPut(m.Token, m.Patient, v, data) }); err != nil {
+				return
+			}
+		case wire.KindModelPut:
+			// A replica pushed by a peer shard, or a failover transfer
+			// from a router. Installing through the serve.Server keeps
+			// the monotonic version guard and re-announces the install
+			// (EventModelUpdated → fanout → ModelAnnounce), so routers
+			// learn this shard now serves the patient at that version.
+			// A payload that fails to parse is dropped — one bad frame
+			// must cost the replica, not the connection's live streams.
+			if m.ModelVersion > 0 && len(m.Model) > 0 {
+				if f, err := forest.LoadFlat(bytes.NewReader(m.Model)); err == nil {
+					c.s.srv.InstallModel(m.Patient, f, m.ModelVersion)
+				}
+			}
 		}
 	}
+}
+
+// modelCheckpoint marshals the patient's current model for the wire;
+// (0, nil) when the patient has no model — or has one too large for a
+// frame. The size check happens here, not at encode time, because an
+// encoder refusal inside a reply would tear down a healthy connection
+// and every live stream on it; an unreplicable model must degrade to
+// "no model" (the patient fails over cold, as before replication).
+func (s *ShardServer) modelCheckpoint(patient string) (uint64, []byte) {
+	f, v := s.srv.ModelVersioned(patient)
+	if f == nil || v == 0 {
+		return 0, nil
+	}
+	data, err := f.MarshalJSON()
+	if err != nil || len(data) > wire.MaxFrame-1024 {
+		return 0, nil
+	}
+	return v, data
 }
 
 // apply runs one serving call, retrying on backpressure: stalling this
@@ -237,10 +304,12 @@ func (c *clientConn) apply(fn func() error) bool {
 	}
 }
 
-// send runs one encode+flush under the write lock.
+// send runs one encode+flush under the write lock, bounded by the
+// configured write deadline.
 func (c *clientConn) send(f func(*wire.Encoder) error) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	c.conn.SetWriteDeadline(time.Now().Add(c.s.opts.WriteDeadline))
 	if err := f(c.enc); err != nil {
 		return err
 	}
@@ -248,12 +317,18 @@ func (c *clientConn) send(f func(*wire.Encoder) error) error {
 }
 
 // eventWriter drains this connection's fanout buffer onto the wire,
-// flushing when the buffer goes idle.
+// flushing when the buffer goes idle. A model update is followed by a
+// payload-free ModelAnnounce so the client's per-patient version table
+// stays current even if it ignores the event stream.
 func (c *clientConn) eventWriter(done chan struct{}) {
 	defer close(done)
 	for ev := range c.events {
 		c.writeMu.Lock()
+		c.conn.SetWriteDeadline(time.Now().Add(c.s.opts.WriteDeadline))
 		err := c.enc.Event(ev)
+		if err == nil && ev.Kind == serve.EventModelUpdated {
+			err = c.enc.ModelAnnounce(ev.Patient, ev.Version)
+		}
 		if err == nil && len(c.events) == 0 {
 			err = c.enc.Flush()
 		}

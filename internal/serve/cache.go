@@ -74,6 +74,13 @@ func (c *lru[V]) evictOldest() {
 	}
 }
 
+// modelEntry is one cached model: the detector plus its monotonic
+// per-patient version.
+type modelEntry struct {
+	f       *forest.FlatForest
+	version uint64
+}
+
 // modelCache is the shared per-patient model layer: a bounded LRU of
 // hot forests in front of the pluggable ModelStore. Trained forests
 // outlive their streaming session — and, with a FileStore, the process —
@@ -81,37 +88,70 @@ func (c *lru[V]) evictOldest() {
 // restarted) resumes detection warm instead of re-entering the
 // untrained state. The learner writes through: every published model
 // lands in both the LRU and the store.
+//
+// The cache is also the version authority: Publish allocates the next
+// monotonic per-patient version (continuing a persisted sequence after
+// restarts and LRU evictions via the store), and Install applies
+// externally-produced versions — replicas pushed by peer shards — only
+// when strictly newer than everything seen. The versions table never
+// evicts; it holds one uint64 per patient ever trained this process,
+// which is what makes monotonicity cheap off the store path.
 type modelCache struct {
-	mu    sync.Mutex
-	t     *lru[*forest.FlatForest]
-	store ModelStore
+	mu       sync.Mutex
+	t        *lru[modelEntry]
+	versions map[string]uint64 // highest version seen per patient
+	store    VersionedStore
+	// saveMu serializes store writes, which lets saveVersion order them
+	// by version without holding mu (the per-batch reconcile lock) over
+	// disk I/O. Checkpoint saves happen at retrain/replica rate, far too
+	// rarely for one mutex to matter.
+	saveMu sync.Mutex
 	// onErr observes store Load/Save failures (the serving path treats
 	// them as misses rather than stalling on persistence).
 	onErr func(error)
 }
 
 func newModelCache(capacity int, store ModelStore, onErr func(error)) *modelCache {
-	return &modelCache{t: newLRU[*forest.FlatForest](capacity, nil), store: store, onErr: onErr}
+	return &modelCache{
+		t:        newLRU[modelEntry](capacity, nil),
+		versions: make(map[string]uint64),
+		store:    AsVersioned(store),
+		onErr:    onErr,
+	}
 }
 
 // Get returns the patient's model, reading through to the store on an
 // LRU miss, or nil when the patient has never been trained.
 func (m *modelCache) Get(patient string) *forest.FlatForest {
-	if f := m.cached(patient); f != nil {
-		return f
+	f, _ := m.GetVersioned(patient)
+	return f
+}
+
+// GetVersioned returns the patient's model and its version, reading
+// through to the store on an LRU miss. A pre-versioning checkpoint
+// reports version 0.
+func (m *modelCache) GetVersioned(patient string) (*forest.FlatForest, uint64) {
+	m.mu.Lock()
+	if e, ok := m.t.Get(patient); ok {
+		m.mu.Unlock()
+		return e.f, e.version
 	}
+	m.mu.Unlock()
 	if m.store == nil {
-		return nil
+		return nil, 0
 	}
-	f, err := m.store.Load(patient)
+	f, v, err := m.store.LoadVersion(patient)
 	if err != nil {
 		if m.onErr != nil {
 			m.onErr(err)
 		}
-		return nil
+		// The model is lost but a salvaged version still anchors the
+		// monotonic sequence (see FileStore.LoadVersion).
+		m.noteVersion(patient, v)
+		return nil, 0
 	}
 	if f == nil {
-		return nil
+		return nil, 0
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -119,10 +159,13 @@ func (m *modelCache) Get(patient string) *forest.FlatForest {
 	// store load ran, its forest is newer than the checkpoint we read —
 	// keep it rather than clobbering the LRU with the stale load.
 	if cur, ok := m.t.Get(patient); ok {
-		return cur
+		return cur.f, cur.version
 	}
-	m.t.Put(patient, f)
-	return f
+	if v > m.versions[patient] {
+		m.versions[patient] = v
+	}
+	m.t.Put(patient, modelEntry{f: f, version: v})
+	return f, v
 }
 
 // cached returns the patient's model from the LRU alone — the per-batch
@@ -132,23 +175,106 @@ func (m *modelCache) Get(patient string) *forest.FlatForest {
 func (m *modelCache) cached(patient string) *forest.FlatForest {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	f, _ := m.t.Get(patient)
-	return f
+	e, _ := m.t.Get(patient)
+	return e.f
 }
 
-// Put publishes the patient's model to the LRU and writes it through to
-// the store.
-func (m *modelCache) Put(patient string, f *forest.FlatForest) {
-	if f == nil {
+// noteVersion max-merges an externally-observed version into the
+// per-patient table.
+func (m *modelCache) noteVersion(patient string, v uint64) {
+	if v == 0 {
 		return
 	}
 	m.mu.Lock()
-	m.t.Put(patient, f)
+	if v > m.versions[patient] {
+		m.versions[patient] = v
+	}
 	m.mu.Unlock()
+}
+
+// currentVersion returns the highest version known for the patient,
+// consulting the store only when this process has never seen one —
+// how a restarted server continues a persisted version sequence
+// instead of regressing to 1. A store whose checkpoint is corrupt
+// still contributes its salvaged version to the sequence.
+func (m *modelCache) currentVersion(patient string) uint64 {
+	m.mu.Lock()
+	cur := m.versions[patient]
+	m.mu.Unlock()
+	if cur > 0 || m.store == nil {
+		return cur
+	}
+	_, v, err := m.store.LoadVersion(patient)
+	if err != nil && m.onErr != nil {
+		m.onErr(err)
+	}
+	m.noteVersion(patient, v)
+	return v
+}
+
+// Publish installs a freshly-trained model under the next monotonic
+// version, writes it through to the store, and returns the allocated
+// version — the learner's checkpoint-save step.
+func (m *modelCache) Publish(patient string, f *forest.FlatForest) uint64 {
+	if f == nil {
+		return 0
+	}
+	cur := m.currentVersion(patient)
+	m.mu.Lock()
+	if v := m.versions[patient]; v > cur {
+		cur = v // a concurrent publish or install advanced it meanwhile
+	}
+	version := cur + 1
+	m.versions[patient] = version
+	m.t.Put(patient, modelEntry{f: f, version: version})
+	m.mu.Unlock()
+	m.saveVersion(patient, f, version)
+	return version
+}
+
+// Install applies an externally-produced model version — a replica
+// pushed by a peer shard, or a checkpoint transferred by a router
+// during failover. Only a version strictly newer than everything seen
+// (in cache, table, or store) installs; anything else is a stale
+// duplicate and reports false.
+func (m *modelCache) Install(patient string, f *forest.FlatForest, version uint64) bool {
+	if f == nil || version == 0 {
+		return false
+	}
+	cur := m.currentVersion(patient)
+	m.mu.Lock()
+	if v := m.versions[patient]; v > cur {
+		cur = v
+	}
+	if version <= cur {
+		m.mu.Unlock()
+		return false
+	}
+	m.versions[patient] = version
+	m.t.Put(patient, modelEntry{f: f, version: version})
+	m.mu.Unlock()
+	m.saveVersion(patient, f, version)
+	return true
+}
+
+// saveVersion writes one versioned checkpoint through to the store.
+// Writes are serialized and version-ordered: a save that lost the race
+// to a newer one (a replication Install racing a local Publish, say)
+// is skipped rather than letting last-write-wins persist the older
+// checkpoint over the newer.
+func (m *modelCache) saveVersion(patient string, f *forest.FlatForest, version uint64) {
 	if m.store == nil {
 		return
 	}
-	if err := m.store.Save(patient, f); err != nil && m.onErr != nil {
+	m.saveMu.Lock()
+	defer m.saveMu.Unlock()
+	m.mu.Lock()
+	latest := m.versions[patient]
+	m.mu.Unlock()
+	if version < latest {
+		return // a newer checkpoint has been (or is being) saved
+	}
+	if err := m.store.SaveVersion(patient, f, version); err != nil && m.onErr != nil {
 		m.onErr(err)
 	}
 }

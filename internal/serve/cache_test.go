@@ -69,16 +69,35 @@ func TestModelCacheRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := pf.Flatten()
-	mc.Put("p1", f)
-	mc.Put("p1", f) // refresh must not double-count
+	if v := mc.Publish("p1", f); v != 1 {
+		t.Fatalf("first publish version = %d, want 1", v)
+	}
+	if v := mc.Publish("p1", f); v != 2 { // refresh must not double-count
+		t.Fatalf("second publish version = %d, want 2", v)
+	}
 	if mc.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", mc.Len())
 	}
 	if mc.Get("p1") != f {
 		t.Fatal("cached model lost")
 	}
-	mc.Put("p2", nil) // nil models are ignored
+	if _, v := mc.GetVersioned("p1"); v != 2 {
+		t.Fatalf("cached version = %d, want 2", v)
+	}
+	if v := mc.Publish("p2", nil); v != 0 { // nil models are ignored
+		t.Fatalf("nil publish version = %d, want 0", v)
+	}
 	if mc.Len() != 1 {
-		t.Fatalf("Len after nil Put = %d, want 1", mc.Len())
+		t.Fatalf("Len after nil publish = %d, want 1", mc.Len())
+	}
+	// Install only accepts strictly newer versions.
+	if mc.Install("p1", f, 2) {
+		t.Fatal("Install accepted a stale (equal) version")
+	}
+	if !mc.Install("p1", f, 7) {
+		t.Fatal("Install refused a newer version")
+	}
+	if v := mc.Publish("p1", f); v != 8 {
+		t.Fatalf("publish after install version = %d, want 8", v)
 	}
 }

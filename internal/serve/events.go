@@ -24,6 +24,12 @@ const (
 	// The victim stream saw no error (its Push had already succeeded),
 	// so this event is how operators observe shedding.
 	EventShed
+	// EventModelUpdated reports a new model version entering the
+	// patient's serving path — a learner publish after retraining, or a
+	// replica installed from a peer shard. Event.Version carries the
+	// monotonic per-patient model version; the cluster layer keys
+	// checkpoint replication and warm failover off this event.
+	EventModelUpdated
 )
 
 // String names the kind for logs.
@@ -37,6 +43,8 @@ func (k EventKind) String() string {
 		return "eviction"
 	case EventShed:
 		return "shed"
+	case EventModelUpdated:
+		return "model-updated"
 	default:
 		return "unknown"
 	}
@@ -51,6 +59,9 @@ type Event struct {
 	Time time.Time
 	// Seq orders events across the whole server.
 	Seq uint64
+	// Version carries the monotonic per-patient model version of an
+	// EventModelUpdated; 0 otherwise.
+	Version uint64
 	// Err carries the failure of an EventRetrain; nil otherwise.
 	Err error
 }

@@ -50,6 +50,9 @@ func TestEventDelivery(t *testing.T) {
 			if ev.Kind == EventRetrain && ev.Err != nil {
 				t.Errorf("retrain failed: %v", ev.Err)
 			}
+			if ev.Kind == EventModelUpdated && ev.Version == 0 {
+				t.Errorf("model-updated event without a version: %+v", ev)
+			}
 		}
 	}()
 
@@ -87,10 +90,14 @@ func TestEventDelivery(t *testing.T) {
 	if got, want := counts[EventEviction], int(st.SessionsEvicted); got != want {
 		t.Fatalf("eviction events = %d, counter says %d", got, want)
 	}
+	// Every successful retrain publishes exactly one model version.
+	if got, want := counts[EventModelUpdated], int(st.Retrains); got != want {
+		t.Fatalf("model-updated events = %d, retrain counter says %d", got, want)
+	}
 	// The synchronous sink saw everything the channel saw.
 	sinkMu.Lock()
 	defer sinkMu.Unlock()
-	for _, k := range []EventKind{EventAlarm, EventRetrain, EventEviction} {
+	for _, k := range []EventKind{EventAlarm, EventRetrain, EventEviction, EventModelUpdated} {
 		if sinkCounts[k] != counts[k] {
 			t.Fatalf("sink saw %d %v events, channel saw %d", sinkCounts[k], k, counts[k])
 		}

@@ -106,9 +106,14 @@ func (l *learner) retrain(j retrainJob) error {
 	// Publish to the shared cache before the captured session pointer:
 	// if the session was LRU-evicted and recreated while training ran,
 	// the live replacement reconciles from the cache (dispatch.go), so
-	// the cache must never lag the session.
-	l.srv.cache.Put(j.sess.id, flat)
+	// the cache must never lag the session. Publish is the explicit
+	// checkpoint step of the model lifecycle: it allocates the next
+	// monotonic per-patient version, writes the versioned checkpoint
+	// through to the store, and the EventModelUpdated announcement below
+	// is what the cluster layer keys replication and warm failover off.
+	version := l.srv.cache.Publish(j.sess.id, flat)
 	j.sess.model.Store(flat)
+	l.srv.hub.emit(Event{Kind: EventModelUpdated, Patient: j.sess.id, Version: version})
 	return nil
 }
 

@@ -386,6 +386,38 @@ func (s *Server) Model(patientID string) *forest.FlatForest {
 	return s.cache.Get(patientID)
 }
 
+// ModelVersioned returns the patient's current trained detector and
+// its monotonic model version from the model cache (reading through to
+// the store), or (nil, 0) while untrained. A checkpoint predating
+// versioning reports version 0.
+func (s *Server) ModelVersioned(patientID string) (*forest.FlatForest, uint64) {
+	return s.cache.GetVersioned(patientID)
+}
+
+// InstallModel installs an externally-produced model version for a
+// patient — a replica pushed by a peer shard, or a checkpoint a router
+// transferred during failover. Only a version strictly newer than
+// everything this server has seen installs (so replays and replica
+// ping-pong are harmless); an install is checkpointed to the store,
+// announced via EventModelUpdated, and picked up by any live session on
+// its next batch through the per-batch cache reconcile. Returns whether
+// the install took effect.
+func (s *Server) InstallModel(patientID string, f *forest.FlatForest, version uint64) bool {
+	if patientID == "" || f == nil || version == 0 {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false
+	}
+	if !s.cache.Install(patientID, f, version) {
+		return false
+	}
+	s.hub.emit(Event{Kind: EventModelUpdated, Patient: patientID, Version: version})
+	return true
+}
+
 // Close drains the worker queues, waits for in-flight retraining to
 // finish, closes the Events channel, and releases all sessions. Open,
 // Push and Confirm fail with ErrClosed afterwards. A blocking admission

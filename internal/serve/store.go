@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/url"
 	"os"
@@ -24,6 +26,85 @@ type ModelStore interface {
 	Save(patientID string, f *forest.FlatForest) error
 }
 
+// VersionedStore extends ModelStore with monotonic per-patient model
+// versions — the identity the replication and warm-failover paths key
+// on. Version 0 means "pre-versioning checkpoint": LoadVersion must
+// accept checkpoints written before versions existed and report them as
+// version 0, so a fleet can be upgraded in place. The caller (the model
+// cache) owns version allocation; stores only persist what they are
+// told.
+type VersionedStore interface {
+	ModelStore
+	// LoadVersion returns the patient's checkpointed detector and its
+	// version, or (nil, 0, nil) when none is stored. A checkpoint
+	// predating versioning loads with version 0.
+	LoadVersion(patientID string) (*forest.FlatForest, uint64, error)
+	// SaveVersion checkpoints the patient's detector stamped with
+	// version. Version 0 writes an unversioned (pre-versioning format)
+	// checkpoint.
+	SaveVersion(patientID string, f *forest.FlatForest, version uint64) error
+}
+
+// AsVersioned adapts any ModelStore to the VersionedStore contract. A
+// store that is already versioned is returned as is; other stores are
+// wrapped with an in-process version table, so versions work (within
+// one process lifetime) even for stores that cannot persist them.
+func AsVersioned(st ModelStore) VersionedStore {
+	if st == nil {
+		return nil
+	}
+	if vs, ok := st.(VersionedStore); ok {
+		return vs
+	}
+	return &versionShim{inner: st, versions: make(map[string]uint64)}
+}
+
+// versionShim bolts an in-memory version table onto an unversioned
+// store. Versions reset with the process — exactly the durability of
+// the wrapped store's own data cannot exceed anyway.
+type versionShim struct {
+	inner    ModelStore
+	mu       sync.Mutex
+	versions map[string]uint64
+}
+
+func (s *versionShim) Load(patientID string) (*forest.FlatForest, error) {
+	return s.inner.Load(patientID)
+}
+
+func (s *versionShim) Save(patientID string, f *forest.FlatForest) error {
+	return s.inner.Save(patientID, f)
+}
+
+func (s *versionShim) LoadVersion(patientID string) (*forest.FlatForest, uint64, error) {
+	f, err := s.inner.Load(patientID)
+	if f == nil || err != nil {
+		return nil, 0, err
+	}
+	s.mu.Lock()
+	v := s.versions[patientID]
+	s.mu.Unlock()
+	return f, v, nil
+}
+
+func (s *versionShim) SaveVersion(patientID string, f *forest.FlatForest, version uint64) error {
+	if err := s.inner.Save(patientID, f); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if version > s.versions[patientID] {
+		s.versions[patientID] = version
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// memEntry is one MemoryStore checkpoint: the detector plus its version.
+type memEntry struct {
+	f       *forest.FlatForest
+	version uint64
+}
+
 // MemoryStore keeps checkpoints in an in-process map: models evicted
 // from the bounded LRU cache remain reloadable for the life of the
 // process, but do not survive a restart. The map never evicts — across
@@ -31,29 +112,41 @@ type ModelStore interface {
 // (Config.ModelCacheSize then caps model memory).
 type MemoryStore struct {
 	mu sync.RWMutex
-	m  map[string]*forest.FlatForest
+	m  map[string]memEntry
 }
 
 // NewMemoryStore returns an empty in-memory model store.
 func NewMemoryStore() *MemoryStore {
-	return &MemoryStore{m: make(map[string]*forest.FlatForest)}
+	return &MemoryStore{m: make(map[string]memEntry)}
 }
 
 // Load implements ModelStore.
 func (s *MemoryStore) Load(patientID string) (*forest.FlatForest, error) {
+	f, _, err := s.LoadVersion(patientID)
+	return f, err
+}
+
+// LoadVersion implements VersionedStore.
+func (s *MemoryStore) LoadVersion(patientID string) (*forest.FlatForest, uint64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.m[patientID], nil
+	e := s.m[patientID]
+	return e.f, e.version, nil
 }
 
 // Save implements ModelStore.
 func (s *MemoryStore) Save(patientID string, f *forest.FlatForest) error {
+	return s.SaveVersion(patientID, f, 0)
+}
+
+// SaveVersion implements VersionedStore.
+func (s *MemoryStore) SaveVersion(patientID string, f *forest.FlatForest, version uint64) error {
 	if f == nil {
 		return fmt.Errorf("serve: nil model for %q", patientID)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.m[patientID] = f
+	s.m[patientID] = memEntry{f: f, version: version}
 	return nil
 }
 
@@ -71,6 +164,12 @@ func (s *MemoryStore) Len() int {
 // directions). A server restarted against the same directory serves
 // previously-trained patients warm. Writes are atomic (temp file +
 // rename), so a crash mid-checkpoint leaves the previous one intact.
+//
+// Versioned checkpoints carry the model version as an extra
+// "model_version" field in the JSON header, alongside the forest
+// fields. Forest loaders ignore unknown fields, so a versioned
+// checkpoint still loads in every pointer-forest tool; a pre-versioning
+// checkpoint (no header field) loads here as version 0.
 type FileStore struct {
 	dir string
 }
@@ -92,48 +191,122 @@ func (s *FileStore) path(patientID string) string {
 	return filepath.Join(s.dir, url.PathEscape(patientID)+".forest.json")
 }
 
+// quarantine moves a corrupt checkpoint aside under a name no future
+// corruption will reuse, so back-to-back failures never overwrite the
+// forensic evidence of an earlier one: the first lands at
+// <checkpoint>.corrupt, later ones at <checkpoint>.corrupt.1, .2, …
+func (s *FileStore) quarantine(path string) {
+	for i := 0; i < 10000; i++ {
+		dest := path + ".corrupt"
+		if i > 0 {
+			dest = fmt.Sprintf("%s.corrupt.%d", path, i)
+		}
+		if _, err := os.Stat(dest); err == nil {
+			continue // already holds an earlier corpse; keep it
+		}
+		if os.Rename(path, dest) == nil {
+			return
+		}
+	}
+	// Quarantine failed (e.g. a read-only directory): remove the bad
+	// file as a last resort so the patient is not wedged on a
+	// permanently unreadable checkpoint.
+	os.Remove(path)
+}
+
 // Load implements ModelStore; a missing checkpoint is (nil, nil). A
 // checkpoint that fails to parse — truncated by a crash predating
-// atomic writes, or corrupted on disk — is quarantined (renamed to
-// <checkpoint>.corrupt) rather than left to fail every future load:
-// the first Load reports the error once (surfacing in
+// atomic writes, or corrupted on disk — is quarantined (renamed to a
+// unique <checkpoint>.corrupt* name) rather than left to fail every
+// future load: the first Load reports the error once (surfacing in
 // Stats.StoreErrors, with the serving path treating it as a miss so
 // the patient streams untrained instead of failing), subsequent Loads
 // see a clean miss, and the next retrain checkpoints normally. The
 // quarantined bytes are kept for forensics.
 func (s *FileStore) Load(patientID string) (*forest.FlatForest, error) {
-	path := s.path(patientID)
-	r, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("serve: model store: %w", err)
-	}
-	defer r.Close()
-	f, err := forest.LoadFlat(r)
-	if err != nil {
-		if qerr := os.Rename(path, path+".corrupt"); qerr != nil {
-			// Quarantine failed (e.g. a read-only directory): remove the
-			// bad file as a last resort so the patient is not wedged on
-			// a permanently unreadable checkpoint.
-			os.Remove(path)
-		}
-		return nil, fmt.Errorf("serve: model store: corrupt checkpoint for %q (quarantined): %w", patientID, err)
-	}
-	return f, nil
+	f, _, err := s.LoadVersion(patientID)
+	return f, err
 }
 
-// Save implements ModelStore.
+// checkpointHeader is the version envelope read off a checkpoint before
+// the forest itself is parsed. Absent on pre-versioning checkpoints.
+type checkpointHeader struct {
+	Version uint64 `json:"model_version"`
+}
+
+// LoadVersion implements VersionedStore with Load's quarantine
+// semantics. A corrupt checkpoint still reports any version salvaged
+// from its header prefix alongside the error: the caller keeps the
+// monotonic sequence even though the model is lost, so the next
+// publish does not regress to version 1 — which every replica holder
+// would refuse as stale, and which a later failover transfer would
+// then overwrite with an older detector.
+func (s *FileStore) LoadVersion(patientID string) (*forest.FlatForest, uint64, error) {
+	path := s.path(patientID)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: model store: %w", err)
+	}
+	f, err := forest.LoadFlat(bytes.NewReader(data))
+	if err != nil {
+		s.quarantine(path)
+		return nil, salvageVersion(data), fmt.Errorf("serve: model store: corrupt checkpoint for %q (quarantined): %w", patientID, err)
+	}
+	var hdr checkpointHeader
+	// A checkpoint the forest loader accepted is well-formed JSON; a
+	// missing model_version field simply leaves the version at 0
+	// (pre-versioning checkpoint).
+	_ = json.Unmarshal(data, &hdr)
+	return f, hdr.Version, nil
+}
+
+// salvageVersion recovers the model version from a checkpoint too
+// corrupt to parse as JSON. SaveVersion writes the header field first
+// for exactly this reason: truncation — the common corruption, a crash
+// mid-write predating atomic renames — keeps the prefix intact, so a
+// bounded byte scan still reads the version.
+func salvageVersion(data []byte) uint64 {
+	const prefix = `{"model_version":`
+	if !bytes.HasPrefix(data, []byte(prefix)) {
+		return 0
+	}
+	var v uint64
+	for _, c := range data[len(prefix):] {
+		if c < '0' || c > '9' {
+			break
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return v
+}
+
+// Save implements ModelStore, writing an unversioned checkpoint.
 func (s *FileStore) Save(patientID string, f *forest.FlatForest) error {
+	return s.SaveVersion(patientID, f, 0)
+}
+
+// SaveVersion implements VersionedStore: the version is stamped into
+// the checkpoint's JSON header, so it survives restarts and crosses to
+// any peer the file is replicated to.
+func (s *FileStore) SaveVersion(patientID string, f *forest.FlatForest, version uint64) error {
 	if f == nil {
 		return fmt.Errorf("serve: nil model for %q", patientID)
+	}
+	data, err := f.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("serve: model store: %w", err)
+	}
+	if version > 0 {
+		data = stampVersion(data, version)
 	}
 	tmp, err := os.CreateTemp(s.dir, ".checkpoint-*")
 	if err != nil {
 		return fmt.Errorf("serve: model store: %w", err)
 	}
-	if err := f.Save(tmp); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("serve: model store: %w", err)
@@ -147,4 +320,14 @@ func (s *FileStore) Save(patientID string, f *forest.FlatForest) error {
 		return fmt.Errorf("serve: model store: %w", err)
 	}
 	return nil
+}
+
+// stampVersion splices a model_version field into the front of a
+// marshaled forest object. The forest marshaler always emits a JSON
+// object, so the first byte is '{'; writing the field first keeps the
+// header readable with a bounded prefix read.
+func stampVersion(forestJSON []byte, version uint64) []byte {
+	out := make([]byte, 0, len(forestJSON)+32)
+	out = append(out, fmt.Sprintf(`{"model_version":%d,`, version)...)
+	return append(out, forestJSON[1:]...)
 }

@@ -185,6 +185,233 @@ func TestFileStoreCorruptCheckpointRecovery(t *testing.T) {
 	}
 }
 
+// TestFileStoreQuarantineKeepsForensics: back-to-back corruption must
+// not overwrite the evidence of the first failure — each quarantined
+// checkpoint gets a unique name, so an operator investigating repeated
+// corruption still has every corpse.
+func TestFileStoreQuarantineKeepsForensics(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := fs.path("p")
+	corpses := [][]byte{[]byte("{first corruption"), []byte("{second corruption"), []byte("{third corruption")}
+	for i, body := range corpses {
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Load("p"); err == nil {
+			t.Fatalf("corruption %d loaded without error", i)
+		}
+	}
+	for name, want := range map[string][]byte{
+		path + ".corrupt":   corpses[0],
+		path + ".corrupt.1": corpses[1],
+		path + ".corrupt.2": corpses[2],
+	} {
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("quarantine file %s missing: %v", name, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("quarantine file %s holds %q, want %q — forensics overwritten", name, got, want)
+		}
+	}
+	// The patient still recovers: a clean miss, then a normal save.
+	if f, err := fs.Load("p"); err != nil || f != nil {
+		t.Fatalf("Load after quarantines = %v, %v; want nil, nil", f, err)
+	}
+	if err := fs.Save("p", tinyForest(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := fs.Load("p"); err != nil || f == nil {
+		t.Fatalf("Load after re-save = %v, %v", f, err)
+	}
+}
+
+// TestStoreVersionRoundTrip pins the VersionedStore contract for both
+// implementations: SaveVersion/LoadVersion round-trip the version with
+// the model, plain Save writes a version-0 (pre-versioning format)
+// checkpoint, and — for the FileStore — a checkpoint written by the
+// pre-versioning format (a bare forest JSON, as every existing
+// deployment has on disk) loads cleanly as version 0.
+func TestStoreVersionRoundTrip(t *testing.T) {
+	f := tinyForest(t, 1)
+	probe := [][]float64{{0, 0}, {1, 1}, {0.05, 0.05}, {0.95, 0.95}}
+	check := func(t *testing.T, st VersionedStore) {
+		t.Helper()
+		if got, v, err := st.LoadVersion("absent"); err != nil || got != nil || v != 0 {
+			t.Fatalf("LoadVersion(absent) = %v, %d, %v; want nil, 0, nil", got, v, err)
+		}
+		if err := st.SaveVersion("p", f, 7); err != nil {
+			t.Fatal(err)
+		}
+		got, v, err := st.LoadVersion("p")
+		if err != nil || v != 7 {
+			t.Fatalf("LoadVersion = version %d, err %v; want 7, nil", v, err)
+		}
+		for _, x := range probe {
+			if got.Predict(x) != f.Predict(x) {
+				t.Fatalf("versioned reload disagrees on %v", x)
+			}
+		}
+		// Saving a newer version replaces the old one.
+		if err := st.SaveVersion("p", f, 8); err != nil {
+			t.Fatal(err)
+		}
+		if _, v, _ := st.LoadVersion("p"); v != 8 {
+			t.Fatalf("version after re-save = %d, want 8", v)
+		}
+		// Plain Save is the pre-versioning write: version reads as 0.
+		if err := st.Save("p0", f); err != nil {
+			t.Fatal(err)
+		}
+		if got, v, err := st.LoadVersion("p0"); err != nil || got == nil || v != 0 {
+			t.Fatalf("LoadVersion of unversioned save = %v, %d, %v; want model, 0, nil", got, v, err)
+		}
+	}
+	t.Run("memory", func(t *testing.T) { check(t, NewMemoryStore()) })
+	t.Run("file", func(t *testing.T) {
+		fs, err := NewFileStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, fs)
+
+		// A pre-versioning checkpoint — the exact bytes the current
+		// pointer-forest tools write — loads as version 0.
+		pointer, err := forest.Train([][]float64{{0, 0}, {1, 1}, {0, 0.1}, {1, 0.9}},
+			[]bool{false, true, false, true}, forest.Config{NumTrees: 3, MinLeaf: 1, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := os.Create(fs.path("legacy"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pointer.Save(w); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		got, v, err := fs.LoadVersion("legacy")
+		if err != nil || got == nil || v != 0 {
+			t.Fatalf("pre-versioning checkpoint = %v, %d, %v; want model, 0, nil", got, v, err)
+		}
+
+		// And a versioned checkpoint still loads in pre-versioning tools:
+		// the version rides an extra JSON field their loaders ignore.
+		r, err := os.Open(fs.path("p"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		back, err := forest.Load(r)
+		if err != nil {
+			t.Fatalf("pointer tooling rejects a versioned checkpoint: %v", err)
+		}
+		for _, x := range probe {
+			if back.Predict(x) != f.Predict(x) {
+				t.Fatalf("pointer load of versioned checkpoint diverges on %v", x)
+			}
+		}
+	})
+}
+
+// TestPublishContinuesPersistedVersions: the version sequence must
+// survive both LRU eviction and a process restart — a publish that
+// regressed the version would make every replica holder refuse the
+// newer model as stale.
+func TestPublishContinuesPersistedVersions(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := newModelCache(1, fs, func(err error) { t.Fatalf("store error: %v", err) })
+	f := tinyForest(t, 1)
+	if v := mc.Publish("p1", f); v != 1 {
+		t.Fatalf("first publish = v%d, want 1", v)
+	}
+	if v := mc.Publish("p1", f); v != 2 {
+		t.Fatalf("second publish = v%d, want 2", v)
+	}
+	// Evict p1 from the one-slot LRU, then publish again: the sequence
+	// continues from the store, not from scratch.
+	mc.Publish("p2", tinyForest(t, 2))
+	if v := mc.Publish("p1", f); v != 3 {
+		t.Fatalf("publish after eviction = v%d, want 3", v)
+	}
+	// "Restart": a fresh cache over the same directory.
+	fs2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc2 := newModelCache(4, fs2, func(err error) { t.Fatalf("store error: %v", err) })
+	if _, v := mc2.GetVersioned("p1"); v != 3 {
+		t.Fatalf("version after restart = %d, want 3", v)
+	}
+	if v := mc2.Publish("p1", f); v != 4 {
+		t.Fatalf("publish after restart = v%d, want 4", v)
+	}
+}
+
+// TestCorruptCheckpointKeepsVersionSequence: losing a checkpoint to
+// corruption must not regress the patient's version sequence — the
+// header is written first precisely so truncation leaves the version
+// salvageable, and the next publish continues past it. A regression to
+// v1 would be refused as stale by every replica holder, and a later
+// failover transfer would then overwrite the fresh retrain with the
+// old replicated detector.
+func TestCorruptCheckpointKeepsVersionSequence(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SaveVersion("p", tinyForest(t, 1), 5); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the checkpoint mid-body: the JSON no longer parses, but
+	// the version header survives in the prefix.
+	data, err := os.ReadFile(fs.path("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fs.path("p"), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The cache's first sight of the checkpoint is the corrupt load: it
+	// must salvage the version while quarantining the model, so the next
+	// publish continues the sequence.
+	var storeErrs int
+	mc := newModelCache(4, fs, func(error) { storeErrs++ })
+	if got := mc.Publish("p", tinyForest(t, 2)); got != 6 {
+		t.Fatalf("publish after corruption = v%d, want 6 (sequence must not regress)", got)
+	}
+	if storeErrs != 1 {
+		t.Fatalf("store errors = %d, want exactly 1", storeErrs)
+	}
+	// And the raw store surface reports the salvaged version alongside
+	// the load error.
+	if err := fs.SaveVersion("q", tinyForest(t, 1), 9); err != nil {
+		t.Fatal(err)
+	}
+	qdata, err := os.ReadFile(fs.path("q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fs.path("q"), qdata[:len(qdata)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, v, err := fs.LoadVersion("q")
+	if err == nil || f != nil {
+		t.Fatalf("truncated checkpoint loaded: %v, %v", f, err)
+	}
+	if v != 9 {
+		t.Fatalf("salvaged version = %d, want 9", v)
+	}
+}
+
 // TestServerServesPatientDespiteCorruptCheckpoint: end to end, a
 // corrupt on-disk model must cost the patient their warm start, not
 // their service — the session comes up untrained, batches stream, and
@@ -218,8 +445,8 @@ func TestServerServesPatientDespiteCorruptCheckpoint(t *testing.T) {
 func TestMemoryStoreBehindCacheSurvivesEviction(t *testing.T) {
 	mc := newModelCache(1, NewMemoryStore(), func(err error) { t.Fatalf("store error: %v", err) })
 	f1, f2 := tinyForest(t, 1), tinyForest(t, 2)
-	mc.Put("p1", f1)
-	mc.Put("p2", f2) // evicts p1 from the one-slot LRU
+	mc.Publish("p1", f1)
+	mc.Publish("p2", f2) // evicts p1 from the one-slot LRU
 	if mc.cached("p1") != nil {
 		t.Fatal("p1 still in LRU after eviction")
 	}

@@ -15,8 +15,11 @@
 // KindHello carrying Version first and refuse a peer that disagrees,
 // so field-order changes here only require bumping Version.
 //
-// Client → shard: Hello, Push, Confirm, StatsReq, Ping.
-// Shard → client: Hello, Event, Stats, Pong.
+// Client → shard: Hello, Push, Confirm, StatsReq, Ping, ModelGet,
+// ModelPut (failover checkpoint transfer).
+// Shard → client: Hello, Event, Stats, Pong, ModelPut (ModelGet reply),
+// ModelAnnounce.
+// Shard → shard: Hello, ModelPut (checkpoint replication).
 package wire
 
 import (
@@ -33,7 +36,11 @@ import (
 
 // Version is the protocol revision exchanged in Hello frames. Bump it
 // on any change to frame layout (including serve.Stats gaining fields).
-const Version = 1
+//
+// v2: Event frames carry the model Version; ModelGet / ModelPut /
+// ModelAnnounce frames added for checkpoint replication and warm
+// failover.
+const Version = 2
 
 // MaxFrame bounds a frame body so a corrupt or hostile length prefix
 // cannot make the decoder allocate gigabytes. 16 MiB fits >500 s of
@@ -68,6 +75,20 @@ const (
 	// ping's Token.
 	KindPing
 	KindPong
+	// KindModelGet asks the peer for a patient's current model
+	// checkpoint; Token correlates the KindModelPut reply.
+	KindModelGet
+	// KindModelPut carries one versioned model checkpoint (the JSON
+	// forest interchange format). It flows shard→shard as a replication
+	// push, client→shard as a failover transfer, and shard→client as
+	// the ModelGet reply — where ModelVersion 0 with an empty payload
+	// means "no model". The payload is capped by MaxFrame like every
+	// frame body; forest checkpoints are a few hundred KB at most.
+	KindModelPut
+	// KindModelAnnounce advertises that the sender now serves a patient
+	// at a model version, without the checkpoint payload — how routers
+	// keep their per-patient version tables current.
+	KindModelAnnounce
 )
 
 // String names the kind for logs and errors.
@@ -89,6 +110,12 @@ func (k Kind) String() string {
 		return "ping"
 	case KindPong:
 		return "pong"
+	case KindModelGet:
+		return "model-get"
+	case KindModelPut:
+		return "model-put"
+	case KindModelAnnounce:
+		return "model-announce"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -97,13 +124,15 @@ func (k Kind) String() string {
 // Msg is one decoded frame. Kind selects which fields are meaningful;
 // the rest are zero.
 type Msg struct {
-	Kind    Kind
-	Version uint32      // Hello
-	Patient string      // Push, Confirm
-	C0, C1  []float64   // Push
-	Event   serve.Event // Event
-	Stats   serve.Stats // Stats
-	Token   uint64      // StatsReq, Stats, Ping, Pong
+	Kind         Kind
+	Version      uint32      // Hello
+	Patient      string      // Push, Confirm, ModelGet, ModelPut, ModelAnnounce
+	C0, C1       []float64   // Push
+	Event        serve.Event // Event
+	Stats        serve.Stats // Stats
+	Token        uint64      // StatsReq, Stats, Ping, Pong, ModelGet, ModelPut
+	ModelVersion uint64      // ModelPut, ModelAnnounce
+	Model        []byte      // ModelPut: JSON forest checkpoint (empty = no model)
 }
 
 // Encoder writes frames through an internal bufio.Writer. It is not
@@ -141,6 +170,11 @@ func (e *Encoder) appendFloats(xs []float64) {
 	for _, x := range xs {
 		e.appendF64(x)
 	}
+}
+
+func (e *Encoder) appendBytes(b []byte) {
+	e.appendU32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
 }
 
 // begin resets the scratch body and stamps the kind byte.
@@ -196,11 +230,42 @@ func (e *Encoder) Event(ev serve.Event) error {
 	e.appendString(ev.Patient)
 	e.appendI64(ev.Time.UnixNano())
 	e.appendU64(ev.Seq)
+	e.appendU64(ev.Version)
 	msg := ""
 	if ev.Err != nil {
 		msg = ev.Err.Error()
 	}
 	e.appendString(msg)
+	return e.frame()
+}
+
+// ModelGet writes a model request carrying a correlation token.
+func (e *Encoder) ModelGet(token uint64, patient string) error {
+	e.begin(KindModelGet)
+	e.appendU64(token)
+	e.appendString(patient)
+	return e.frame()
+}
+
+// ModelPut writes one versioned model checkpoint. As a ModelGet reply,
+// token echoes the request's; unsolicited pushes (replication, failover
+// transfer) use token 0. A checkpoint larger than MaxFrame is refused
+// with ErrFrameTooLarge rather than shredded — the model is then simply
+// not replicated, which the monotonic install path tolerates.
+func (e *Encoder) ModelPut(token uint64, patient string, version uint64, checkpoint []byte) error {
+	e.begin(KindModelPut)
+	e.appendU64(token)
+	e.appendString(patient)
+	e.appendU64(version)
+	e.appendBytes(checkpoint)
+	return e.frame()
+}
+
+// ModelAnnounce writes a payload-free model version advertisement.
+func (e *Encoder) ModelAnnounce(patient string, version uint64) error {
+	e.begin(KindModelAnnounce)
+	e.appendString(patient)
+	e.appendU64(version)
 	return e.frame()
 }
 
@@ -348,6 +413,20 @@ func (r *reader) str() string {
 	return s
 }
 
+// bytes returns a length-prefixed byte payload. The copy is deliberate:
+// the decoder's frame buffer is reused by the next Next call, while
+// model checkpoints outlive it (they are parsed or forwarded later).
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil || r.off+int(n) > len(r.b) {
+		r.fail()
+		return nil
+	}
+	b := append([]byte(nil), r.b[r.off:r.off+int(n)]...)
+	r.off += int(n)
+	return b
+}
+
 func (r *reader) floats() []float64 {
 	n := r.u32()
 	if r.err != nil || r.off+8*int(n) > len(r.b) {
@@ -379,11 +458,23 @@ func parse(body []byte) (Msg, error) {
 		m.Event.Patient = r.str()
 		m.Event.Time = time.Unix(0, r.i64())
 		m.Event.Seq = r.u64()
+		m.Event.Version = r.u64()
 		if msg := r.str(); msg != "" {
 			m.Event.Err = errors.New(msg)
 		}
 	case KindStatsReq, KindPing, KindPong:
 		m.Token = r.u64()
+	case KindModelGet:
+		m.Token = r.u64()
+		m.Patient = r.str()
+	case KindModelPut:
+		m.Token = r.u64()
+		m.Patient = r.str()
+		m.ModelVersion = r.u64()
+		m.Model = r.bytes()
+	case KindModelAnnounce:
+		m.Patient = r.str()
+		m.ModelVersion = r.u64()
 	case KindStats:
 		m.Token = r.u64()
 		m.Stats = decodeStats(r)

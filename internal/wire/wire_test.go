@@ -57,10 +57,17 @@ func TestRoundTripAllKinds(t *testing.T) {
 		func() error {
 			return e.Event(serve.Event{Kind: serve.EventRetrain, Patient: "p", Time: ts, Seq: 43, Err: errors.New("labeling failed")})
 		},
+		func() error {
+			return e.Event(serve.Event{Kind: serve.EventModelUpdated, Patient: "chb01", Time: ts, Seq: 44, Version: 3})
+		},
 		func() error { return e.StatsReq(7) },
 		func() error { return e.Stats(7, stats) },
 		func() error { return e.Ping(99) },
 		func() error { return e.Pong(99) },
+		func() error { return e.ModelGet(11, "chb01") },
+		func() error { return e.ModelPut(11, "chb01", 5, []byte(`{"trees":[]}`)) },
+		func() error { return e.ModelPut(0, "chb02", 0, nil) }, // "no model" reply
+		func() error { return e.ModelAnnounce("chb01", 5) },
 	}
 	for i, fn := range steps {
 		if err := fn(); err != nil {
@@ -102,6 +109,10 @@ func TestRoundTripAllKinds(t *testing.T) {
 	if m.Event.Err == nil || m.Event.Err.Error() != "labeling failed" {
 		t.Fatalf("retrain event error = %v", m.Event.Err)
 	}
+	m = next()
+	if m.Event.Kind != serve.EventModelUpdated || m.Event.Version != 3 || m.Event.Seq != 44 {
+		t.Fatalf("model-updated event = %+v", m.Event)
+	}
 	if m := next(); m.Kind != KindStatsReq || m.Token != 7 {
 		t.Fatalf("stats-req = %+v", m)
 	}
@@ -115,8 +126,53 @@ func TestRoundTripAllKinds(t *testing.T) {
 	if m := next(); m.Kind != KindPong || m.Token != 99 {
 		t.Fatalf("pong = %+v", m)
 	}
+	if m := next(); m.Kind != KindModelGet || m.Token != 11 || m.Patient != "chb01" {
+		t.Fatalf("model-get = %+v", m)
+	}
+	m = next()
+	if m.Kind != KindModelPut || m.Token != 11 || m.Patient != "chb01" ||
+		m.ModelVersion != 5 || string(m.Model) != `{"trees":[]}` {
+		t.Fatalf("model-put = %+v", m)
+	}
+	m = next()
+	if m.Kind != KindModelPut || m.Patient != "chb02" || m.ModelVersion != 0 || len(m.Model) != 0 {
+		t.Fatalf("empty model-put = %+v", m)
+	}
+	if m := next(); m.Kind != KindModelAnnounce || m.Patient != "chb01" || m.ModelVersion != 5 {
+		t.Fatalf("model-announce = %+v", m)
+	}
 	if _, err := d.Next(); err != io.EOF {
 		t.Fatalf("after last frame err = %v, want io.EOF", err)
+	}
+}
+
+// TestModelPutPayloadOutlivesDecoderBuffer: the checkpoint payload must
+// be copied out of the decoder's reusable frame buffer — a replica held
+// across the next frame would otherwise be silently corrupted.
+func TestModelPutPayloadOutlivesDecoderBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	payload := []byte(`{"trees":[1,2,3]}`)
+	if err := e.ModelPut(1, "p", 2, payload); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]float64, 1024)
+	if err := e.Push("p", big, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(&buf)
+	m, err := d.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Next(); err != nil { // overwrite the frame buffer
+		t.Fatal(err)
+	}
+	if string(m.Model) != string(payload) {
+		t.Fatalf("model payload corrupted after next frame: %q", m.Model)
 	}
 }
 
