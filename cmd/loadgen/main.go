@@ -1,0 +1,290 @@
+// Command loadgen replays adversarial scenarios against the serving
+// layer and emits one eval row (JSON) per scenario: admitted windows,
+// quality rejections, admission losses, and detection metrics scored
+// against ground truth. By default it runs the pinned scenario matrix
+// (internal/scenario.Matrix, documented in EXPERIMENTS.md) against an
+// in-process server; -cluster points it at a shardd fleet instead, and
+// -spec loads a custom scenario from JSON.
+//
+//	loadgen -list
+//	loadgen -scenario artifact-dropout
+//	loadgen -scenario clean-replay,patient-churn -out rows.json
+//	loadgen -spec myscenario.json -cluster 127.0.0.1:7481,127.0.0.1:7482
+//	loadgen -scenario diurnal-wave -speed 4
+//
+// Cluster runs need the fleet started with a -rate matching the
+// workload's sample rate (128 for the synthetic matrix, 256 for
+// chbmit-replay) and, for scenarios that set quality thresholds,
+// shardd -quality — the engine mirrors the prefilter client-side to
+// map ground truth into admitted stream time, so the two must agree.
+// Rows are exactly reproducible on a fresh fleet; scenarios after the
+// first in one invocation run under prefixed patient IDs so their
+// window accounting starts on cold sessions.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"selflearn/internal/cluster"
+	"selflearn/internal/scenario"
+	"selflearn/internal/serve"
+	"selflearn/internal/signal"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		list     = flag.Bool("list", false, "print the pinned scenario matrix and exit")
+		names    = flag.String("scenario", "", `comma-separated matrix scenario names, or "all" (default: all)`)
+		specFile = flag.String("spec", "", "path to a custom scenario spec (JSON, see internal/scenario.Spec)")
+		fleet    = flag.String("cluster", "", "comma-separated shardd addresses; empty runs in-process")
+		seed     = flag.Int64("seed", -1, "override every scenario's seed (-1 keeps the pinned seeds)")
+		patients = flag.Int("patients", 0, "override the patient count (0 keeps each spec's)")
+		duration = flag.Float64("duration", 0, "override stream seconds per patient (0 keeps each spec's)")
+		speed    = flag.Float64("speed", 0, "real-time pacing multiple (1 = wall clock, 0 = full speed)")
+		out      = flag.String("out", "", "write eval rows to this file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range scenario.Matrix() {
+			fmt.Printf("%-22s seed=%-4d %s\n", s.Name, s.Seed, describe(s))
+		}
+		return
+	}
+
+	specs, err := selectSpecs(*names, *specFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range specs {
+		if *seed >= 0 {
+			specs[i].Seed = *seed
+		}
+		if *patients > 0 {
+			specs[i].Patients = *patients
+		}
+		if *duration > 0 {
+			specs[i].Duration = *duration
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+
+	addrs := splitList(*fleet)
+	for i, spec := range specs {
+		start := time.Now()
+		res, err := runOne(spec, addrs, i, *speed)
+		if err != nil {
+			log.Fatalf("%s: %v", spec.Name, err)
+		}
+		log.Printf("%s: %d windows, %d rejected, %d/%d detected, %.1f FA/h (%.1fs)",
+			res.Name, res.Windows, res.QualityRejected, res.Detected, res.Events,
+			res.FalseAlarmsPerHour, time.Since(start).Seconds())
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// selectSpecs resolves the -scenario and -spec flags into the run list.
+func selectSpecs(names, specFile string) ([]scenario.Spec, error) {
+	var specs []scenario.Spec
+	switch {
+	case names == "all" || (names == "" && specFile == ""):
+		specs = scenario.Matrix()
+	case names != "":
+		for _, name := range splitList(names) {
+			s, ok := scenario.Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown scenario %q (try -list)", name)
+			}
+			specs = append(specs, s)
+		}
+	}
+	if specFile != "" {
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return nil, err
+		}
+		var s scenario.Spec
+		if err := json.Unmarshal(data, &s); err != nil {
+			return nil, fmt.Errorf("%s: %w", specFile, err)
+		}
+		if s.Name == "" {
+			s.Name = strings.TrimSuffix(filepath.Base(specFile), filepath.Ext(specFile))
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+// runOne builds and replays a single scenario against the selected
+// backend, returning its eval row.
+func runOne(spec scenario.Spec, addrs []string, idx int, speed float64) (*scenario.Result, error) {
+	w, err := scenario.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	w.Speed = speed
+	c := scenario.NewCollector()
+
+	if len(addrs) == 0 {
+		srv, err := scenario.NewLocalServer(w, c)
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		return w.Run(scenario.LocalBackend(srv), c)
+	}
+
+	if w.Spec.Quality != nil {
+		if *w.Spec.Quality == signal.DefaultQuality() {
+			log.Printf("%s: expects the fleet started with -quality", w.Spec.Name)
+		} else {
+			log.Printf("%s: custom quality thresholds cannot be installed remotely; the fleet's prefilter must match or rejection counts will not", w.Spec.Name)
+		}
+	}
+	log.Printf("%s: expects the fleet started with -rate %g", w.Spec.Name, w.SampleRate)
+	if idx > 0 {
+		// Sessions persist on the fleet between scenarios: a reused
+		// patient ID would resume a warm feature streamer and break the
+		// cold-start window accounting, so later scenarios in one
+		// invocation run under prefixed IDs.
+		for s := range w.Streams {
+			w.Streams[s].ID = fmt.Sprintf("s%d-%s", idx, w.Streams[s].ID)
+		}
+	}
+
+	r, err := cluster.Dial(addrs, cluster.Options{Admission: admissionPolicy(w.Spec.Admission)})
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	if err := r.WaitReady(10 * time.Second); err != nil {
+		return nil, err
+	}
+	go func() {
+		for ev := range r.Events() {
+			c.Observe(ev)
+		}
+	}()
+	return w.Run(routerBackend{r}, c)
+}
+
+func admissionPolicy(name string) serve.AdmissionPolicy {
+	switch name {
+	case "drop":
+		return serve.DropOnFull()
+	case "shed":
+		return serve.ShedOldest()
+	default:
+		return serve.BlockWithDeadline(0)
+	}
+}
+
+// routerBackend drives a shardd fleet through a cluster.Router. The
+// engine only retries serve.ErrBackpressure, so the handle absorbs the
+// transport-level retryables (a shard failing over) with its own
+// bounded retry.
+type routerBackend struct{ r *cluster.Router }
+
+func (b routerBackend) Open(patient string) (scenario.Handle, error) {
+	st, err := b.r.Open(patient)
+	if err != nil {
+		return nil, err
+	}
+	return clusterHandle{st}, nil
+}
+
+func (b routerBackend) Snapshot() serve.Stats { return b.r.Snapshot() }
+
+type clusterHandle struct{ st *cluster.Stream }
+
+func (h clusterHandle) Push(c0, c1 []float64) error {
+	return retryTransient(func() error { return h.st.Push(c0, c1) })
+}
+func (h clusterHandle) Confirm() error {
+	return retryTransient(func() error { return h.st.Confirm() })
+}
+func (h clusterHandle) Close() { h.st.Close() }
+
+// retryTransient retries fn while it fails with a shard outage for up
+// to 30 s, passing every other outcome — including
+// serve.ErrBackpressure, which the engine owns — straight through.
+func retryTransient(fn func() error) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		err := fn()
+		if !errors.Is(err, cluster.ErrShardDown) && !errors.Is(err, cluster.ErrNoShards) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// describe summarizes a matrix spec's adversarial traits for -list.
+func describe(s scenario.Spec) string {
+	var traits []string
+	src := s.Source.Kind
+	if src == "" {
+		src = "synth"
+	}
+	traits = append(traits, src)
+	if s.Seizures.Count > 0 && s.Source.Kind == "" {
+		traits = append(traits, fmt.Sprintf("%d seizures", s.Seizures.Count))
+	}
+	if s.Artifacts.Blinks || s.Artifacts.Chewing {
+		traits = append(traits, "benign artifacts")
+	}
+	if s.Artifacts.Bursts > 0 {
+		traits = append(traits, fmt.Sprintf("%d saturating bursts", s.Artifacts.Bursts))
+	}
+	if s.Dropouts.Count > 0 {
+		traits = append(traits, fmt.Sprintf("%d dropouts", s.Dropouts.Count))
+	}
+	if s.Churn.Reopens > 0 {
+		traits = append(traits, fmt.Sprintf("%d reopens", s.Churn.Reopens))
+	}
+	if s.Wave.Period > 0 {
+		traits = append(traits, fmt.Sprintf("%gs load wave", s.Wave.Period))
+	}
+	if s.Quality == nil {
+		traits = append(traits, "no prefilter")
+	}
+	if s.Patients > 0 {
+		traits = append(traits, fmt.Sprintf("%d patients", s.Patients))
+	}
+	return strings.Join(traits, ", ")
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

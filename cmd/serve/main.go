@@ -463,6 +463,7 @@ func statsFields(st serve.Stats) map[string]any {
 		"batches":           st.Batches,
 		"batches_dropped":   st.BatchesDropped,
 		"batches_shed":      st.BatchesShed,
+		"quality_rejected":  st.QualityRejected,
 		"confirms":          st.Confirms,
 		"confirms_rejected": st.ConfirmsRejected,
 		"confirms_dropped":  st.ConfirmsDropped,

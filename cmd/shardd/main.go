@@ -30,14 +30,16 @@ import (
 	"log"
 	"net"
 	"os"
-	"os/signal"
+	ossignal "os/signal"
 	"runtime"
 	"strings"
 	"syscall"
 	"time"
 
 	"selflearn/internal/cluster"
+	"selflearn/internal/rt"
 	"selflearn/internal/serve"
+	"selflearn/internal/signal"
 )
 
 func main() {
@@ -49,6 +51,8 @@ func main() {
 	history := flag.Duration("history", time.Hour, "feature history buffered per session for a-posteriori labeling")
 	avgSeizure := flag.Duration("avg-seizure", 25*time.Second, "expert average seizure duration W for the labeling algorithm")
 	admission := flag.String("admission", "block", "admission policy on full worker queues: drop, block or shed")
+	quality := flag.Bool("quality", false, "reject low-quality sample batches (flatline/clipped channels) before classification")
+	refractory := flag.Duration("refractory", 0, "alarm hold-off after a raised alarm (0 = detector default; loadgen's matrix expects 30s)")
 	deadline := flag.Duration("deadline", 0, "queue-space wait for -admission block (0 = wait forever: socket backpressure)")
 	storeDir := flag.String("store", "", "model checkpoint directory (persists detectors across restarts); empty = in-memory only")
 	eventBuffer := flag.Int("events", 4096, "event hub buffer before a lagging consumer drops events")
@@ -76,14 +80,26 @@ func main() {
 		}
 		opts = append(opts, serve.WithModelStore(fs))
 	}
-	srv, err := serve.New(serve.Config{
+	if *quality {
+		pf, err := serve.QualityPrefilter(signal.DefaultQuality())
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, serve.WithPrefilter(pf))
+	}
+	cfg := serve.Config{
 		Workers:            *workers,
 		QueueDepth:         *queue,
 		Learners:           *learners,
 		SampleRate:         *rate,
 		History:            *history,
 		AvgSeizureDuration: *avgSeizure,
-	}, opts...)
+	}
+	if *refractory > 0 {
+		cfg.AlarmCfg = rt.DefaultConfig()
+		cfg.AlarmCfg.Refractory = *refractory
+	}
+	srv, err := serve.New(cfg, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -118,7 +134,7 @@ func main() {
 		ss.Addr(), *workers, *learners, *admission, *rate, *storeDir, replication)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ossignal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("shardd: shutting down")
 	ss.Close()  // stop accepting, sever clients

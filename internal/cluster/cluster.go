@@ -415,6 +415,7 @@ func (r *Router) Snapshot() serve.Stats {
 		agg.Batches += st.Batches
 		agg.BatchesDropped += st.BatchesDropped
 		agg.BatchesShed += st.BatchesShed
+		agg.QualityRejected += st.QualityRejected
 		agg.Windows += st.Windows
 		agg.WindowsPerSec += st.WindowsPerSec
 		agg.Alarms += st.Alarms
@@ -512,6 +513,10 @@ func (st *Stream) NoteWindows(int) {}
 
 // NoteAlarms implements serve.StreamObserver; see NoteWindows.
 func (st *Stream) NoteAlarms(int) {}
+
+// NoteRejected implements serve.StreamObserver; quality rejections
+// happen shardd-side and arrive as EventQualityReject events.
+func (st *Stream) NoteRejected() {}
 
 // resolve returns the stream's shard, re-running the rendezvous when
 // the fleet's health epoch moved or the cached shard went down. A

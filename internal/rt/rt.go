@@ -129,6 +129,11 @@ func (d *Detector) PushPrediction(pred bool) bool {
 // Alarms returns all alarms raised so far.
 func (d *Detector) Alarms() []Alarm { return append([]Alarm(nil), d.alarms...) }
 
+// LastAlarmTime returns the stream time in seconds of the most recent
+// alarm. It is only meaningful immediately after Push/PushPrediction
+// returned true; callers that need the full log use Alarms.
+func (d *Detector) LastAlarmTime() float64 { return d.lastAlarm }
+
 // Reset clears the stream state (ring, refractory, alarm log).
 func (d *Detector) Reset() {
 	for i := range d.ring {

@@ -1,0 +1,474 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"selflearn/internal/eval"
+	"selflearn/internal/rt"
+	"selflearn/internal/serve"
+	"selflearn/internal/signal"
+)
+
+// Backend is the serving surface the engine replays against. The local
+// implementation wraps an in-process serve.Server; cmd/loadgen supplies
+// one wrapping a cluster.Router so the same scenarios drive a shardd
+// fleet over TCP.
+type Backend interface {
+	Open(patient string) (Handle, error)
+	Snapshot() serve.Stats
+}
+
+// Handle is one patient's stream handle. Push may return
+// serve.ErrBackpressure, which the engine retries; any other error
+// aborts the scenario. Remote implementations are expected to absorb
+// their transient transport errors (failover in flight) internally.
+type Handle interface {
+	Push(c0, c1 []float64) error
+	Confirm() error
+	Close()
+}
+
+// Collector accumulates the event-side outcomes of a run: per-patient
+// alarm stream times (Event.StreamTime — the deterministic clock
+// detections are scored on), per-patient model versions (the retrain
+// barrier), and quality rejections. Feed it every event, either as a
+// synchronous sink (local) or by draining an Events channel (cluster).
+type Collector struct {
+	mu       sync.Mutex
+	alarms   map[string][]float64
+	versions map[string]uint64
+	total    uint64
+	rejects  uint64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{alarms: map[string][]float64{}, versions: map[string]uint64{}}
+}
+
+// Observe records one event. Safe for concurrent use; fast enough for a
+// serve.WithEventSink.
+func (c *Collector) Observe(ev serve.Event) {
+	switch ev.Kind {
+	case serve.EventAlarm:
+		c.mu.Lock()
+		c.alarms[ev.Patient] = append(c.alarms[ev.Patient], ev.StreamTime)
+		c.total++
+		c.mu.Unlock()
+	case serve.EventModelUpdated:
+		c.mu.Lock()
+		if ev.Version > c.versions[ev.Patient] {
+			c.versions[ev.Patient] = ev.Version
+		}
+		c.mu.Unlock()
+	case serve.EventQualityReject:
+		c.mu.Lock()
+		c.rejects++
+		c.mu.Unlock()
+	}
+}
+
+// AlarmTimes returns a copy of the patient's alarm stream times.
+func (c *Collector) AlarmTimes(patient string) []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]float64(nil), c.alarms[patient]...)
+}
+
+// TotalAlarms returns the number of alarm events observed.
+func (c *Collector) TotalAlarms() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// WaitVersion blocks until the patient's model version reaches v — the
+// confirm barrier that makes retraining deterministic: no batch pushed
+// after it can race the model install.
+func (c *Collector) WaitVersion(patient string, v uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		cur := c.versions[patient]
+		c.mu.Unlock()
+		if cur >= v {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("scenario: %s never reached model version %d (at %d)", patient, v, cur)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// admittedMask mirrors the serving path's quality prefilter client-side:
+// one bool per stream second, true when the batch would be admitted.
+// The mirror must agree with serve.QualityPrefilter exactly — including
+// failing open on assessment errors — because ground truth is mapped
+// through it into admitted stream time.
+func admittedMask(ps PatientStream, fs float64, q *signal.QualityConfig) []bool {
+	n := len(ps.C0) / int(fs)
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = true
+		if q == nil {
+			continue
+		}
+		lo, hi := i*int(fs), (i+1)*int(fs)
+		for _, ch := range [][]float64{ps.C0[lo:hi], ps.C1[lo:hi]} {
+			if r, err := signal.AssessChannel(ch, fs, *q); err == nil && !r.OK {
+				mask[i] = false
+				break
+			}
+		}
+	}
+	return mask
+}
+
+// admittedTime maps a stream time into admitted (post-prefilter) stream
+// time: the clock the feature windows — and therefore the alarms — run
+// on. prefix[i] is the number of admitted seconds before second i.
+func admittedTime(t float64, mask []bool, prefix []int) float64 {
+	sec := int(t)
+	if sec >= len(mask) {
+		return float64(prefix[len(mask)])
+	}
+	if mask[sec] {
+		return float64(prefix[sec]) + (t - float64(sec))
+	}
+	return float64(prefix[sec])
+}
+
+// Run replays the workload against the backend and scores the alarms
+// the collector gathered. The collector must already be receiving the
+// backend's events (sink or channel drain) before Run is called.
+func (w *Workload) Run(b Backend, c *Collector) (*Result, error) {
+	spec := w.Spec
+	fs := int(w.SampleRate)
+
+	masks := make([][]bool, len(w.Streams))
+	prefixes := make([][]int, len(w.Streams))
+	var expWindows, expRejects uint64
+	var streamSeconds, admittedSeconds int
+	for i, ps := range w.Streams {
+		masks[i] = admittedMask(ps, w.SampleRate, spec.Quality)
+		prefix := make([]int, len(masks[i])+1)
+		admitted := 0
+		for s, ok := range masks[i] {
+			prefix[s] = admitted
+			if ok {
+				admitted++
+			} else {
+				expRejects++
+			}
+		}
+		prefix[len(masks[i])] = admitted
+		prefixes[i] = prefix
+		streamSeconds += len(masks[i])
+		admittedSeconds += admitted
+		// 4 s windows on a 1 s hop: the first window completes on the
+		// fourth admitted second.
+		if admitted > 3 {
+			expWindows += uint64(admitted - 3)
+		}
+	}
+
+	// A remote fleet's counters are cumulative across loadgen runs, so
+	// account everything against the delta from here. On a fresh local
+	// server the baseline is zero and this is the identity.
+	base := b.Snapshot()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(w.Streams))
+	for i := range w.Streams {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.runPatient(b, c, w.Streams[i], fs)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var expRetrains uint64
+	if spec.Confirm {
+		for _, ps := range w.Streams {
+			if len(ps.Truth) > 0 {
+				expRetrains++
+			}
+		}
+	}
+	st, err := awaitDrain(b, base, c, spec.Admission == "block", expWindows, expRejects, expRetrains)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Name:            spec.Name,
+		Seed:            spec.Seed,
+		Patients:        spec.Patients,
+		Source:          w.Source,
+		StreamSeconds:   float64(streamSeconds),
+		AdmittedSeconds: float64(admittedSeconds),
+		Windows:         st.Windows,
+		QualityRejected: st.QualityRejected,
+		Shed:            st.BatchesShed,
+		Dropped:         st.BatchesDropped,
+		Retrains:        st.Retrains,
+		Alarms:          st.Alarms,
+	}
+	var total eval.DetectionMetrics
+	for i, ps := range w.Streams {
+		truth := ps.Truth
+		if spec.Confirm && len(truth) > 0 {
+			// The first seizure trained the detector; scoring it would
+			// credit the model with the event it learned from.
+			truth = truth[1:]
+		}
+		mapped := make([]signal.Interval, len(truth))
+		for k, iv := range truth {
+			mapped[k] = signal.Interval{
+				Start: admittedTime(iv.Start, masks[i], prefixes[i]),
+				End:   admittedTime(iv.End, masks[i], prefixes[i]),
+			}
+		}
+		dm := eval.ScoreDetections(c.AlarmTimes(ps.ID), mapped, spec.Tolerance, float64(prefixes[i][len(masks[i])]))
+		total = eval.Merge(total, dm)
+	}
+	res.Events = total.Events
+	res.Detected = total.Detected
+	res.Sensitivity = total.Sensitivity
+	res.FalseAlarms = total.FalseAlarms
+	res.FalseAlarmsPerHour = total.FalseAlarmsPerHour
+	return res, nil
+}
+
+// runPatient replays one patient's stream in one-second batches:
+// churn-segmented handle lifecycle, backpressure retries, and the
+// confirm barrier after the first seizure.
+func (w *Workload) runPatient(b Backend, c *Collector, ps PatientStream, fs int) error {
+	spec := w.Spec
+	seconds := len(ps.C0) / fs
+	h, err := b.Open(ps.ID)
+	if err != nil {
+		return err
+	}
+	defer func() { h.Close() }()
+
+	confirmAt := -1
+	if spec.Confirm && len(ps.Truth) > 0 {
+		confirmAt = int(math.Ceil(ps.Truth[0].End)) + 10
+		if confirmAt >= seconds {
+			confirmAt = seconds - 1
+		}
+	}
+	segment := seconds
+	if spec.Churn.Reopens > 0 {
+		segment = seconds / (spec.Churn.Reopens + 1)
+		if segment < 1 {
+			segment = 1
+		}
+	}
+	for sec := 0; sec < seconds; sec++ {
+		if sec > 0 && sec%segment == 0 && spec.Churn.Reopens > 0 {
+			// Handle churn: the gateway reconnects; the server-side
+			// session (streamer state, model, history) must survive.
+			h.Close()
+			if h, err = b.Open(ps.ID); err != nil {
+				return err
+			}
+		}
+		lo := sec * fs
+		if err := pushRetry(h, ps.C0[lo:lo+fs], ps.C1[lo:lo+fs]); err != nil {
+			return fmt.Errorf("scenario: %s second %d: %w", ps.ID, sec, err)
+		}
+		if sec == confirmAt {
+			if err := confirmRetry(h); err != nil {
+				return fmt.Errorf("scenario: %s confirm: %w", ps.ID, err)
+			}
+			if err := c.WaitVersion(ps.ID, 1, 90*time.Second); err != nil {
+				return err
+			}
+		}
+		if w.Speed > 0 {
+			interval := float64(time.Second) / w.Speed
+			if p := spec.Wave.Period; p >= 1 {
+				// Diurnal trough: half rate through the second half of
+				// each wave period, phase-shifted per patient so the
+				// backend sees a rolling wave, not synchronized bursts.
+				if math.Mod(float64(sec)+wavePhase(ps.ID, p), p) >= p/2 {
+					interval *= 2
+				}
+			}
+			time.Sleep(time.Duration(interval))
+		}
+	}
+	return nil
+}
+
+// wavePhase offsets a patient's position in the load wave, derived
+// from the ID so it is stable across runs.
+func wavePhase(id string, period float64) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return float64(h.Sum64() % uint64(period))
+}
+
+func pushRetry(h Handle, c0, c1 []float64) error {
+	for {
+		err := h.Push(c0, c1)
+		if err != serve.ErrBackpressure {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func confirmRetry(h Handle) error {
+	for {
+		err := h.Confirm()
+		if err != serve.ErrBackpressure {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// awaitDrain waits until the backend has processed everything the
+// scenario pushed and the collector has seen every alarm event. With
+// lossless (block) admission the expected counters are exact and are
+// verified; with drop/shed admission the run waits for the counters to
+// go quiescent instead.
+func awaitDrain(b Backend, base serve.Stats, c *Collector, exact bool, expWindows, expRejects, expRetrains uint64) (serve.Stats, error) {
+	deadline := time.Now().Add(120 * time.Second)
+	var last serve.Stats
+	stable := 0
+	for {
+		st := statsDelta(b.Snapshot(), base)
+		if st.RetrainErrors > 0 || st.ConfirmsDropped > 0 {
+			return st, fmt.Errorf("scenario: retrain failed or confirm lost: %d errors, %d lost", st.RetrainErrors, st.ConfirmsDropped)
+		}
+		caughtUp := c.TotalAlarms() >= st.Alarms && st.Retrains >= expRetrains
+		if exact {
+			if caughtUp && st.Windows >= expWindows && st.QualityRejected >= expRejects {
+				if st.Windows != expWindows || st.QualityRejected != expRejects {
+					return st, fmt.Errorf("scenario: drained to %d windows / %d rejects, expected exactly %d / %d",
+						st.Windows, st.QualityRejected, expWindows, expRejects)
+				}
+				return st, nil
+			}
+		} else {
+			// Lossy admission: quiesce when the counters stop moving.
+			if caughtUp && st.Windows == last.Windows && st.QualityRejected == last.QualityRejected &&
+				st.Batches == last.Batches && st.Alarms == last.Alarms {
+				stable++
+				if stable >= 20 { // ~400 ms of stillness
+					return st, nil
+				}
+			} else {
+				stable = 0
+			}
+			last = st
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("scenario: drain timed out: windows %d/%d, rejects %d/%d, retrains %d/%d",
+				st.Windows, expWindows, st.QualityRejected, expRejects, st.Retrains, expRetrains)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// RunLocal builds the workload and replays it against a fresh
+// in-process serve.Server configured from the spec — the path the
+// pinned scenario-matrix test and cmd/loadgen's local mode use.
+func RunLocal(spec Spec) (*Result, error) {
+	w, err := Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	c := NewCollector()
+	srv, err := NewLocalServer(w, c)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	return w.Run(localBackend{srv}, c)
+}
+
+// NewLocalServer builds a serve.Server sized and configured for the
+// workload, with the collector attached as a synchronous event sink
+// (no event can be dropped).
+func NewLocalServer(w *Workload, c *Collector) (*serve.Server, error) {
+	spec := w.Spec
+	cfg := serve.Config{
+		Workers:            2,
+		SampleRate:         w.SampleRate,
+		History:            time.Duration(spec.Duration) * time.Second,
+		AvgSeizureDuration: 20 * time.Second,
+		AlarmCfg: rt.Config{
+			VoteWindow:   5,
+			VotesToRaise: 3,
+			Refractory:   time.Duration(spec.Refractory * float64(time.Second)),
+			Hop:          time.Second,
+		},
+	}
+	opts := []serve.Option{serve.WithEventSink(c.Observe), serve.WithEventBuffer(4096)}
+	switch spec.Admission {
+	case "drop":
+		opts = append(opts, serve.WithAdmission(serve.DropOnFull()))
+	case "shed":
+		opts = append(opts, serve.WithAdmission(serve.ShedOldest()))
+	default:
+		opts = append(opts, serve.WithAdmission(serve.BlockWithDeadline(0)))
+	}
+	if spec.Quality != nil {
+		pf, err := serve.QualityPrefilter(*spec.Quality)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, serve.WithPrefilter(pf))
+	}
+	return serve.New(cfg, opts...)
+}
+
+// LocalBackend adapts an in-process server to the engine. The caller
+// owns the server's lifecycle and must have routed its events into the
+// run's collector (NewLocalServer wires both).
+func LocalBackend(srv *serve.Server) Backend { return localBackend{srv} }
+
+type localBackend struct{ srv *serve.Server }
+
+func (b localBackend) Open(p string) (Handle, error) { return b.srv.Open(p) }
+func (b localBackend) Snapshot() serve.Stats         { return b.srv.Snapshot() }
+
+// statsDelta subtracts a baseline snapshot's cumulative counters so
+// scenario accounting holds against fleets that served earlier runs.
+// Gauges (Sessions, StreamsOpen, ModelsCached, QueueDepth) pass
+// through untouched.
+func statsDelta(st, base serve.Stats) serve.Stats {
+	st.SessionsCreated -= base.SessionsCreated
+	st.SessionsEvicted -= base.SessionsEvicted
+	st.Batches -= base.Batches
+	st.BatchesDropped -= base.BatchesDropped
+	st.BatchesShed -= base.BatchesShed
+	st.QualityRejected -= base.QualityRejected
+	st.Windows -= base.Windows
+	st.Alarms -= base.Alarms
+	st.Confirms -= base.Confirms
+	st.ConfirmsRejected -= base.ConfirmsRejected
+	st.ConfirmsDropped -= base.ConfirmsDropped
+	st.Retrains -= base.Retrains
+	st.RetrainErrors -= base.RetrainErrors
+	st.StreamErrors -= base.StreamErrors
+	st.StoreErrors -= base.StoreErrors
+	st.EventsDropped -= base.EventsDropped
+	return st
+}

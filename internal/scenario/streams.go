@@ -1,0 +1,280 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"selflearn/internal/chbmit"
+	"selflearn/internal/edf"
+	"selflearn/internal/signal"
+	"selflearn/internal/synth"
+)
+
+// PatientStream is one patient's fully rendered input: the two raw
+// channels the engine will replay in one-second batches, plus the
+// ground-truth seizure intervals in stream seconds.
+type PatientStream struct {
+	ID     string
+	C0, C1 []float64
+	Truth  []signal.Interval
+}
+
+// Workload is a built scenario: the defaulted spec and every patient's
+// rendered stream. Building is separate from running so cmd/loadgen can
+// inspect the effective sample rate (it must match a remote fleet's
+// -rate) before opening any connection.
+type Workload struct {
+	Spec Spec
+	// SampleRate is the effective rate in Hz — the spec's for synthetic
+	// sources, the files' for EDF replay.
+	SampleRate float64
+	// Source names the signal origin actually used; "synth-fallback"
+	// means the EDF directory held no usable recordings.
+	Source  string
+	Streams []PatientStream
+	// Speed, when positive, paces replay in real time at Speed× wall
+	// clock (1 = one stream second per real second), with Spec.Wave
+	// modulating the rate. Zero — the default, and what the pinned
+	// matrix test uses — replays at full speed. Set by cmd/loadgen's
+	// -speed flag; pacing never changes what the backend computes.
+	Speed float64
+}
+
+// Build defaults and validates the spec and renders every patient
+// stream. All randomness derives from Spec.Seed, so the same spec
+// builds byte-identical workloads.
+func Build(spec Spec) (*Workload, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	w := &Workload{Spec: spec, SampleRate: spec.SampleRate, Source: spec.Source.Kind}
+	var err error
+	switch spec.Source.Kind {
+	case "synth":
+		w.Streams, err = buildSynth(spec)
+	case "chbmit":
+		w.SampleRate = signal.DefaultSampleRate
+		w.Streams, err = buildCHBMIT(spec)
+	case "edf":
+		w.Streams, w.SampleRate, err = buildEDF(spec)
+		if err == nil && w.Streams == nil {
+			// No .edf files found: degrade to the synthetic source so a
+			// scenario stays runnable on a machine without the corpus.
+			w.Source = "synth-fallback"
+			w.SampleRate = spec.SampleRate
+			w.Streams, err = buildSynth(spec)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// patientSeed derives a per-patient seed from the scenario seed; FNV-1a
+// over the ID keeps it independent of patient ordering.
+func patientSeed(seed int64, id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return seed ^ int64(h.Sum64())
+}
+
+// buildSynth renders one synthetic recording per patient and overlays
+// the spec's artifacts and dropouts.
+func buildSynth(spec Spec) ([]PatientStream, error) {
+	fs := spec.SampleRate
+	out := make([]PatientStream, spec.Patients)
+	for i := range out {
+		id := fmt.Sprintf("p%02d", i+1)
+		cfg := synth.RecordConfig{
+			PatientID:  id,
+			RecordID:   spec.Name,
+			Seed:       patientSeed(spec.Seed, id),
+			Duration:   spec.Duration,
+			SampleRate: fs,
+			Background: synth.DefaultBackground(),
+		}
+		for k := 0; k < spec.Seizures.Count; k++ {
+			cfg.Seizures = append(cfg.Seizures, synth.SeizureEvent{
+				Start:    spec.Seizures.First + float64(k)*spec.Seizures.Gap,
+				Duration: spec.Seizures.Duration,
+				Config:   synth.DefaultSeizure(),
+			})
+		}
+		rec, err := synth.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := contaminate(spec, rec, cfg.Seed); err != nil {
+			return nil, err
+		}
+		out[i] = PatientStream{ID: id, C0: rec.Data[0], C1: rec.Data[1], Truth: rec.Seizures}
+	}
+	return out, nil
+}
+
+// contaminate overlays the spec's artifact and dropout schedule on a
+// rendered recording. Artifact randomness uses its own RNG derived from
+// the patient seed so adding contamination never perturbs the
+// underlying signal.
+func contaminate(spec Spec, rec *signal.Recording, seed int64) error {
+	fs := rec.SampleRate
+	n := len(rec.Data[0])
+	rng := rand.New(rand.NewSource(seed ^ 0x5ce4a12f))
+	if spec.Artifacts.Blinks {
+		// Blinks ride the frontal channel.
+		if err := synth.AddBlinks(rng, rec.Data[0], 0, n, fs, synth.DefaultBlink()); err != nil {
+			return err
+		}
+	}
+	if spec.Artifacts.Chewing {
+		// Chewing EMG rides both temporal electrodes.
+		for c := 0; c < 2; c++ {
+			if err := synth.AddChewing(rng, rec.Data[c], 0, n, fs, synth.DefaultChew()); err != nil {
+				return err
+			}
+		}
+	}
+	for k := 0; k < spec.Artifacts.Bursts; k++ {
+		start := int((spec.Artifacts.BurstFirst + float64(k)*spec.Artifacts.BurstGap) * fs)
+		cfg := synth.ArtifactConfig{Amp: spec.Artifacts.BurstAmp, Duration: spec.Artifacts.BurstDur, HighFreq: false}
+		for c := 0; c < 2; c++ {
+			if err := synth.AddArtifact(rng, rec.Data[c], start, fs, cfg); err != nil {
+				return err
+			}
+		}
+	}
+	for k := 0; k < spec.Dropouts.Count; k++ {
+		start := int((spec.Dropouts.First + float64(k)*spec.Dropouts.Gap) * fs)
+		cfg := synth.DropoutConfig{Duration: spec.Dropouts.Duration}
+		chans := []int{spec.Dropouts.Channel}
+		if spec.Dropouts.Channel == -1 {
+			chans = []int{0, 1}
+		}
+		for _, c := range chans {
+			if err := synth.AddDropout(rec.Data[c], start, fs, cfg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// buildCHBMIT replays the nine-patient catalog: each scenario patient
+// takes a catalog subject round-robin and streams Seizures.Count crops
+// of that subject's seizure records back to back, so a bounded-duration
+// run still covers multiple real-morphology seizures per patient.
+func buildCHBMIT(spec Spec) ([]PatientStream, error) {
+	catalog := chbmit.Patients()
+	count := spec.Seizures.Count
+	if count < 1 {
+		count = 2
+	}
+	cropLen := math.Floor(spec.Duration / float64(count))
+	if cropLen < 8 {
+		return nil, fmt.Errorf("scenario: %g s over %d crops leaves %g s crops", spec.Duration, count, cropLen)
+	}
+	out := make([]PatientStream, spec.Patients)
+	for i := range out {
+		sub := catalog[i%len(catalog)]
+		id := sub.ID
+		if i >= len(catalog) {
+			id = fmt.Sprintf("%s-%d", sub.ID, i/len(catalog))
+		}
+		ps := PatientStream{ID: id}
+		for k := 0; k < count; k++ {
+			szIdx := k%len(sub.Seizures) + 1
+			rec, err := sub.SeizureRecord(szIdx, spec.Seed+int64(i*count+k))
+			if err != nil {
+				return nil, err
+			}
+			fs := rec.SampleRate
+			truth := rec.Seizures[0]
+			// Crop [onset−60, onset−60+cropLen], clamped into the record,
+			// on whole-second boundaries.
+			lo := math.Max(0, math.Floor(truth.Start)-60)
+			if lo+cropLen > chbmit.RecordDuration {
+				lo = chbmit.RecordDuration - cropLen
+			}
+			a, b := int(lo*fs), int((lo+cropLen)*fs)
+			offset := float64(len(ps.C0)) / fs
+			ps.C0 = append(ps.C0, rec.Data[0][a:b]...)
+			ps.C1 = append(ps.C1, rec.Data[1][a:b]...)
+			ps.Truth = append(ps.Truth, signal.Interval{
+				Start: truth.Start - lo + offset,
+				End:   math.Min(truth.End, lo+cropLen) - lo + offset,
+			})
+		}
+		out[i] = ps
+	}
+	return out, nil
+}
+
+// buildEDF replays real recordings from a directory of .edf files (with
+// internal/edf's sidecar annotations supplying ground truth). Returns
+// (nil, 0, nil) when the directory holds no .edf files so Build can
+// fall back to the synthetic source.
+func buildEDF(spec Spec) ([]PatientStream, float64, error) {
+	entries, err := os.ReadDir(spec.Source.Dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".edf") {
+			names = append(names, strings.TrimSuffix(e.Name(), ".edf"))
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, 0, nil
+	}
+	out := make([]PatientStream, spec.Patients)
+	fs := 0.0
+	for i := range out {
+		name := names[i%len(names)]
+		rec, err := edf.LoadRecording(spec.Source.Dir, name)
+		if err != nil {
+			return nil, 0, fmt.Errorf("scenario: %s: %w", name, err)
+		}
+		if len(rec.Data) < 2 {
+			return nil, 0, fmt.Errorf("scenario: %s has %d channels, need 2", name, len(rec.Data))
+		}
+		if fs == 0 {
+			fs = rec.SampleRate
+		} else if rec.SampleRate != fs {
+			return nil, 0, fmt.Errorf("scenario: %s samples at %g Hz, others at %g Hz", name, rec.SampleRate, fs)
+		}
+		// Truncate to the spec duration on a whole-second boundary.
+		n := len(rec.Data[0])
+		if max := int(spec.Duration * fs); n > max {
+			n = max
+		}
+		n -= n % int(fs)
+		id := rec.PatientID
+		if id == "" {
+			id = name
+		}
+		if i >= len(names) {
+			id = fmt.Sprintf("%s-%d", id, i/len(names))
+		}
+		ps := PatientStream{ID: id, C0: rec.Data[0][:n], C1: rec.Data[1][:n]}
+		end := float64(n) / fs
+		for _, iv := range rec.Seizures {
+			if iv.Start < end {
+				ps.Truth = append(ps.Truth, signal.Interval{Start: iv.Start, End: math.Min(iv.End, end)})
+			}
+		}
+		out[i] = ps
+	}
+	return out, fs, nil
+}

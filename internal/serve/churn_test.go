@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHandleChurn hammers Open/Close on one patient while the patient's
+// real handle keeps streaming and confirming — the gateway-reconnect
+// storm a flaky mobile link produces. The session must be created
+// exactly once and survive the churn, no handle may leak, and the two
+// confirm rounds must publish exactly model versions 1 and 2: a
+// double-publish or a lost confirm is a regression in the learner
+// hand-off. Run under -race this also shakes out handle lifecycle
+// races.
+func TestHandleChurn(t *testing.T) {
+	const patient = "churn01"
+	var mu sync.Mutex
+	var versions []uint64
+	srv, err := New(Config{
+		Workers:            2,
+		SampleRate:         testRate,
+		History:            8 * time.Minute,
+		AvgSeizureDuration: 20 * time.Second,
+	},
+		WithAdmission(BlockWithDeadline(0)),
+		WithEventSink(func(ev Event) {
+			if ev.Kind == EventModelUpdated && ev.Patient == patient {
+				mu.Lock()
+				versions = append(versions, ev.Version)
+				mu.Unlock()
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var churners sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		churners.Add(1)
+		go func() {
+			defer churners.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h, err := srv.Open(patient)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				h.Close()
+			}
+		}()
+	}
+
+	h := open(t, srv, patient)
+	for round := int64(1); round <= 2; round++ {
+		stream(t, h, testRecording(t, round, 180, 90, 24))
+		for {
+			err := h.Confirm()
+			if err == nil {
+				break
+			}
+			if err != ErrBackpressure {
+				t.Fatalf("Confirm: %v", err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		awaitRetrains(t, srv, uint64(round))
+	}
+	close(stop)
+	churners.Wait()
+	h.Close()
+
+	st := srv.Snapshot()
+	if st.StreamsOpen != 0 {
+		t.Errorf("%d handles leaked", st.StreamsOpen)
+	}
+	if st.SessionsCreated != 1 {
+		t.Errorf("session created %d times, want 1: churn evicted live state", st.SessionsCreated)
+	}
+	if st.Retrains != 2 || st.RetrainErrors != 0 || st.ConfirmsDropped != 0 {
+		t.Errorf("retrain accounting off: %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(versions) != 2 || versions[0] != 1 || versions[1] != 2 {
+		t.Errorf("model versions published %v, want [1 2]", versions)
+	}
+}

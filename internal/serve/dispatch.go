@@ -93,6 +93,19 @@ func (w *worker) Depth() int { return w.queue.Depth() }
 func (w *worker) run(historyRows int) {
 	defer close(w.done)
 	for j := range w.queue.C() {
+		// Quality-aware admission: a garbage batch is refused here,
+		// before any session state or classifier time is spent on it.
+		// The samples never reach the feature streamer — the window
+		// stream skips the unusable second.
+		if !j.Confirm && w.srv.prefilter != nil &&
+			!w.srv.prefilter.Admit(j.C0, j.C1, w.srv.cfg.SampleRate) {
+			w.srv.qualityRejected.Add(1)
+			if j.Stream != nil {
+				j.Stream.NoteRejected()
+			}
+			w.srv.hub.emit(Event{Kind: EventQualityReject, Patient: j.Patient})
+			continue
+		}
 		sess, err := w.session(j.Patient, historyRows)
 		if err != nil {
 			// The pipeline was pre-flighted in New, so a constructor
@@ -122,13 +135,13 @@ func (w *worker) run(historyRows int) {
 			if j.Stream != nil {
 				j.Stream.NoteWindows(len(rows))
 			}
-			if fired > 0 {
-				w.srv.alarms.Add(uint64(fired))
+			if len(fired) > 0 {
+				w.srv.alarms.Add(uint64(len(fired)))
 				if j.Stream != nil {
-					j.Stream.NoteAlarms(fired)
+					j.Stream.NoteAlarms(len(fired))
 				}
-				for i := 0; i < fired; i++ {
-					w.srv.hub.emit(Event{Kind: EventAlarm, Patient: j.Patient})
+				for _, at := range fired {
+					w.srv.hub.emit(Event{Kind: EventAlarm, Patient: j.Patient, StreamTime: at})
 				}
 			}
 		}

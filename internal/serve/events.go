@@ -30,6 +30,13 @@ const (
 	// monotonic per-patient model version; the cluster layer keys
 	// checkpoint replication and warm failover off this event.
 	EventModelUpdated
+	// EventQualityReject reports an accepted batch refused by the
+	// quality prefilter (WithPrefilter) before feature extraction —
+	// electrode dropout or a saturating artifact made the second
+	// unusable. The pushing caller saw no error (its Push had already
+	// succeeded); this event and Stats.QualityRejected are how garbage
+	// input is observed.
+	EventQualityReject
 )
 
 // String names the kind for logs.
@@ -45,6 +52,8 @@ func (k EventKind) String() string {
 		return "shed"
 	case EventModelUpdated:
 		return "model-updated"
+	case EventQualityReject:
+		return "quality-reject"
 	default:
 		return "unknown"
 	}
@@ -62,6 +71,13 @@ type Event struct {
 	// Version carries the monotonic per-patient model version of an
 	// EventModelUpdated; 0 otherwise.
 	Version uint64
+	// StreamTime is the patient's stream time in seconds at which an
+	// EventAlarm fired — the alarm window's index times the hop, the
+	// same clock rt.Alarm.Time runs on. Unlike the wall-clock Time it
+	// is deterministic for a deterministic input stream, which is what
+	// lets a replay harness score detections against ground-truth
+	// seizure intervals. 0 for other kinds.
+	StreamTime float64
 	// Err carries the failure of an EventRetrain; nil otherwise.
 	Err error
 }

@@ -8,6 +8,7 @@ type Option func(*serverOptions)
 type serverOptions struct {
 	store       ModelStore
 	admission   AdmissionPolicy
+	prefilter   Prefilter
 	eventBuffer int
 	sink        func(Event)
 }
@@ -42,6 +43,16 @@ func WithAdmission(p AdmissionPolicy) Option {
 			o.admission = p
 		}
 	}
+}
+
+// WithPrefilter installs a quality-aware admission stage: every batch
+// is inspected on its shard worker before feature extraction, and a
+// refused batch is dropped without burning classifier time — counted in
+// Stats.QualityRejected and announced as an EventQualityReject. Without
+// one, every accepted batch is processed (the previous behavior).
+// QualityPrefilter builds the standard signal-quality implementation.
+func WithPrefilter(p Prefilter) Option {
+	return func(o *serverOptions) { o.prefilter = p }
 }
 
 // WithEventBuffer sizes the Events subscriber channel (default 256). A

@@ -144,6 +144,11 @@ type Stats struct {
 	Batches        uint64
 	BatchesDropped uint64
 	BatchesShed    uint64
+	// QualityRejected counts accepted batches the quality prefilter
+	// refused before feature extraction (WithPrefilter) — garbage
+	// seconds that never burned classifier time. Always 0 without a
+	// prefilter.
+	QualityRejected uint64
 	// Windows is the number of feature windows classified.
 	Windows uint64
 	// WindowsPerSec is the classification rate over the interval since
@@ -188,6 +193,7 @@ type Stats struct {
 type Server struct {
 	cfg       Config
 	admission AdmissionPolicy
+	prefilter Prefilter
 	transport *localTransport
 	learner   *learner
 	cache     *modelCache
@@ -214,6 +220,7 @@ type Server struct {
 	batches          atomic.Uint64
 	batchesDropped   atomic.Uint64
 	batchesShed      atomic.Uint64
+	qualityRejected  atomic.Uint64
 	windows          atomic.Uint64
 	alarms           atomic.Uint64
 	confirms         atomic.Uint64
@@ -250,7 +257,7 @@ func New(cfg Config, opts ...Option) (*Server, error) {
 	for _, opt := range opts {
 		opt(&so)
 	}
-	s := &Server{cfg: cfg, admission: so.admission, start: time.Now()}
+	s := &Server{cfg: cfg, admission: so.admission, prefilter: so.prefilter, start: time.Now()}
 	s.lastSnap = s.start
 	s.hub = newEventHub(so.eventBuffer, so.sink)
 	s.cache = newModelCache(cfg.ModelCacheSize, so.store, func(error) { s.storeErrors.Add(1) })
@@ -329,6 +336,7 @@ func (s *Server) Snapshot() Stats {
 		Batches:          s.batches.Load(),
 		BatchesDropped:   s.batchesDropped.Load(),
 		BatchesShed:      s.batchesShed.Load(),
+		QualityRejected:  s.qualityRejected.Load(),
 		Windows:          s.windows.Load(),
 		Alarms:           s.alarms.Load(),
 		Confirms:         s.confirms.Load(),

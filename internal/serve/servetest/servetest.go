@@ -26,13 +26,17 @@ type Harness struct {
 // Observer counts per-stream attribution, standing in for a session
 // handle on jobs the suite enqueues.
 type Observer struct {
-	Sheds   atomic.Uint64
-	Windows atomic.Uint64
-	Alarms  atomic.Uint64
+	Sheds    atomic.Uint64
+	Windows  atomic.Uint64
+	Alarms   atomic.Uint64
+	Rejected atomic.Uint64
 }
 
 // NoteShed implements serve.StreamObserver.
 func (o *Observer) NoteShed() { o.Sheds.Add(1) }
+
+// NoteRejected implements serve.StreamObserver.
+func (o *Observer) NoteRejected() { o.Rejected.Add(1) }
 
 // NoteWindows implements serve.StreamObserver.
 func (o *Observer) NoteWindows(n int) { o.Windows.Add(uint64(n)) }

@@ -38,10 +38,12 @@ type session struct {
 	histLen int
 
 	// rowsScratch collects the slot views of the rows a batch completed;
-	// predScratch is the matching classification buffer. Both are reused
+	// predScratch is the matching classification buffer; alarmScratch
+	// collects the stream times of alarms a batch fired. All are reused
 	// across batches.
-	rowsScratch [][]float64
-	predScratch []bool
+	rowsScratch  [][]float64
+	predScratch  []bool
+	alarmScratch []float64
 
 	// retrainSeq counts confirmations dispatched to the learner; it
 	// seeds forest training so retrains stay deterministic per patient.
@@ -159,10 +161,14 @@ func (s *session) historySnapshot() [][]float64 {
 
 // classify scores the batch's feature rows with the current model (all
 // negative while untrained) and feeds them through the alarm layer,
-// returning how many alarms fired.
-func (s *session) classify(rows [][]float64) int {
+// returning the stream times of the alarms that fired. The returned
+// slice is the session's reusable scratch, valid until the next
+// classify call; the common (alarm-free) path stays allocation-free.
+func (s *session) classify(rows [][]float64) []float64 {
+	fired := s.alarmScratch[:0]
 	if len(rows) == 0 {
-		return 0
+		s.alarmScratch = fired
+		return fired
 	}
 	if cap(s.predScratch) < len(rows) {
 		s.predScratch = make([]bool, len(rows))
@@ -175,11 +181,11 @@ func (s *session) classify(rows [][]float64) int {
 			preds[i] = false
 		}
 	}
-	fired := 0
 	for _, p := range preds {
 		if s.alarm.PushPrediction(p) {
-			fired++
+			fired = append(fired, s.alarm.LastAlarmTime())
 		}
 	}
+	s.alarmScratch = fired
 	return fired
 }

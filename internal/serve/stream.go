@@ -31,6 +31,7 @@ type Stream struct {
 	batches  atomic.Uint64
 	dropped  atomic.Uint64
 	shed     atomic.Uint64
+	rejected atomic.Uint64
 	confirms atomic.Uint64
 	windows  atomic.Uint64
 	alarms   atomic.Uint64
@@ -46,6 +47,9 @@ type StreamStats struct {
 	Batches        uint64
 	BatchesDropped uint64
 	BatchesShed    uint64
+	// QualityRejected counts accepted batches the server's quality
+	// prefilter refused before feature extraction.
+	QualityRejected uint64
 	// Confirms counts accepted confirmations.
 	Confirms uint64
 	// Windows and Alarms count feature windows classified and alarms
@@ -89,6 +93,9 @@ func (st *Stream) NoteShed() { st.shed.Add(1) }
 
 // NoteWindows implements StreamObserver.
 func (st *Stream) NoteWindows(n int) { st.windows.Add(uint64(n)) }
+
+// NoteRejected implements StreamObserver.
+func (st *Stream) NoteRejected() { st.rejected.Add(1) }
 
 // NoteAlarms implements StreamObserver.
 func (st *Stream) NoteAlarms(n int) { st.alarms.Add(uint64(n)) }
@@ -149,13 +156,14 @@ func (st *Stream) Confirm() error {
 // batch, not when Push accepts it.
 func (st *Stream) Stats() StreamStats {
 	return StreamStats{
-		Patient:        st.patient,
-		Batches:        st.batches.Load(),
-		BatchesDropped: st.dropped.Load(),
-		BatchesShed:    st.shed.Load(),
-		Confirms:       st.confirms.Load(),
-		Windows:        st.windows.Load(),
-		Alarms:         st.alarms.Load(),
+		Patient:         st.patient,
+		Batches:         st.batches.Load(),
+		BatchesDropped:  st.dropped.Load(),
+		BatchesShed:     st.shed.Load(),
+		QualityRejected: st.rejected.Load(),
+		Confirms:        st.confirms.Load(),
+		Windows:         st.windows.Load(),
+		Alarms:          st.alarms.Load(),
 	}
 }
 

@@ -36,6 +36,11 @@ type StreamObserver interface {
 	// calls these; remote attribution arrives as events instead.
 	NoteWindows(n int)
 	NoteAlarms(n int)
+	// NoteRejected records one of the stream's accepted batches refused
+	// by the quality prefilter before feature extraction. Only the
+	// local transport calls it; remote rejections arrive as
+	// EventQualityReject events.
+	NoteRejected()
 }
 
 // QueueHooks observe queue-level outcomes that bypass the caller: jobs

@@ -63,8 +63,11 @@ func AssessChannel(xs []float64, fs float64, cfg QualityConfig) (QualityReport, 
 		return QualityReport{}, fmt.Errorf("signal: invalid sampling rate %g", fs)
 	}
 	seg := int(fs)
-	if seg < 1 {
-		seg = 1
+	if seg < 2 {
+		// A segment under two samples has no variance, so flatline
+		// segmentation would reject any signal; at such degenerate rates
+		// assess the whole input as one segment instead.
+		seg = len(xs)
 	}
 	var flat, segments int
 	for start := 0; start+seg <= len(xs); start += seg {

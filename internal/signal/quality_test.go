@@ -97,6 +97,74 @@ func TestAssessChannelShorterThanSegment(t *testing.T) {
 	}
 }
 
+// TestAssessChannelEdgeCases pins behavior on the degenerate inputs an
+// adversarial stream can produce: fully dead or saturated channels,
+// inputs at or below one segment, and fractional sampling rates. Every
+// report must stay finite — these values feed stats counters and JSON
+// rows.
+func TestAssessChannelEdgeCases(t *testing.T) {
+	fs := 256.0
+	flat := make([]float64, 10*int(fs)) // all zeros: total flatline
+	dc := make([]float64, 10*int(fs))   // flat at a DC offset: still dead
+	for i := range dc {
+		dc[i] = 500
+	}
+	clipped := make([]float64, 10*int(fs)) // every sample at a rail
+	for i := range clipped {
+		clipped[i] = 4000
+		if i%2 == 0 {
+			clipped[i] = -4000
+		}
+	}
+	cases := []struct {
+		name               string
+		xs                 []float64
+		rate               float64
+		wantOK             bool
+		wantFlat, wantClip float64
+	}{
+		{"all-flatline", flat, fs, false, 1, 0},
+		{"dc-flatline", dc, fs, false, 1, 0},
+		// Alternating rails have huge variance: clipped, not flatlined.
+		{"all-clipped", clipped, fs, false, 0, 1},
+		{"single-segment", noisy(int(fs), 10, 10), fs, true, 0, 0},
+		// Below one segment the fallback assesses the whole input.
+		{"sub-segment", noisy(int(fs)-1, 10, 11), fs, true, 0, 0},
+		// A single sample is a constant, and a constant is a flatline.
+		{"one-sample", []float64{42}, fs, false, 1, 0},
+		// Sub-1 Hz rates clamp the segment to one sample.
+		{"fractional-rate", noisy(10, 10, 12), 0.5, true, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := AssessChannel(tc.xs, tc.rate, DefaultQuality())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, v := range map[string]float64{
+				"flatline": r.FlatlineFraction, "clipped": r.ClippedFraction, "rms": r.RMS,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s = %g, want finite", name, v)
+				}
+			}
+			if r.OK != tc.wantOK {
+				t.Errorf("OK = %v, want %v (%+v)", r.OK, tc.wantOK, r)
+			}
+			if r.FlatlineFraction != tc.wantFlat {
+				t.Errorf("flatline fraction = %g, want %g", r.FlatlineFraction, tc.wantFlat)
+			}
+			if r.ClippedFraction != tc.wantClip {
+				t.Errorf("clipped fraction = %g, want %g", r.ClippedFraction, tc.wantClip)
+			}
+		})
+	}
+	// Zero-length input is an error, never a garbage report.
+	if _, err := AssessChannel([]float64{}, fs, DefaultQuality()); err == nil {
+		t.Error("zero-length channel should fail")
+	}
+}
+
 func TestAssessRecording(t *testing.T) {
 	rec := testRecording(30)
 	// Scale the sinusoids to plausible EEG amplitude.

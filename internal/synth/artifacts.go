@@ -58,6 +58,37 @@ func AddBlinks(rng *rand.Rand, data []float64, start, durSamples int, fs float64
 	return nil
 }
 
+// DropoutConfig parameterises an electrode dropout: a lead break or a
+// detached electrode leaves the channel reading a flat front-end level
+// instead of brain activity.
+type DropoutConfig struct {
+	// Duration is the dropout length in seconds.
+	Duration float64
+	// Level is the DC level in µV the channel holds while disconnected
+	// (an open input typically sits at a rail or near zero).
+	Level float64
+}
+
+// DefaultDropout returns a ten-second disconnect resting at zero.
+func DefaultDropout() DropoutConfig {
+	return DropoutConfig{Duration: 10, Level: 0}
+}
+
+// AddDropout replaces the sample range [start, start+Duration·fs) with
+// the flat disconnect level. Unlike the additive artifacts it overwrites
+// the signal: a disconnected electrode records nothing, which is exactly
+// the flatline morphology quality assessment keys on.
+func AddDropout(data []float64, start int, fs float64, cfg DropoutConfig) error {
+	durSamples := int(cfg.Duration * fs)
+	if start < 0 || durSamples <= 0 || start+durSamples > len(data) {
+		return fmt.Errorf("synth: dropout [%d, %d) outside data of %d samples", start, start+durSamples, len(data))
+	}
+	for i := 0; i < durSamples; i++ {
+		data[start+i] = cfg.Level
+	}
+	return nil
+}
+
 // ChewConfig parameterises chewing/bruxism artifacts: rhythmic broadband
 // EMG bursts at ~1–2 Hz that ride on temporal electrodes.
 type ChewConfig struct {

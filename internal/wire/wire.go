@@ -40,7 +40,11 @@ import (
 // v2: Event frames carry the model Version; ModelGet / ModelPut /
 // ModelAnnounce frames added for checkpoint replication and warm
 // failover.
-const Version = 2
+//
+// v3: Event frames carry StreamTime (deterministic alarm time for
+// replay scoring); Stats frames carry QualityRejected (quality
+// prefilter refusals).
+const Version = 3
 
 // MaxFrame bounds a frame body so a corrupt or hostile length prefix
 // cannot make the decoder allocate gigabytes. 16 MiB fits >500 s of
@@ -231,6 +235,7 @@ func (e *Encoder) Event(ev serve.Event) error {
 	e.appendI64(ev.Time.UnixNano())
 	e.appendU64(ev.Seq)
 	e.appendU64(ev.Version)
+	e.appendF64(ev.StreamTime)
 	msg := ""
 	if ev.Err != nil {
 		msg = ev.Err.Error()
@@ -289,6 +294,7 @@ func (e *Encoder) Stats(token uint64, st serve.Stats) error {
 	e.appendU64(st.Batches)
 	e.appendU64(st.BatchesDropped)
 	e.appendU64(st.BatchesShed)
+	e.appendU64(st.QualityRejected)
 	e.appendU64(st.Windows)
 	e.appendF64(st.WindowsPerSec)
 	e.appendU64(st.Alarms)
@@ -459,6 +465,7 @@ func parse(body []byte) (Msg, error) {
 		m.Event.Time = time.Unix(0, r.i64())
 		m.Event.Seq = r.u64()
 		m.Event.Version = r.u64()
+		m.Event.StreamTime = r.f64()
 		if msg := r.str(); msg != "" {
 			m.Event.Err = errors.New(msg)
 		}
@@ -499,6 +506,7 @@ func decodeStats(r *reader) serve.Stats {
 	st.Batches = r.u64()
 	st.BatchesDropped = r.u64()
 	st.BatchesShed = r.u64()
+	st.QualityRejected = r.u64()
 	st.Windows = r.u64()
 	st.WindowsPerSec = r.f64()
 	st.Alarms = r.u64()
