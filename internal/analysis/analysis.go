@@ -1,0 +1,88 @@
+// Package analysis is a small, dependency-free re-creation of the
+// golang.org/x/tools/go/analysis core: an Analyzer is a named check
+// that runs over one type-checked package and reports diagnostics.
+//
+// The x/tools module is deliberately not vendored — the serving repo
+// has zero external dependencies and keeps it that way — so this
+// package defines just the surface the selflearnvet analyzers need:
+//
+//   - Analyzer / Pass / Diagnostic (the x/tools shapes, trimmed),
+//   - package-level facts serialized as JSON so results flow between
+//     packages both in-process (internal/analysis/checker) and across
+//     `go vet -vettool` invocations (internal/analysis/unitchecker),
+//   - //selflearn:* source-marker scanning shared by all analyzers
+//     (see markers.go).
+//
+// Drivers: cmd/selflearnvet is the multichecker binary; it runs either
+// standalone over `go list` packages or as a `go vet -vettool`.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one named static check.
+type Analyzer struct {
+	// Name is the analyzer's command-line name (lowercase, no spaces).
+	Name string
+	// Doc is the help text: first line is a one-line summary.
+	Doc string
+	// Run analyzes one package. It reports findings via pass.Report and
+	// may return a package fact: any JSON-marshalable value made
+	// available to later passes over importing packages through
+	// Pass.ImportFact. A nil fact is fine.
+	Run func(pass *Pass) (fact any, err error)
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// ModulePath is the module under analysis ("selflearn" here); empty
+	// when vetting a package outside any module.
+	ModulePath string
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+
+	// ImportFact decodes the fact exported by this same analyzer for a
+	// previously analyzed package into out (a pointer), returning false
+	// if no fact is recorded for that package.
+	ImportFact func(pkgPath string, out any) bool
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InModule reports whether pkgPath is inside the module under analysis.
+func (p *Pass) InModule(pkgPath string) bool {
+	if p.ModulePath == "" {
+		return false
+	}
+	return pkgPath == p.ModulePath || strings.HasPrefix(pkgPath, p.ModulePath+"/")
+}
+
+// IsTestFile reports whether f was parsed from a _test.go file. All
+// selflearnvet analyzers skip test files: the invariants they enforce
+// are production hot-path/lock/wire discipline, and tests legitimately
+// allocate, read wall clocks, and poke buffers unguarded.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	tf := p.Fset.File(f.Pos())
+	return tf != nil && strings.HasSuffix(tf.Name(), "_test.go")
+}

@@ -1,0 +1,154 @@
+// Package analysistest runs selflearnvet analyzers over fixture
+// packages under an analyzer's testdata/src directory and matches the
+// diagnostics against // want "regexp" comments, mirroring the x/tools
+// package of the same name.
+//
+// Fixture packages live below testdata so `go build ./...` and wildcard
+// vet runs never see their seeded violations, but `go list` still loads
+// them when addressed by explicit relative path. Because the module is
+// loaded in module mode (not a synthetic GOPATH), fixtures that import
+// sibling fixtures use their full module import path.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"selflearn/internal/analysis"
+	"selflearn/internal/analysis/checker"
+	"selflearn/internal/analysis/load"
+)
+
+// expectation is one parsed want comment term.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads the fixture dirs (relative to the calling test's package
+// directory, e.g. "./testdata/src/a"), applies the analyzers, and
+// reports any mismatch between diagnostics and // want comments as
+// test errors. Dependencies of the fixtures are analyzed for facts but
+// only the named fixtures' diagnostics are matched.
+func Run(t *testing.T, analyzers []*analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	res, err := load.Load(".", dirs...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := checker.Run(res, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range res.Pkgs {
+		if pkg.DepOnly {
+			continue
+		}
+		for _, f := range pkg.Files {
+			wants = append(wants, collectWants(t, res.Fset, f)...)
+		}
+	}
+
+	for _, f := range findings {
+		if f.DepOnly {
+			continue
+		}
+		ok := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses every `// want "re" "re2"` comment in f. Each
+// quoted term (Go-quoted or backquoted) is one expected diagnostic on
+// the comment's line.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Slash)
+			terms, err := splitQuoted(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: malformed want comment: %v", pos.Filename, pos.Line, err)
+			}
+			for _, term := range terms {
+				re, err := regexp.Compile(term)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, term, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			term, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, term)
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A FuncInfo pairs a function declaration with its types object.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+}
+
+// PackageFuncs returns every function/method declared with a body in
+// the pass's non-test files.
+func (p *Pass) PackageFuncs() []FuncInfo {
+	var out []FuncInfo
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			out = append(out, FuncInfo{Decl: fd, Obj: obj})
+		}
+	}
+	return out
+}
+
+// StaticCallee resolves call to the *types.Func it statically invokes:
+// a package function, a method on a concrete receiver, or a method
+// expression. It returns nil for builtins, type conversions, calls of
+// func-typed values, and interface method calls.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	case *ast.IndexListExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	// A method reached through an interface is a dynamic call.
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if types.IsInterface(recv.Type()) {
+			return nil
+		}
+	}
+	return fn
+}
+
+// FuncName renders fn as it appears in package facts: "F" for a
+// function, "T.F" for a method (pointer receivers normalized to T).
+func FuncName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// HotClosure returns every function reachable from a //selflearn:hotpath
+// annotated declaration through same-package static calls, mapped to
+// its declaration. Cross-package edges are not followed here: callees
+// in other module packages must themselves be annotated (hotpathalloc
+// enforces this via package facts), which re-roots the walk there.
+func (p *Pass) HotClosure(m *Markers) map[*types.Func]*ast.FuncDecl {
+	funcs := p.PackageFuncs()
+	decls := make(map[*types.Func]*ast.FuncDecl, len(funcs))
+	var work []*types.Func
+	for _, fi := range funcs {
+		decls[fi.Obj] = fi.Decl
+		if m.FuncHas(fi.Decl, "hotpath") {
+			work = append(work, fi.Obj)
+		}
+	}
+	hot := make(map[*types.Func]*ast.FuncDecl)
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		decl, ok := decls[fn]
+		if !ok || hot[fn] != nil {
+			continue
+		}
+		hot[fn] = decl
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := StaticCallee(p.TypesInfo, call); callee != nil && callee.Pkg() == p.Pkg {
+				work = append(work, callee)
+			}
+			return true
+		})
+	}
+	return hot
+}
+
+// WalkStack traverses root depth-first, calling fn with each node and
+// the stack of its ancestors (outermost first, not including n). If fn
+// returns false the node's children are skipped.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// No push: Inspect skips both the children and the nil pop
+			// when the callback returns false.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,94 @@
+// Package checker runs selflearnvet analyzers over packages loaded by
+// internal/analysis/load, threading JSON package facts dep-first. It is
+// the in-process driver behind `selflearnvet ./...` and analysistest;
+// `go vet -vettool` mode lives in internal/analysis/unitchecker.
+package checker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"sort"
+
+	"selflearn/internal/analysis"
+	"selflearn/internal/analysis/load"
+)
+
+// A Finding is one diagnostic, resolved to a file position.
+type Finding struct {
+	Pos      token.Position
+	PkgPath  string
+	DepOnly  bool
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to every module-internal package in res,
+// in dependency order, and returns the findings sorted by position.
+func Run(res *load.Result, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	// facts[analyzer][pkgPath] is the analyzer's exported package fact.
+	facts := make(map[string]map[string]json.RawMessage, len(analyzers))
+	for _, a := range analyzers {
+		facts[a.Name] = make(map[string]json.RawMessage)
+	}
+	var findings []Finding
+	for _, pkg := range res.Pkgs {
+		for _, a := range analyzers {
+			a := a
+			pkg := pkg
+			pass := &analysis.Pass{
+				Analyzer:   a,
+				Fset:       res.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+				ModulePath: res.ModulePath,
+				Report: func(d analysis.Diagnostic) {
+					findings = append(findings, Finding{
+						Pos:      res.Fset.Position(d.Pos),
+						PkgPath:  pkg.ImportPath,
+						DepOnly:  pkg.DepOnly,
+						Analyzer: a.Name,
+						Message:  d.Message,
+					})
+				},
+				ImportFact: func(pkgPath string, out any) bool {
+					raw, ok := facts[a.Name][pkgPath]
+					if !ok {
+						return false
+					}
+					return json.Unmarshal(raw, out) == nil
+				},
+			}
+			fact, err := a.Run(pass)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			if fact != nil {
+				raw, err := json.Marshal(fact)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %s: marshaling fact: %v", a.Name, pkg.ImportPath, err)
+				}
+				facts[a.Name][pkg.ImportPath] = raw
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

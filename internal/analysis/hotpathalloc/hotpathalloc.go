@@ -1,0 +1,515 @@
+// Package hotpathalloc flags allocating constructs in functions
+// reachable from a //selflearn:hotpath annotation, turning the runtime
+// 0 allocs/op guard benchmarks into a compile-time gate with precise
+// source positions.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"selflearn/internal/analysis"
+)
+
+// Analyzer is the hotpathalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: `flag allocating constructs on //selflearn:hotpath routes
+
+Functions annotated //selflearn:hotpath — and everything they reach
+through same-package static calls — must not allocate per call in
+steady state. The analyzer flags map/slice literals, &T{} literals,
+closures, new, string concatenation and string<->[]byte conversions,
+implicit interface conversions at call boundaries, fmt.* calls, calls
+into non-allowlisted packages, go statements, un-guarded make, and
+appends that leave their buffer's lineage. Recognized alloc-free idioms
+pass without annotation: grow-once make under a cap/len/nil guard,
+x = append(x, ...) buffer reuse, and return append(dst, ...) where dst
+is a parameter. Calls into other module packages must target functions
+that are themselves annotated (checked via package facts). Escapes:
+//selflearn:alloc-ok <reason> on the construct's line, or in a function
+doc comment to exempt the whole body. Cold error branches (an if block
+that returns, in a function with an error result) are skipped.`,
+	Run: run,
+}
+
+// Fact lists a package's //selflearn:hotpath-annotated functions, so
+// cross-package hot calls can be validated without re-walking.
+type Fact struct {
+	Hotpath []string
+}
+
+// allowedPkgs are stdlib packages whose functions are trusted not to
+// allocate on the paths this codebase uses (math kernels, atomics,
+// in-place sorts, binary encoding into caller buffers).
+var allowedPkgs = map[string]bool{
+	"math":            true,
+	"math/bits":       true,
+	"math/cmplx":      true,
+	"cmp":             true,
+	"slices":          true,
+	"sort":            true,
+	"sync":            true,
+	"sync/atomic":     true,
+	"encoding/binary": true,
+	"runtime":         true,
+	"unsafe":          true,
+	"time":            true, // Duration arithmetic; clock use is nowallclock's job
+	"bufio":           true, // steady-state writes into a pre-grown buffer
+	"errors":          true, // sentinel comparisons; errors.New in cold branches
+	"io":              true,
+}
+
+const escape = "alloc-ok"
+
+func run(pass *analysis.Pass) (any, error) {
+	markers := analysis.CollectMarkers(pass)
+	hot := pass.HotClosure(markers)
+
+	var fact Fact
+	for _, fi := range pass.PackageFuncs() {
+		if markers.FuncHas(fi.Decl, "hotpath") {
+			fact.Hotpath = append(fact.Hotpath, analysis.FuncName(fi.Obj))
+		}
+	}
+	sort.Strings(fact.Hotpath)
+
+	c := &checkerState{pass: pass, markers: markers, depFacts: make(map[string]*Fact)}
+	// Deterministic order: by declaration position.
+	fns := make([]*types.Func, 0, len(hot))
+	for fn := range hot {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return hot[fns[i]].Pos() < hot[fns[j]].Pos() })
+	for _, fn := range fns {
+		decl := hot[fn]
+		if markers.FuncHas(decl, escape) {
+			continue
+		}
+		c.checkFunc(decl)
+	}
+	return fact, nil
+}
+
+type checkerState struct {
+	pass     *analysis.Pass
+	markers  *analysis.Markers
+	depFacts map[string]*Fact
+}
+
+func (c *checkerState) annotatedIn(pkgPath, name string) bool {
+	f, ok := c.depFacts[pkgPath]
+	if !ok {
+		f = new(Fact)
+		if !c.pass.ImportFact(pkgPath, f) {
+			f = &Fact{}
+		}
+		c.depFacts[pkgPath] = f
+	}
+	for _, n := range f.Hotpath {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checkerState) report(pos token.Pos, format string, args ...any) {
+	if c.markers.EscapedAt(pos, escape) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// blockTerminates reports whether the block's last statement is a
+// return or a panic — the shape of a cold error branch.
+func blockTerminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hasErrorResult(decl *ast.FuncDecl, info *types.Info) bool {
+	if decl.Type.Results == nil {
+		return false
+	}
+	for _, f := range decl.Type.Results.List {
+		if t := info.TypeOf(f.Type); t != nil && types.Identical(t, types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checkerState) checkFunc(decl *ast.FuncDecl) {
+	info := c.pass.TypesInfo
+	coldOK := hasErrorResult(decl, info)
+
+	params := make(map[string]bool)
+	if decl.Recv != nil {
+		for _, f := range decl.Recv.List {
+			for _, n := range f.Names {
+				params[n.Name] = true
+			}
+		}
+	}
+	for _, f := range decl.Type.Params.List {
+		for _, n := range f.Names {
+			params[n.Name] = true
+		}
+	}
+
+	skip := make(map[ast.Node]bool)
+	analysis.WalkStack(decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		if skip[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if coldOK {
+				if blockTerminates(n.Body) {
+					skip[n.Body] = true
+				}
+				if b, ok := n.Else.(*ast.BlockStmt); ok && blockTerminates(b) {
+					skip[b] = true
+				}
+			}
+
+		case *ast.FuncLit:
+			c.report(n.Pos(), "closure allocates on the hot path")
+			return false
+
+		case *ast.GoStmt:
+			c.report(n.Pos(), "go statement on the hot path spawns a goroutine (allocates)")
+
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				c.report(n.Pos(), "map literal allocates on the hot path")
+				return false
+			case *types.Slice:
+				c.report(n.Pos(), "slice literal allocates on the hot path")
+				return false
+			}
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.report(n.Pos(), "&composite literal allocates on the hot path")
+					return false
+				}
+			}
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				tv := info.Types[n]
+				if tv.Value == nil && isString(tv.Type) {
+					c.report(n.Pos(), "string concatenation allocates on the hot path")
+				}
+			}
+
+		case *ast.CallExpr:
+			c.checkCall(n, stack, params)
+		}
+		return true
+	})
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+func (c *checkerState) checkCall(call *ast.CallExpr, stack []ast.Node, params map[string]bool) {
+	info := c.pass.TypesInfo
+
+	// Type conversion T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type, stack)
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "make":
+				c.checkMake(call, stack)
+			case "new":
+				c.report(call.Pos(), "new allocates on the hot path")
+			case "append":
+				c.checkAppend(call, stack, params)
+			}
+			return
+		}
+	}
+
+	flagged := false
+	if fn := analysis.StaticCallee(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg() != c.pass.Pkg {
+		path := fn.Pkg().Path()
+		switch {
+		case c.pass.InModule(path):
+			if name := analysis.FuncName(fn); !c.annotatedIn(path, name) {
+				c.report(call.Pos(), "hot path calls %s.%s, which is not annotated //selflearn:hotpath", path, name)
+				flagged = true
+			}
+		case path == "fmt":
+			c.report(call.Pos(), "fmt.%s allocates on the hot path", fn.Name())
+			flagged = true
+		case !allowedPkgs[path]:
+			c.report(call.Pos(), "hot path calls %s.%s, which may allocate", path, fn.Name())
+			flagged = true
+		}
+	}
+	if !flagged {
+		c.checkBoxing(call)
+	}
+}
+
+// checkBoxing flags concrete arguments passed to interface parameters.
+func (c *checkerState) checkBoxing(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // xs... passes the slice through, no boxing
+			}
+			pt = sig.Params().At(np - 1).Type().Underlying().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if _, isTP := pt.(*types.TypeParam); isTP {
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		atv := info.Types[arg]
+		if atv.IsNil() || atv.Type == nil || types.IsInterface(atv.Type) {
+			continue
+		}
+		c.report(arg.Pos(), "passing %s to interface parameter boxes it (allocates) on the hot path", types.TypeString(atv.Type, types.RelativeTo(c.pass.Pkg)))
+	}
+}
+
+func (c *checkerState) checkConversion(call *ast.CallExpr, target types.Type, stack []ast.Node) {
+	if len(call.Args) != 1 {
+		return
+	}
+	info := c.pass.TypesInfo
+	arg := call.Args[0]
+	atv := info.Types[arg]
+	if atv.IsNil() || atv.Type == nil {
+		return
+	}
+	if _, isTP := target.(*types.TypeParam); !isTP && types.IsInterface(target) && !types.IsInterface(atv.Type) {
+		c.report(call.Pos(), "conversion to interface %s boxes the value (allocates) on the hot path", types.TypeString(target, types.RelativeTo(c.pass.Pkg)))
+		return
+	}
+	s2b := isString(target) && isByteOrRuneSlice(atv.Type)
+	b2s := isByteOrRuneSlice(target) && isString(atv.Type)
+	if s2b || b2s {
+		// m[string(b)] lookups are compiler-optimized and do not allocate.
+		if len(stack) > 0 {
+			if idx, ok := stack[len(stack)-1].(*ast.IndexExpr); ok && ast.Unparen(idx.Index) == call {
+				if _, isMap := info.TypeOf(idx.X).Underlying().(*types.Map); isMap {
+					return
+				}
+			}
+		}
+		c.report(call.Pos(), "string<->[]byte conversion copies (allocates) on the hot path")
+	}
+}
+
+// checkMake accepts the grow-once idiom and flags everything else. Two
+// shapes qualify: a make assigned to x inside an if whose condition
+// tests cap(x), len(x), or x == nil; and a make dominated by an
+// insufficient-capacity test — cap(anything) compared with < or <= —
+// which covers grow helpers (return make under if cap(buf) < n) and
+// copy-and-swap grows (details := make(...) under if cap(d.Details) <
+// level). Capacity tests only: a len() branch is a batch-size split,
+// not a grow guard, and stays flagged.
+func (c *checkerState) checkMake(call *ast.CallExpr, stack []ast.Node) {
+	lhs := ""
+	for i := len(stack) - 1; i >= 0; i-- {
+		if as, ok := stack[i].(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+			for j, r := range as.Rhs {
+				if containsNode(r, call) {
+					lhs = types.ExprString(as.Lhs[j])
+				}
+			}
+			break
+		}
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if lhs != "" && condGuardsGrow(ifs.Cond, lhs) {
+			return
+		}
+		if condTestsCapacity(ifs.Cond) {
+			return
+		}
+	}
+	c.report(call.Pos(), "make allocates on the hot path (no grow-once guard on %q)", lhs)
+}
+
+// condTestsCapacity reports whether cond contains an
+// insufficient-capacity comparison: cap(e) < x, cap(e) <= x, or the
+// mirrored x > cap(e), x >= cap(e).
+func condTestsCapacity(cond ast.Expr) bool {
+	isCap := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "cap"
+	}
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.LSS, token.LEQ:
+				found = found || isCap(b.X)
+			case token.GTR, token.GEQ:
+				found = found || isCap(b.Y)
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// condGuardsGrow reports whether cond mentions cap(lhs), len(lhs), or
+// lhs == nil anywhere (|| / && compositions included).
+func condGuardsGrow(cond ast.Expr, lhs string) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+				if len(n.Args) == 1 && types.ExprString(n.Args[0]) == lhs {
+					found = true
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				x, y := types.ExprString(n.X), types.ExprString(n.Y)
+				if (x == lhs && y == "nil") || (y == lhs && x == "nil") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootOf strips slicing/indexing/parens down to the base identifier or
+// selector, the "lineage" of a buffer: rootOf(rows[k][:0]) == "rows".
+func rootOf(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr:
+			return types.ExprString(x)
+		default:
+			return ""
+		}
+	}
+}
+
+func containsNode(root ast.Expr, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkAppend accepts appends that stay in their buffer's lineage
+// (x = append(x, ...), including sliced/indexed forms on either side)
+// and the Into idiom (return append(dst, ...) with dst a parameter);
+// everything else allocates a fresh or growing buffer per call.
+func (c *checkerState) checkAppend(call *ast.CallExpr, stack []ast.Node, params map[string]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	root := rootOf(ast.Unparen(call.Args[0]))
+	if root == "" {
+		c.report(call.Pos(), "append to a fresh buffer allocates on the hot path")
+		return
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch st := stack[i].(type) {
+		case *ast.AssignStmt:
+			for j, r := range st.Rhs {
+				if j < len(st.Lhs) && containsNode(r, call) {
+					if rootOf(st.Lhs[j]) == root {
+						return // x = append(x, ...): reused buffer
+					}
+				}
+			}
+			c.report(call.Pos(), "append result leaves %q's lineage (allocates a second buffer) on the hot path", root)
+			return
+		case *ast.ReturnStmt:
+			if params[root] {
+				return // return append(dst, ...): caller-owned buffer
+			}
+			c.report(call.Pos(), "returned append does not extend a caller-provided buffer on the hot path")
+			return
+		case *ast.CallExpr, *ast.CompositeLit:
+			c.report(call.Pos(), "append result is consumed by another expression (allocates) on the hot path")
+			return
+		}
+	}
+	c.report(call.Pos(), "append result is discarded or leaves its lineage on the hot path")
+}

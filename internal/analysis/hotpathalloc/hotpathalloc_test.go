@@ -1,0 +1,13 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"selflearn/internal/analysis"
+	"selflearn/internal/analysis/analysistest"
+	"selflearn/internal/analysis/hotpathalloc"
+)
+
+func TestHotpathAlloc(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{hotpathalloc.Analyzer}, "./testdata/src/a")
+}

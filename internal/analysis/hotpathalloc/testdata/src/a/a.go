@@ -1,0 +1,100 @@
+// Package a seeds hotpathalloc violations (and clean idioms) for the
+// analysistest harness.
+package a
+
+import (
+	"fmt"
+	"strconv"
+
+	"selflearn/internal/analysis/hotpathalloc/testdata/src/hotdep"
+)
+
+type point struct{ x, y int }
+
+func emit(x any) { _ = x }
+
+//selflearn:hotpath
+func grows(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n) // grow-once: guarded by cap(buf)
+	}
+	buf = buf[:n]
+	fresh := make([]float64, n) // want `make allocates on the hot path \(no grow-once guard on "fresh"\)`
+	_ = fresh
+	return growHelper(buf, n)
+}
+
+// growHelper is hot transitively (same-package static call from grows).
+func growHelper(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n) // grow helper: dominated by a capacity test
+	}
+	return buf[:n]
+}
+
+//selflearn:hotpath
+func lits(n int) *point {
+	_ = []int{n}        // want `slice literal allocates on the hot path`
+	_ = map[int]int{}   // want `map literal allocates on the hot path`
+	_ = new(int)        // want `new allocates on the hot path`
+	return &point{n, n} // want `&composite literal allocates on the hot path`
+}
+
+//selflearn:hotpath
+func spawn(done chan struct{}) {
+	go func() { // want `go statement on the hot path spawns a goroutine` `closure allocates on the hot path`
+		close(done)
+	}()
+}
+
+//selflearn:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates on the hot path`
+}
+
+//selflearn:hotpath
+func conversions(m map[string]int, key []byte, n int) int {
+	v := m[string(key)] // m[string(b)] lookups are compiler-optimized
+	s := string(key)    // want `string<->\[\]byte conversion copies \(allocates\) on the hot path`
+	_ = s
+	emit(n) // want `passing int to interface parameter boxes it \(allocates\) on the hot path`
+	return v
+}
+
+//selflearn:hotpath
+func callees(n int) string {
+	fmt.Println(n)         // want `fmt.Println allocates on the hot path`
+	hotdep.Annotated(n)    // annotated cross-package callee: fine
+	hotdep.Plain(n)        // want `hot path calls selflearn/internal/analysis/hotpathalloc/testdata/src/hotdep.Plain, which is not annotated`
+	return strconv.Itoa(n) // want `hot path calls strconv.Itoa, which may allocate`
+}
+
+//selflearn:hotpath
+func appends(dst []int, n int) []int {
+	dst = append(dst, n) // same lineage: reused buffer
+	var other []int
+	other = append(dst, n) // want `append result leaves "dst"'s lineage \(allocates a second buffer\) on the hot path`
+	_ = other
+	return append(dst, n) // Into idiom: caller-owned buffer
+}
+
+//selflearn:hotpath
+func cold(n int) error {
+	if n < 0 {
+		return fmt.Errorf("a: bad n %d", n) // cold error branch: skipped
+	}
+	return nil
+}
+
+//selflearn:hotpath
+func escaped(n int) []int {
+	return make([]int, n) //selflearn:alloc-ok fixture: deliberate per-call buffer
+}
+
+// wholeFuncEscape is hot but escaped at declaration level.
+//
+//selflearn:alloc-ok fixture: measured, amortized by the caller
+//selflearn:hotpath
+func wholeFuncEscape(n int) []int {
+	return make([]int, n)
+}

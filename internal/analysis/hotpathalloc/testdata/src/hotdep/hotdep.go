@@ -1,0 +1,8 @@
+// Package hotdep is a dependency fixture: Annotated exports the
+// hotpath fact, Plain does not.
+package hotdep
+
+//selflearn:hotpath
+func Annotated(n int) int { return n * 2 }
+
+func Plain(n int) int { return n + 1 }

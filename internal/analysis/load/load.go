@@ -1,0 +1,199 @@
+// Package load turns `go list -export -deps -json` output into
+// type-checked packages for the selflearnvet analyzers.
+//
+// Module-internal packages are parsed and type-checked from source (so
+// analyzers see comments and bodies); everything else — the standard
+// library and any future external deps — is imported from the compiler
+// export data `go list -export` leaves in the build cache. Packages
+// come back in dependency order so analyzer facts flow dep-first, the
+// same contract `go vet` provides via .vetx files.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one module-internal package, type-checked from source.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// DepOnly marks packages pulled in only as dependencies of the
+	// requested patterns; drivers usually skip reporting for them.
+	DepOnly bool
+}
+
+// A Result is the loaded, ordered package set.
+type Result struct {
+	Fset       *token.FileSet
+	ModulePath string
+	// Pkgs holds the module-internal packages in dependency order.
+	Pkgs []*Package
+}
+
+// listPkg mirrors the subset of `go list -json` output we consume.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load runs `go list -export -deps -json` in dir over patterns and
+// type-checks every module-internal package in the closure.
+func Load(dir string, patterns ...string) (*Result, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
+	}
+
+	byPath := make(map[string]*listPkg)
+	var order []*listPkg // go list -deps emits dependencies first
+	dec := json.NewDecoder(&out)
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		byPath[lp.ImportPath] = lp
+		order = append(order, lp)
+	}
+
+	modulePath := ""
+	for _, lp := range order {
+		if !lp.DepOnly && lp.Module != nil {
+			modulePath = lp.Module.Path
+			break
+		}
+	}
+
+	res := &Result{Fset: token.NewFileSet(), ModulePath: modulePath}
+	srcPkgs := make(map[string]*types.Package)
+	exports := make(map[string]string)
+	for _, lp := range order {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	gc := importer.ForCompiler(res.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	for _, lp := range order {
+		inModule := lp.Module != nil && modulePath != "" && lp.Module.Path == modulePath
+		if !inModule || lp.Standard {
+			continue
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+		}
+		pkg, err := check(res.Fset, lp, srcPkgs, gc)
+		if err != nil {
+			return nil, err
+		}
+		srcPkgs[lp.ImportPath] = pkg.Types
+		res.Pkgs = append(res.Pkgs, pkg)
+	}
+	return res, nil
+}
+
+// moduleImporter resolves module-internal imports to the source-checked
+// packages and everything else through gc export data, applying one
+// package's ImportMap (vendor/test renaming) first.
+type moduleImporter struct {
+	srcPkgs   map[string]*types.Package
+	gc        types.Importer
+	importMap map[string]string
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if r, ok := m.importMap[path]; ok {
+		path = r
+	}
+	if p, ok := m.srcPkgs[path]; ok {
+		return p, nil
+	}
+	return m.gc.Import(path)
+}
+
+func check(fset *token.FileSet, lp *listPkg, srcPkgs map[string]*types.Package, gc types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var firstErr error
+	conf := &types.Config{
+		Importer: &moduleImporter{srcPkgs: srcPkgs, gc: gc, importMap: lp.ImportMap},
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("%s: typecheck: %v", lp.ImportPath, firstErr)
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		DepOnly:    lp.DepOnly,
+	}, nil
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// MarkerPrefix introduces every selflearnvet source annotation.
+//
+// The conventions (documented in DESIGN.md, "Correctness tooling"):
+//
+//	//selflearn:hotpath              on a func decl: alloc-free root
+//	//selflearn:deterministic        in a package doc: nowallclock applies
+//	//selflearn:alloc-ok <reason>    same-line or decl escape, hotpathalloc
+//	//selflearn:wallclock-ok <why>   same-line escape, nowallclock
+//	//selflearn:locked-ok <reason>   same-line escape, unlockedsend
+//	//selflearn:bounds-ok <reason>   same-line escape, wirebounds
+//
+// Escapes are same-line only (trailing comments) so that a marker can
+// never silently cover an adjacent statement; decl-level markers go in
+// the function's doc comment and cover its whole body.
+const MarkerPrefix = "//selflearn:"
+
+// A Marker is one parsed //selflearn:name arg... comment.
+type Marker struct {
+	Name string // e.g. "hotpath", "alloc-ok"
+	Arg  string // rest of the line, trimmed; the escape reason
+}
+
+// Markers indexes every //selflearn: comment in a package by file and
+// line so analyzers can answer "is this construct escaped?" and "is
+// this function annotated?" in O(1).
+type Markers struct {
+	fset   *token.FileSet
+	byLine map[string]map[int][]Marker // filename -> line -> markers
+	pkg    map[string]bool             // marker names in package doc comments
+}
+
+func parseMarker(text string) (Marker, bool) {
+	if !strings.HasPrefix(text, MarkerPrefix) {
+		return Marker{}, false
+	}
+	rest := strings.TrimPrefix(text, MarkerPrefix)
+	name, arg, _ := strings.Cut(rest, " ")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Marker{}, false
+	}
+	return Marker{Name: name, Arg: strings.TrimSpace(arg)}, true
+}
+
+// CollectMarkers scans all comments in the pass's files.
+func CollectMarkers(pass *Pass) *Markers {
+	m := &Markers{
+		fset:   pass.Fset,
+		byLine: make(map[string]map[int][]Marker),
+		pkg:    make(map[string]bool),
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				mk, ok := parseMarker(c.Text)
+				if !ok {
+					continue
+				}
+				p := m.fset.Position(c.Slash)
+				lines := m.byLine[p.Filename]
+				if lines == nil {
+					lines = make(map[int][]Marker)
+					m.byLine[p.Filename] = lines
+				}
+				lines[p.Line] = append(lines[p.Line], mk)
+			}
+		}
+		if f.Doc != nil {
+			for _, c := range f.Doc.List {
+				if mk, ok := parseMarker(c.Text); ok {
+					m.pkg[mk.Name] = true
+				}
+			}
+		}
+	}
+	return m
+}
+
+// PackageHas reports whether any file's package doc carries the marker.
+func (m *Markers) PackageHas(name string) bool { return m.pkg[name] }
+
+// EscapedAt reports whether the line holding pos carries the named
+// marker (a trailing //selflearn:<name> comment).
+func (m *Markers) EscapedAt(pos token.Pos, name string) bool {
+	p := m.fset.Position(pos)
+	for _, mk := range m.byLine[p.Filename][p.Line] {
+		if mk.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncHas reports whether decl's doc comment (or the decl line itself)
+// carries the named marker.
+func (m *Markers) FuncHas(decl *ast.FuncDecl, name string) bool {
+	if decl.Doc != nil {
+		for _, c := range decl.Doc.List {
+			if mk, ok := parseMarker(c.Text); ok && mk.Name == name {
+				return true
+			}
+		}
+	}
+	return m.EscapedAt(decl.Pos(), name)
+}

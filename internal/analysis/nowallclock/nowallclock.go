@@ -1,0 +1,106 @@
+// Package nowallclock denies wall-clock reads and global RNG use in
+// deterministic packages and on annotated hot paths: alarms must be
+// bit-identical across process boundaries and replays, so replay state
+// may only advance on stream time and seeded generators.
+package nowallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"selflearn/internal/analysis"
+)
+
+// Analyzer is the nowallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc: `deny time.Now/Since/Until and global math/rand in deterministic code
+
+Applies to the repo's deterministic packages (internal/rt,
+internal/eval, internal/scenario), to any package whose package doc
+carries //selflearn:deterministic, and to every function reachable from
+a //selflearn:hotpath annotation anywhere. Seeded generators are fine:
+rand.New(rand.NewSource(seed)) and methods on a *rand.Rand pass;
+the package-level convenience functions (rand.Intn, rand.Float64, ...)
+draw from the process-global source and are denied. Genuinely
+operational call sites — health-check deadlines, drain timeouts — are
+escaped with //selflearn:wallclock-ok <reason> on the same line.`,
+	Run: run,
+}
+
+// deterministicDirs are module-relative package paths (and subtrees)
+// that must stay replayable without a wall clock.
+var deterministicDirs = []string{
+	"internal/rt",
+	"internal/eval",
+	"internal/scenario",
+}
+
+const escape = "wallclock-ok"
+
+func run(pass *analysis.Pass) (any, error) {
+	markers := analysis.CollectMarkers(pass)
+
+	wholePkg := markers.PackageHas("deterministic")
+	if !wholePkg && pass.ModulePath != "" {
+		rel := strings.TrimPrefix(pass.Pkg.Path(), pass.ModulePath+"/")
+		for _, d := range deterministicDirs {
+			if rel == d || strings.HasPrefix(rel, d+"/") {
+				wholePkg = true
+				break
+			}
+		}
+	}
+
+	var decls []*ast.FuncDecl
+	if wholePkg {
+		for _, fi := range pass.PackageFuncs() {
+			decls = append(decls, fi.Decl)
+		}
+	} else {
+		hot := pass.HotClosure(markers)
+		for _, decl := range hot {
+			decls = append(decls, decl)
+		}
+		sort.Slice(decls, func(i, j int) bool { return decls[i].Pos() < decls[j].Pos() })
+	}
+
+	for _, decl := range decls {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.StaticCallee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if markers.EscapedAt(call.Pos(), escape) {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Type().(*types.Signature).Recv() == nil {
+					switch fn.Name() {
+					case "Now", "Since", "Until":
+						c := "deterministic package"
+						if !wholePkg {
+							c = "hot path"
+						}
+						pass.Reportf(call.Pos(), "time.%s reads the wall clock in a %s; advance on stream time or escape with //selflearn:wallclock-ok <reason>", fn.Name(), c)
+					}
+				}
+			case "math/rand", "math/rand/v2":
+				// Package-level funcs draw from the global source; the
+				// New* constructors and *Rand methods are seeded and fine.
+				if fn.Type().(*types.Signature).Recv() == nil && !strings.HasPrefix(fn.Name(), "New") {
+					pass.Reportf(call.Pos(), "global %s.%s is unseeded per-process state; use a seeded *rand.Rand", fn.Pkg().Path(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

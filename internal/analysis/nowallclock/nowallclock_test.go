@@ -1,0 +1,14 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"selflearn/internal/analysis"
+	"selflearn/internal/analysis/analysistest"
+	"selflearn/internal/analysis/nowallclock"
+)
+
+func TestNoWallClock(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{nowallclock.Analyzer},
+		"./testdata/src/det", "./testdata/src/hot")
+}

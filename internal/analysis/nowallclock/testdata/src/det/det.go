@@ -1,0 +1,31 @@
+// Package det is a replay-deterministic fixture: the whole package is
+// covered via the package marker below.
+//
+//selflearn:deterministic
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Tick() time.Time {
+	return time.Now() // want `time.Now reads the wall clock in a deterministic package`
+}
+
+func Age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock in a deterministic package`
+}
+
+func Jitter() float64 {
+	return rand.Float64() // want `global math/rand.Float64 is unseeded per-process state`
+}
+
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // New* constructors are fine
+	return r.Float64()                  // methods on a seeded *rand.Rand are fine
+}
+
+func Deadline(d time.Duration) time.Time {
+	return time.Now().Add(d) //selflearn:wallclock-ok fixture: operational deadline
+}

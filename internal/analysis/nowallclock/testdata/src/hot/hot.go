@@ -1,0 +1,21 @@
+// Package hot exercises nowallclock's hot-path mode: the package is not
+// deterministic, but functions reachable from a //selflearn:hotpath
+// annotation are still denied the wall clock.
+package hot
+
+import "time"
+
+//selflearn:hotpath
+func Stamp() int64 {
+	return now()
+}
+
+// now is hot transitively, via the static call from Stamp.
+func now() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock in a hot path`
+}
+
+// Cold is not on any hot path; the clock is fine here.
+func Cold() time.Time {
+	return time.Now()
+}

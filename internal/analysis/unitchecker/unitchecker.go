@@ -1,0 +1,247 @@
+// Package unitchecker implements the `go vet -vettool` protocol: cmd/go
+// invokes the tool once per package with a JSON config file describing
+// the compiled package (sources, import map, export data, dependency
+// facts), and the tool writes its own facts for importers and reports
+// diagnostics on stderr with a nonzero exit.
+//
+// This mirrors golang.org/x/tools/go/analysis/unitchecker against the
+// vetConfig structure in cmd/go/internal/work, using only the standard
+// library: export data is read with go/importer's gc lookup mode, and
+// facts are the JSON package facts of internal/analysis.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"selflearn/internal/analysis"
+)
+
+// Config mirrors the JSON emitted by cmd/go for each vetted package.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run executes the protocol for one config file and returns the
+// process exit code: 0 clean, 1 driver failure, 2 diagnostics found.
+func Run(cfgPath string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "selflearnvet: %v\n", err)
+		return 1
+	}
+
+	// Packages outside a module — the standard library when go vet
+	// computes dependency facts — carry no selflearn annotations; write
+	// empty facts without typechecking them.
+	facts := make(map[string]json.RawMessage)
+	exit := 0
+	if cfg.ModulePath != "" {
+		exit = analyze(cfg, analyzers, facts)
+	}
+	if cfg.VetxOutput != "" {
+		raw, err := json.Marshal(facts)
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, raw, 0o666)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "selflearnvet: writing facts: %v\n", err)
+			return 1
+		}
+	}
+	return exit
+}
+
+func readConfig(path string) (*Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(raw, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+func analyze(cfg *Config, analyzers []*analysis.Analyzer, facts map[string]json.RawMessage) int {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "selflearnvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if r, ok := cfg.ImportMap[path]; ok {
+			path = r
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var firstErr error
+	conf := &types.Config{
+		Importer: resolver{imp: imp, importMap: cfg.ImportMap},
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if firstErr != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "selflearnvet: %s: %v\n", cfg.ImportPath, firstErr)
+		return 1
+	}
+
+	depFacts := newDepFacts(cfg)
+	found := false
+	for _, a := range analyzers {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        tpkg,
+			TypesInfo:  info,
+			ModulePath: cfg.ModulePath,
+			Report: func(d analysis.Diagnostic) {
+				found = true
+				if !cfg.VetxOnly {
+					fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, a.Name)
+				}
+			},
+			ImportFact: func(pkgPath string, out any) bool {
+				return depFacts.load(a.Name, pkgPath, out)
+			},
+		}
+		fact, err := a.Run(pass)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "selflearnvet: %s: %s: %v\n", a.Name, cfg.ImportPath, err)
+			return 1
+		}
+		if fact != nil {
+			raw, err := json.Marshal(fact)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "selflearnvet: %s: marshaling fact: %v\n", a.Name, err)
+				return 1
+			}
+			facts[a.Name] = raw
+		}
+	}
+	if found && !cfg.VetxOnly {
+		return 2
+	}
+	return 0
+}
+
+// resolver applies the package's ImportMap before delegating to the
+// export-data importer.
+type resolver struct {
+	imp       types.Importer
+	importMap map[string]string
+}
+
+func (r resolver) Import(path string) (*types.Package, error) {
+	if m, ok := r.importMap[path]; ok {
+		path = m
+	}
+	return r.imp.Import(path)
+}
+
+// depFacts lazily reads dependencies' .vetx files (JSON maps of
+// analyzer name to fact) as analyzers ask for them.
+type depFacts struct {
+	cfg    *Config
+	loaded map[string]map[string]json.RawMessage // pkgPath -> analyzer -> fact
+}
+
+func newDepFacts(cfg *Config) *depFacts {
+	return &depFacts{cfg: cfg, loaded: make(map[string]map[string]json.RawMessage)}
+}
+
+func (d *depFacts) load(analyzer, pkgPath string, out any) bool {
+	byAnalyzer, ok := d.loaded[pkgPath]
+	if !ok {
+		byAnalyzer = d.read(pkgPath)
+		d.loaded[pkgPath] = byAnalyzer
+	}
+	raw, ok := byAnalyzer[analyzer]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
+
+func (d *depFacts) read(pkgPath string) map[string]json.RawMessage {
+	file, ok := d.cfg.PackageVetx[pkgPath]
+	if !ok {
+		// Test variants key facts under "path [path.test]" IDs.
+		for k, v := range d.cfg.PackageVetx {
+			if base, _, found := strings.Cut(k, " ["); found && base == pkgPath {
+				file, ok = v, true
+				break
+			}
+		}
+	}
+	if !ok {
+		return nil
+	}
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return nil
+	}
+	var m map[string]json.RawMessage
+	if json.Unmarshal(raw, &m) != nil {
+		return nil
+	}
+	return m
+}

@@ -1,0 +1,111 @@
+// Package lock seeds unlockedsend violations: sends, callbacks, and
+// module-interface calls made while a mutex is held.
+package lock
+
+import (
+	"sync"
+
+	"selflearn/internal/analysis/unlockedsend/testdata/src/lockdep"
+)
+
+// Sink is a module interface; calls through it under a lock are flagged.
+type Sink interface {
+	Emit(v int)
+}
+
+// Hub mixes a mutex with an event channel, a hook, and a sink.
+type Hub struct {
+	mu   sync.Mutex
+	ch   chan int
+	hook func(int)
+	sink Sink
+}
+
+// SendLocked blocks on ch with mu pinned.
+func (h *Hub) SendLocked(v int) {
+	h.mu.Lock()
+	h.ch <- v // want `channel send while holding h\.mu \(a blocked receiver pins the lock\)`
+	h.mu.Unlock()
+}
+
+// SendUnlocked releases first; the send is clean.
+func (h *Hub) SendUnlocked(v int) {
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.ch <- v
+}
+
+// DeferSend holds the lock to function end via defer.
+func (h *Hub) DeferSend(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ch <- v // want `channel send while holding h\.mu`
+}
+
+// Callback invokes a func-typed field under the lock.
+func (h *Hub) Callback(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.hook(v) // want `calls a func-typed value \(callback\) while holding h\.mu`
+}
+
+// Interface calls through a module interface under the lock.
+func (h *Hub) Interface(v int) {
+	h.mu.Lock()
+	h.sink.Emit(v) // want `calls Sink.Emit through a module interface while holding h\.mu`
+	h.mu.Unlock()
+}
+
+// Transitive reaches the send through a same-package helper.
+func (h *Hub) Transitive(v int) {
+	h.mu.Lock()
+	h.emit(v) // want `call to Hub.emit, which performs a channel send while holding h\.mu`
+	h.mu.Unlock()
+}
+
+func (h *Hub) emit(v int) {
+	h.ch <- v
+}
+
+// CrossPkg reaches the send through an exported dependency fact.
+func (h *Hub) CrossPkg(v int) {
+	h.mu.Lock()
+	lockdep.Notify(h.ch, v) // want `call to lockdep.Notify, which performs a channel send while holding h\.mu`
+	_ = lockdep.Pure(v)     // pure dependency call: fine under the lock
+	h.mu.Unlock()
+}
+
+// NonBlocking is the close-handshake idiom: a select with a default
+// cannot pin the lock, and says so.
+func (h *Hub) NonBlocking(v int) {
+	h.mu.Lock()
+	select {
+	case h.ch <- v: //selflearn:locked-ok fixture: non-blocking send, default below
+	default:
+	}
+	h.mu.Unlock()
+}
+
+// BranchUnlock releases inside the branch before sending.
+func (h *Hub) BranchUnlock(v int, fast bool) {
+	h.mu.Lock()
+	if fast {
+		h.mu.Unlock()
+		h.ch <- v
+		return
+	}
+	h.mu.Unlock()
+}
+
+// Reg exercises the read side of an RWMutex.
+type Reg struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+// ReadSend sends under RLock; readers pin writers all the same.
+func (r *Reg) ReadSend(v int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.ch <- v // want `channel send while holding r\.mu`
+}

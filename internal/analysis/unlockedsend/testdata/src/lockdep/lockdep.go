@@ -1,0 +1,11 @@
+// Package lockdep is a dependency fixture: Notify transitively performs
+// a channel send (exported via the package fact), Pure does not.
+package lockdep
+
+// Notify sends v on ch.
+func Notify(ch chan int, v int) {
+	ch <- v
+}
+
+// Pure is lock-safe.
+func Pure(v int) int { return v }

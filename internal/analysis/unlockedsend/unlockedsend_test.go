@@ -1,0 +1,13 @@
+package unlockedsend_test
+
+import (
+	"testing"
+
+	"selflearn/internal/analysis"
+	"selflearn/internal/analysis/analysistest"
+	"selflearn/internal/analysis/unlockedsend"
+)
+
+func TestUnlockedSend(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{unlockedsend.Analyzer}, "./testdata/src/lock")
+}

@@ -1,0 +1,114 @@
+// Package wire is a miniature codec fixture seeding wirebounds
+// violations: an unguarded buffer access, a kind that never encodes,
+// non-exhaustive and default-less Kind switches, and a Stats field that
+// crosses the wire in only one direction.
+package wire
+
+// Kind tags a frame.
+type Kind uint8
+
+// Frame kinds. KindC is deliberately never encoded.
+const (
+	kindInvalid Kind = iota
+	KindA
+	KindB
+	KindC // want `frame kind KindC is never encoded \(no call passes it, e.g. begin\(KindC\)\)`
+)
+
+func begin(k Kind) { _ = k }
+
+// EncodeA and EncodeB pass their kinds to begin; nothing passes KindC.
+func EncodeA() { begin(KindA) }
+
+// EncodeB encodes KindB.
+func EncodeB() { begin(KindB) }
+
+// Name decodes a kind for display but forgot KindC.
+func Name(k Kind) string {
+	switch k { // want `switch on Kind is missing cases: KindC`
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	default:
+		return "unknown"
+	}
+}
+
+// Arity covers every kind but has no default for unknown input.
+func Arity(k Kind) int {
+	switch k { // want `switch on Kind has no default clause for unknown input`
+	case KindA, KindB, KindC:
+		return 1
+	}
+	return 0
+}
+
+// IsControl deliberately matches a subset and says so.
+func IsControl(k Kind) bool {
+	switch k { //selflearn:partial-ok fixture: deliberate subset
+	case KindA:
+		return true
+	default:
+		return false
+	}
+}
+
+// ReadU16 is the cursor idiom: the access is dominated by a length check.
+func ReadU16(b []byte) uint16 {
+	if len(b) < 2 {
+		return 0
+	}
+	return uint16(b[0]) | uint16(b[1])<<8
+}
+
+// ReadUnchecked forgot the length check entirely.
+func ReadUnchecked(b []byte) byte {
+	return b[4] // want `index of decode buffer b is not dominated by a len\(b\) check`
+}
+
+// SliceUnchecked slices without a guard.
+func SliceUnchecked(b []byte) []byte {
+	return b[2:6] // want `slice of decode buffer b is not dominated by a len\(b\) or cap\(b\) check`
+}
+
+// Reslice cannot overrun: b\[:\] and b\[:0\] are always in bounds.
+func Reslice(b []byte) []byte {
+	b = b[:0]
+	return b[:]
+}
+
+// ReadEscaped documents why the access is safe without a local guard.
+func ReadEscaped(b []byte) byte {
+	return b[0] //selflearn:bounds-ok fixture: caller guarantees one byte
+}
+
+// Stats crosses the wire in both directions.
+type Stats struct {
+	Batches uint64
+	Alarms  uint64
+	Dropped uint64
+}
+
+// Encoder is the encode half of the fixture codec.
+type Encoder struct{ n int }
+
+// Stats encodes st — but forgot Dropped.
+func (e *Encoder) Stats(token uint64, st Stats) error { // want `Stats field Dropped is not encoded by the Stats method`
+	e.n++
+	_ = token
+	_ = st.Batches
+	_ = st.Alarms
+	return nil
+}
+
+// decodeStats decodes a stats frame — but forgot Alarms.
+func decodeStats(b []byte) Stats { // want `Stats field Alarms is not decoded by decodeStats`
+	var st Stats
+	if len(b) < 2 {
+		return st
+	}
+	st.Batches = uint64(b[0])
+	st.Dropped = uint64(b[1])
+	return st
+}

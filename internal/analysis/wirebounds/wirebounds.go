@@ -1,0 +1,315 @@
+// Package wirebounds machine-checks the wire codec's safety story:
+// no []byte decode-buffer access without a dominating length check, no
+// frame kind that encodes but doesn't decode (or vice versa), and no
+// serve.Stats field that crosses in only one direction.
+package wirebounds
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"selflearn/internal/analysis"
+)
+
+// Analyzer is the wirebounds pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirebounds",
+	Doc: `check bounds discipline and encode/decode parity in package wire
+
+Applies to any package named "wire". Three checks: (1) every index or
+slice of a []byte buffer must be preceded, in the same function, by an
+if condition mentioning len(buf) or cap(buf) — the codebase's cursor
+idiom ("if r.off+n > len(r.b) { fail }"); the check is deliberately
+function-coarse, aimed at the "forgot the check entirely" class the
+fuzzer only finds after a crash ships. (2) Every exported Kind constant
+must appear as a call argument on the encode side (begin(KindX)) and as
+a case in every switch over Kind, and every Kind switch must carry a
+default clause for unknown input. (3) If the package has an
+(Encoder).Stats method and a decodeStats function, every exported field
+of the stats struct they carry must be referenced in both — catching
+"added a field to Stats but not to the codec" at vet time. Escapes:
+//selflearn:bounds-ok <reason> on the access line, //selflearn:partial-ok
+on a deliberately non-exhaustive switch line.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() != "wire" {
+		return nil, nil
+	}
+	markers := analysis.CollectMarkers(pass)
+	for _, fi := range pass.PackageFuncs() {
+		checkBufferAccess(pass, markers, fi.Decl)
+	}
+	checkKindParity(pass, markers)
+	checkStatsParity(pass)
+	return nil, nil
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// constZero reports whether e is absent or the integer constant 0.
+func constZero(pass *analysis.Pass, e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	tv := pass.TypesInfo.Types[e]
+	return tv.Value != nil && tv.Value.Kind() == constant.Int && constant.Sign(tv.Value) == 0
+}
+
+// checkBufferAccess walks decl in source order, accumulating buffers
+// mentioned in len()/cap() guard conditions, and flags any []byte
+// index/slice whose base was never guarded earlier in the function.
+func checkBufferAccess(pass *analysis.Pass, markers *analysis.Markers, decl *ast.FuncDecl) {
+	info := pass.TypesInfo
+	guarded := make(map[string]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt, *ast.ForStmt:
+			var cond ast.Expr
+			if ifs, ok := n.(*ast.IfStmt); ok {
+				cond = ifs.Cond
+			} else {
+				cond = n.(*ast.ForStmt).Cond
+			}
+			if cond != nil {
+				ast.Inspect(cond, func(c ast.Node) bool {
+					call, ok := c.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") && len(call.Args) == 1 {
+						if t := info.TypeOf(call.Args[0]); t != nil && isByteSlice(t) {
+							guarded[types.ExprString(call.Args[0])] = true
+						}
+					}
+					return true
+				})
+			}
+
+		case *ast.IndexExpr:
+			if t := info.TypeOf(n.X); t != nil && isByteSlice(t) {
+				base := types.ExprString(n.X)
+				if !guarded[base] && !markers.EscapedAt(n.Pos(), "bounds-ok") {
+					pass.Reportf(n.Pos(), "index of decode buffer %s is not dominated by a len(%s) check", base, base)
+				}
+			}
+
+		case *ast.SliceExpr:
+			if t := info.TypeOf(n.X); t != nil && isByteSlice(t) {
+				if constZero(pass, n.Low) && constZero(pass, n.High) && n.Max == nil {
+					return true // b[:], b[:0], b[0:] cannot overrun
+				}
+				base := types.ExprString(n.X)
+				if !guarded[base] && !markers.EscapedAt(n.Pos(), "bounds-ok") {
+					pass.Reportf(n.Pos(), "slice of decode buffer %s is not dominated by a len(%s) or cap(%s) check", base, base, base)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkKindParity cross-references exported Kind constants against
+// encode-side call arguments and every switch over Kind.
+func checkKindParity(pass *analysis.Pass, markers *analysis.Markers) {
+	tn, ok := pass.Pkg.Scope().Lookup("Kind").(*types.TypeName)
+	if !ok {
+		return
+	}
+	kindType := tn.Type()
+	info := pass.TypesInfo
+
+	// Exported Kind constants, in declaration order.
+	type kindConst struct {
+		name string
+		pos  token.Pos
+	}
+	var kinds []kindConst
+	for _, name := range pass.Pkg.Scope().Names() {
+		c, ok := pass.Pkg.Scope().Lookup(name).(*types.Const)
+		if ok && c.Exported() && types.Identical(c.Type(), kindType) {
+			kinds = append(kinds, kindConst{name: name, pos: c.Pos()})
+		}
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].pos < kinds[j].pos })
+
+	encoded := make(map[string]bool)
+	type kindSwitch struct {
+		pos        token.Pos
+		cases      map[string]bool
+		hasDefault bool
+	}
+	var switches []kindSwitch
+
+	kindConstName := func(e ast.Expr) string {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+				id = sel.Sel
+			}
+		}
+		if id == nil {
+			return ""
+		}
+		if c, ok := info.Uses[id].(*types.Const); ok && types.Identical(c.Type(), kindType) {
+			return c.Name()
+		}
+		return ""
+	}
+
+	for _, fi := range pass.PackageFuncs() {
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					if name := kindConstName(arg); name != "" {
+						encoded[name] = true
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				if t := info.TypeOf(n.Tag); t == nil || !types.Identical(t, kindType) {
+					return true
+				}
+				ks := kindSwitch{pos: n.Pos(), cases: make(map[string]bool)}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					if cc.List == nil {
+						ks.hasDefault = true
+					}
+					for _, e := range cc.List {
+						if name := kindConstName(e); name != "" {
+							ks.cases[name] = true
+						}
+					}
+				}
+				switches = append(switches, ks)
+			}
+			return true
+		})
+	}
+
+	for _, k := range kinds {
+		if !encoded[k.name] {
+			pass.Reportf(k.pos, "frame kind %s is never encoded (no call passes it, e.g. begin(%s))", k.name, k.name)
+		}
+	}
+	for _, sw := range switches {
+		if markers.EscapedAt(sw.pos, "partial-ok") {
+			continue
+		}
+		var missing []string
+		for _, k := range kinds {
+			if !sw.cases[k.name] {
+				missing = append(missing, k.name)
+			}
+		}
+		if len(missing) > 0 {
+			pass.Reportf(sw.pos, "switch on Kind is missing cases: %s", strings.Join(missing, ", "))
+		}
+		if !sw.hasDefault {
+			pass.Reportf(sw.pos, "switch on Kind has no default clause for unknown input")
+		}
+	}
+}
+
+// checkStatsParity verifies that the struct carried by (Encoder).Stats
+// and returned by decodeStats has every exported field referenced on
+// both sides.
+func checkStatsParity(pass *analysis.Pass) {
+	var encodeFn, decodeFn *ast.FuncDecl
+	for _, fi := range pass.PackageFuncs() {
+		switch {
+		case fi.Decl.Name.Name == "Stats" && fi.Decl.Recv != nil:
+			encodeFn = fi.Decl
+		case fi.Decl.Name.Name == "decodeStats":
+			decodeFn = fi.Decl
+		}
+	}
+	if encodeFn == nil || decodeFn == nil {
+		return
+	}
+
+	structOf := func(t types.Type) (*types.Named, *types.Struct) {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			if s, ok := n.Underlying().(*types.Struct); ok {
+				return n, s
+			}
+		}
+		return nil, nil
+	}
+
+	info := pass.TypesInfo
+	var named *types.Named
+	var st *types.Struct
+	for _, f := range encodeFn.Type.Params.List {
+		if n, s := structOf(info.TypeOf(f.Type)); s != nil && s.NumFields() > 1 {
+			named, st = n, s
+		}
+	}
+	if st == nil {
+		return
+	}
+	if decodeFn.Type.Results == nil || len(decodeFn.Type.Results.List) == 0 {
+		return
+	}
+	if n, s := structOf(info.TypeOf(decodeFn.Type.Results.List[0].Type)); s == nil || n.Obj() != named.Obj() {
+		return
+	}
+
+	referenced := func(decl *ast.FuncDecl) map[string]bool {
+		out := make(map[string]bool)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == s.Obj() {
+					out[s.Obj().Name()] = true
+				}
+			}
+			return true
+		})
+		return out
+	}
+
+	enc, dec := referenced(encodeFn), referenced(decodeFn)
+	tname := types.TypeString(named, types.RelativeTo(pass.Pkg))
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		if !enc[f.Name()] {
+			pass.Reportf(encodeFn.Pos(), "%s field %s is not encoded by the Stats method", tname, f.Name())
+		}
+		if !dec[f.Name()] {
+			pass.Reportf(decodeFn.Pos(), "%s field %s is not decoded by decodeStats", tname, f.Name())
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package wirebounds_test
+
+import (
+	"testing"
+
+	"selflearn/internal/analysis"
+	"selflearn/internal/analysis/analysistest"
+	"selflearn/internal/analysis/wirebounds"
+)
+
+func TestWireBounds(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{wirebounds.Analyzer}, "./testdata/src/wire")
+}

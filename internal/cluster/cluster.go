@@ -540,7 +540,7 @@ func (st *Stream) resolve() (*shardConn, error) {
 		return nil, err
 	}
 	if st.shard != nil && sc != st.shard {
-		st.r.warmTransfer(st.patient, sc)
+		st.r.warmTransfer(st.patient, sc) //selflearn:locked-ok resolveMu orders the transfer ahead of this stream's next Push, per the doc comment
 	}
 	st.shard, st.epoch = sc, ep
 	return sc, nil
@@ -558,10 +558,10 @@ func (st *Stream) enqueue(j serve.Job) error {
 	var err error
 	for attempt := 0; attempt < 2; attempt++ {
 		var sc *shardConn
-		if sc, err = st.resolve(); err != nil {
+		if sc, err = st.resolve(); err != nil { //selflearn:locked-ok the router read lock is the closed handshake; Close takes the write lock
 			break
 		}
-		if err = sc.Enqueue(st.adm, j); err != ErrShardDown {
+		if err = sc.Enqueue(st.adm, j); err != ErrShardDown { //selflearn:locked-ok same closed handshake; the queue offer is bounded, not a blocking send
 			break
 		}
 	}

@@ -224,7 +224,7 @@ func (sc *shardConn) send(f func(*wire.Encoder) error) error {
 		return ErrShardDown
 	}
 	sc.conn.SetWriteDeadline(time.Now().Add(sc.r.opts.WriteDeadline))
-	if err := f(sc.enc); err != nil {
+	if err := f(sc.enc); err != nil { //selflearn:locked-ok writeMu IS the encoder serialization point; the write deadline bounds it
 		return err
 	}
 	return sc.enc.Flush()

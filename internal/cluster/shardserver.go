@@ -125,7 +125,7 @@ func (s *ShardServer) fanout() {
 		s.mu.Lock()
 		for c := range s.conns {
 			select {
-			case c.events <- ev:
+			case c.events <- ev: //selflearn:locked-ok non-blocking send; s.mu orders fanout against dropConn's close(c.events)
 			default:
 				s.fanoutDropped.Add(1)
 			}
@@ -310,7 +310,7 @@ func (c *clientConn) send(f func(*wire.Encoder) error) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	c.conn.SetWriteDeadline(time.Now().Add(c.s.opts.WriteDeadline))
-	if err := f(c.enc); err != nil {
+	if err := f(c.enc); err != nil { //selflearn:locked-ok writeMu IS the encoder serialization point; the write deadline bounds it
 		return err
 	}
 	return c.enc.Flush()

@@ -31,6 +31,8 @@ func NextPow2(n int) int {
 //	X[k] = Σ_n x[n]·exp(-2πi·kn/N)
 //
 // The length of x must be a power of two.
+//
+//selflearn:hotpath
 func Forward(x []complex128) error {
 	return transform(x, false)
 }

@@ -74,6 +74,8 @@ func (p *PSD) TotalPower() float64 {
 
 // BandPower integrates the PSD over band b. Bins whose center frequency
 // lies in [b.Low, b.High) contribute.
+//
+//selflearn:hotpath
 func (p *PSD) BandPower(b Band) float64 {
 	var s float64
 	for k := range p.Power {
@@ -87,6 +89,8 @@ func (p *PSD) BandPower(b Band) float64 {
 
 // RelativeBandPower returns BandPower(b)/TotalPower, or 0 when the total
 // power is zero.
+//
+//selflearn:hotpath
 func (p *PSD) RelativeBandPower(b Band) float64 {
 	tot := p.TotalPower()
 	if tot == 0 {
@@ -143,6 +147,8 @@ func (ws *Workspace) NumBins() int { return ws.half }
 
 // PeriodogramInto estimates the one-sided PSD of xs into dst, reusing
 // dst.Power when already sized. len(xs) must equal the workspace length.
+//
+//selflearn:hotpath
 func (ws *Workspace) PeriodogramInto(dst *PSD, xs []float64) error {
 	if len(xs) != ws.n {
 		return fmt.Errorf("spectrum: workspace sized for %d samples, got %d", ws.n, len(xs))

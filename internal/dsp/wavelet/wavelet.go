@@ -170,6 +170,8 @@ func (d *Decomposition) Levels() int { return len(d.Details) }
 // Detail returns the detail coefficients of the given level (1-based, as
 // in the paper's "seventh level permutation entropy"). It returns nil
 // when the level is out of range.
+//
+//selflearn:hotpath
 func (d *Decomposition) Detail(level int) []float64 {
 	if level < 1 || level > len(d.Details) {
 		return nil
@@ -180,6 +182,8 @@ func (d *Decomposition) Detail(level int) []float64 {
 // MaxLevel returns the deepest decomposition level reachable for a signal
 // of length n (each level halves the length; decomposition stops before
 // the signal would become shorter than 2 samples or odd).
+//
+//selflearn:hotpath
 func MaxLevel(n int) int {
 	level := 0
 	for n >= 2 && n%2 == 0 {

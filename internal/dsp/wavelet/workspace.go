@@ -29,6 +29,8 @@ func (ws *Workspace) Wavelet() Wavelet { return ws.w }
 // two into the workspace's padding buffer, returning xs unchanged when
 // it already is one. The returned slice is valid until the next PadPow2
 // call.
+//
+//selflearn:hotpath
 func (ws *Workspace) PadPow2(xs []float64) []float64 {
 	n := len(xs)
 	if n == 0 {
@@ -108,6 +110,8 @@ func grow(buf []float64, n int) []float64 {
 // The result is bit-identical to Decompose. It seeds d with x as the
 // level-0 approximation and delegates the descent to ExtendInto, so
 // the analysis loop exists exactly once.
+//
+//selflearn:hotpath
 func (ws *Workspace) DecomposeInto(d *Decomposition, x []float64, level int) error {
 	if level < 1 {
 		return fmt.Errorf("wavelet: invalid level %d", level)

@@ -155,7 +155,7 @@ func sampleCountsSorted(xs []float64, m int, r float64, order []int32) (a, b int
 	for i := range order {
 		order[i] = int32(i)
 	}
-	slices.SortFunc(order, func(p, q int32) int {
+	slices.SortFunc(order, func(p, q int32) int { //selflearn:alloc-ok non-escaping comparator; stack-allocated, covered by the allocs/op guard
 		return cmp.Compare(xs[p], xs[q])
 	})
 	for oi := 0; oi < nTempl-1; oi++ {

@@ -23,6 +23,8 @@ type Workspace struct {
 }
 
 // Permutation is the workspace form of the package-level Permutation.
+//
+//selflearn:hotpath
 func (ws *Workspace) Permutation(xs []float64, n int) (float64, error) {
 	if n < 2 {
 		return 0, fmt.Errorf("entropy: permutation order must be >= 2, got %d", n)
@@ -96,6 +98,8 @@ func (ws *Workspace) histogram(xs []float64, nbins int) ([]int, int) {
 }
 
 // RenyiSignal is the workspace form of the package-level RenyiSignal.
+//
+//selflearn:hotpath
 func (ws *Workspace) RenyiSignal(xs []float64, alpha float64, nbins int) (float64, error) {
 	if len(xs) == 0 {
 		return 0, nil
@@ -176,6 +180,8 @@ func (ws *Workspace) Sample(xs []float64, m int, r float64) (float64, error) {
 }
 
 // SampleK is the workspace form of the package-level SampleK.
+//
+//selflearn:hotpath
 func (ws *Workspace) SampleK(xs []float64, m int, k float64) (float64, error) {
 	if k < 0 {
 		return 0, fmt.Errorf("entropy: sample entropy k must be >= 0, got %g", k)

@@ -74,6 +74,8 @@ func (s *Streamer) NumFeatures() int { return len(PaperFeatureNames()) }
 // valid until the next emitted row, and callers that retain rows must
 // copy them. Together with the Workspace underneath, this keeps the
 // steady-state push path completely allocation-free.
+//
+//selflearn:hotpath
 func (s *Streamer) Push(v0, v1 float64) (row []float64, ready bool, err error) {
 	s.buf0[s.pos] = v0
 	s.buf1[s.pos] = v1

@@ -68,6 +68,8 @@ func (ff *FlatForest) OOBError() float64 { return ff.oob }
 // would mispredict roughly half the time). b = 1 exactly when
 // x <= threshold, so NaN features fall right, matching the pointer
 // tree's else-branch semantics.
+//
+//selflearn:hotpath
 func step(x []float64, n tree.FlatNode, i int32) int32 {
 	var b int32
 	if x[n.Feature] <= n.Value {
@@ -85,6 +87,8 @@ func step(x []float64, n tree.FlatNode, i int32) int32 {
 // but the four chains are independent, so their node loads overlap
 // instead of serializing. At the leaf, Right is the precomputed 0/1
 // vote and a finished cursor simply stops advancing.
+//
+//selflearn:hotpath
 func (ff *FlatForest) votes(x []float64) int {
 	nodes := ff.nodes
 	roots := ff.roots
@@ -126,11 +130,15 @@ func (ff *FlatForest) votes(x []float64) int {
 }
 
 // Prob returns the fraction of trees voting positive for x.
+//
+//selflearn:hotpath
 func (ff *FlatForest) Prob(x []float64) float64 {
 	return float64(ff.votes(x)) / float64(len(ff.roots))
 }
 
 // Predict returns the majority-vote class for x. It allocates nothing.
+//
+//selflearn:hotpath
 func (ff *FlatForest) Predict(x []float64) bool {
 	return 2*ff.votes(x) >= len(ff.roots)
 }
@@ -149,6 +157,8 @@ const parallelWork = 1 << 15
 // each tree's contiguous node block stays cache-resident while it scores
 // the whole batch — and large batches are parallelized across trees.
 // Small batches (up to 64 rows) allocate nothing.
+//
+//selflearn:hotpath
 func (ff *FlatForest) PredictBatchInto(dst []bool, X [][]float64) []bool {
 	dst = dst[:len(X)]
 	if len(X) == 0 {
@@ -162,7 +172,7 @@ func (ff *FlatForest) PredictBatchInto(dst []bool, X [][]float64) []bool {
 			votes[i] = 0
 		}
 	} else {
-		votes = make([]int32, len(X))
+		votes = make([]int32, len(X)) //selflearn:alloc-ok large-batch spill; batches up to smallBatch use the stack, per the doc comment
 	}
 	if procs := runtime.GOMAXPROCS(0); procs > 1 && len(X)*len(ff.roots) >= parallelWork {
 		ff.parallelVotes(votes, X, procs)
@@ -179,6 +189,8 @@ func (ff *FlatForest) PredictBatchInto(dst []bool, X [][]float64) []bool {
 // treeVotes accumulates votes for trees [lo, hi) over every row of X,
 // tree-major so each tree's node block stays cache-resident across the
 // whole batch.
+//
+//selflearn:hotpath
 func (ff *FlatForest) treeVotes(votes []int32, X [][]float64, lo, hi int) {
 	nodes := ff.nodes
 	for t := lo; t < hi; t++ {
@@ -229,6 +241,8 @@ func (ff *FlatForest) treeVotes(votes []int32, X [][]float64, lo, hi int) {
 // parallelVotes splits the tree range across workers, each tallying into
 // its own slice, then reduces. Vote counts are integers, so the merge
 // order cannot perturb results.
+//
+//selflearn:alloc-ok fan-out only engages past parallelWork rows×trees, where goroutine and partial-slice cost is amortized
 func (ff *FlatForest) parallelVotes(votes []int32, X [][]float64, procs int) {
 	nTrees := len(ff.roots)
 	if procs > nTrees {

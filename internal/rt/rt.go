@@ -96,6 +96,8 @@ func (d *Detector) Push(x []float64) bool {
 
 // PushPrediction feeds an already-computed window prediction (useful when
 // predictions come from PredictBatch).
+//
+//selflearn:hotpath
 func (d *Detector) PushPrediction(pred bool) bool {
 	// Update ring and running vote count.
 	if d.filled == len(d.ring) {
@@ -132,6 +134,8 @@ func (d *Detector) Alarms() []Alarm { return append([]Alarm(nil), d.alarms...) }
 // LastAlarmTime returns the stream time in seconds of the most recent
 // alarm. It is only meaningful immediately after Push/PushPrediction
 // returned true; callers that need the full log use Alarms.
+//
+//selflearn:hotpath
 func (d *Detector) LastAlarmTime() float64 { return d.lastAlarm }
 
 // Reset clears the stream state (ring, refractory, alarm log).

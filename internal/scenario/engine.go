@@ -90,7 +90,7 @@ func (c *Collector) TotalAlarms() uint64 {
 // confirm barrier that makes retraining deterministic: no batch pushed
 // after it can race the model install.
 func (c *Collector) WaitVersion(patient string, v uint64, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(timeout) //selflearn:wallclock-ok operational wait deadline, not replay state
 	for {
 		c.mu.Lock()
 		cur := c.versions[patient]
@@ -98,7 +98,7 @@ func (c *Collector) WaitVersion(patient string, v uint64, timeout time.Duration)
 		if cur >= v {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //selflearn:wallclock-ok operational wait deadline, not replay state
 			return fmt.Errorf("scenario: %s never reached model version %d (at %d)", patient, v, cur)
 		}
 		time.Sleep(2 * time.Millisecond)
@@ -348,7 +348,7 @@ func confirmRetry(h Handle) error {
 // verified; with drop/shed admission the run waits for the counters to
 // go quiescent instead.
 func awaitDrain(b Backend, base serve.Stats, c *Collector, exact bool, expWindows, expRejects, expRetrains uint64) (serve.Stats, error) {
-	deadline := time.Now().Add(120 * time.Second)
+	deadline := time.Now().Add(120 * time.Second) //selflearn:wallclock-ok operational drain timeout, not replay state
 	var last serve.Stats
 	stable := 0
 	for {
@@ -378,7 +378,7 @@ func awaitDrain(b Backend, base serve.Stats, c *Collector, exact bool, expWindow
 			}
 			last = st
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //selflearn:wallclock-ok operational drain timeout, not replay state
 			return st, fmt.Errorf("scenario: drain timed out: windows %d/%d, rejects %d/%d, retrains %d/%d",
 				st.Windows, expWindows, st.QualityRejected, expRejects, st.Retrains, expRetrains)
 		}

@@ -267,14 +267,19 @@ func (m *modelCache) saveVersion(patient string, f *forest.FlatForest, version u
 		return
 	}
 	m.saveMu.Lock()
-	defer m.saveMu.Unlock()
 	m.mu.Lock()
 	latest := m.versions[patient]
 	m.mu.Unlock()
 	if version < latest {
+		m.saveMu.Unlock()
 		return // a newer checkpoint has been (or is being) saved
 	}
-	if err := m.store.SaveVersion(patient, f, version); err != nil && m.onErr != nil {
+	err := m.store.SaveVersion(patient, f, version) //selflearn:locked-ok saveMu IS the store-write serialization point
+	m.saveMu.Unlock()
+	// The error hook runs outside saveMu: it is arbitrary user code (the
+	// server routes it into the event hub) and must be free to re-enter
+	// the cache or block without wedging every later checkpoint write.
+	if err != nil && m.onErr != nil {
 		m.onErr(err)
 	}
 }

@@ -98,8 +98,8 @@ func (l *learner) retrain(j retrainJob) error {
 	// must be one critical section: a bare CAS gate would let a
 	// descheduled older retrain publish after a newer one already did.
 	j.sess.installMu.Lock()
-	defer j.sess.installMu.Unlock()
 	if j.seq <= j.sess.installedSeq.Load() {
+		j.sess.installMu.Unlock()
 		return nil
 	}
 	j.sess.installedSeq.Store(j.seq)
@@ -111,8 +111,14 @@ func (l *learner) retrain(j retrainJob) error {
 	// monotonic per-patient version, writes the versioned checkpoint
 	// through to the store, and the EventModelUpdated announcement below
 	// is what the cluster layer keys replication and warm failover off.
-	version := l.srv.cache.Publish(j.sess.id, flat)
+	version := l.srv.cache.Publish(j.sess.id, flat) //selflearn:locked-ok installMu IS the check-then-publish critical section
 	j.sess.model.Store(flat)
+	j.sess.installMu.Unlock()
+	// Announce after installMu is released: the event path runs arbitrary
+	// sink code and a channel send, and nothing downstream needs the
+	// lock — cluster routers max-merge announced versions and the
+	// replicator re-reads the latest checkpoint per push, so announcement
+	// order across racing retrains is immaterial.
 	l.srv.hub.emit(Event{Kind: EventModelUpdated, Patient: j.sess.id, Version: version})
 	return nil
 }

@@ -308,7 +308,7 @@ func (s *Server) enqueue(sh Shard, adm AdmissionPolicy, j Job) error {
 	if s.closed {
 		return ErrClosed
 	}
-	err := sh.Enqueue(adm, j)
+	err := sh.Enqueue(adm, j) //selflearn:locked-ok the read lock is the closed handshake documented above
 	switch {
 	case err == nil && j.Confirm:
 		s.confirms.Add(1)
@@ -419,10 +419,11 @@ func (s *Server) InstallModel(patientID string, f *forest.FlatForest, version ui
 	if s.closed {
 		return false
 	}
-	if !s.cache.Install(patientID, f, version) {
+	if !s.cache.Install(patientID, f, version) { //selflearn:locked-ok the read lock is the closed handshake; Close's write lock waits installs out
 		return false
 	}
-	s.hub.emit(Event{Kind: EventModelUpdated, Patient: patientID, Version: version})
+	s.hub.emit(Event{Kind: EventModelUpdated, Patient: patientID, Version: version}) //selflearn:locked-ok the read lock guarantees no emit after Close's hub.close
+
 	return true
 }
 

@@ -97,6 +97,8 @@ func newSession(id string, historyRows int, cfg Config) (*session, error) {
 // extractor and returns the feature rows completed by this batch, as
 // their stable history-ring views. The returned slice is the session's
 // reusable scratch: it is valid until the next ingest call.
+//
+//selflearn:hotpath
 func (s *session) ingest(c0, c1 []float64) ([][]float64, error) {
 	rows := s.rowsScratch[:0]
 	for i := range c0 {
@@ -124,7 +126,7 @@ func (s *session) ingest(c0, c1 []float64) ([][]float64, error) {
 				// spanning more than the History duration) — the common
 				// path stays allocation-free.
 				k := len(rows) - n
-				rows[k] = append([]float64(nil), rows[k]...)
+				rows[k] = append([]float64(nil), rows[k]...) //selflearn:alloc-ok pathological ring-wrap copy, documented above
 			}
 			rows = append(rows, s.remember(row))
 		}
@@ -164,6 +166,8 @@ func (s *session) historySnapshot() [][]float64 {
 // returning the stream times of the alarms that fired. The returned
 // slice is the session's reusable scratch, valid until the next
 // classify call; the common (alarm-free) path stays allocation-free.
+//
+//selflearn:hotpath
 func (s *session) classify(rows [][]float64) []float64 {
 	fired := s.alarmScratch[:0]
 	if len(rows) == 0 {

@@ -67,14 +67,16 @@ func (s *Server) Open(patientID string, opts ...StreamOption) (*Stream, error) {
 	if patientID == "" {
 		return nil, errors.New("serve: empty patient ID")
 	}
+	// Options are applied before the lock: they are caller-supplied
+	// callbacks, and nothing they configure reads server state.
+	so := streamOptions{admission: s.admission}
+	for _, opt := range opts {
+		opt(&so)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, ErrClosed
-	}
-	so := streamOptions{admission: s.admission}
-	for _, opt := range opts {
-		opt(&so)
 	}
 	sh, err := s.transport.Shard(patientID)
 	if err != nil {

@@ -61,6 +61,8 @@ func SampleVariance(xs []float64) float64 {
 }
 
 // StdDev returns the population standard deviation of xs.
+//
+//selflearn:hotpath
 func StdDev(xs []float64) float64 {
 	return math.Sqrt(Variance(xs))
 }
@@ -278,6 +280,8 @@ func Histogram(xs []float64, nbins int) []int {
 // HistogramInto counts xs into the caller-provided bins, zeroing them
 // first — the allocation-free form of Histogram with nbins = len(dst).
 // It returns dst (nil in the cases Histogram returns nil).
+//
+//selflearn:hotpath
 func HistogramInto(dst []int, xs []float64) []int {
 	nbins := len(dst)
 	if len(xs) == 0 || nbins <= 0 {

@@ -2,17 +2,15 @@ package wire
 
 import (
 	"bytes"
-	"errors"
 	"io"
 	"testing"
-	"time"
-
-	"selflearn/internal/serve"
 )
 
 // fuzzSeeds encodes one frame of every kind — the corpus FuzzDecode
 // mutates from, so every parse branch (including the model frames) is
-// reachable from the seeds.
+// reachable from the seeds. The frames come from the same kindFrames
+// table the parity test checks, so the corpus provably covers every
+// named kind, plus edge-case frames the canonical table doesn't carry.
 func fuzzSeeds(tb testing.TB) [][]byte {
 	tb.Helper()
 	one := func(fn func(*Encoder) error) []byte {
@@ -26,25 +24,18 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 		}
 		return buf.Bytes()
 	}
-	ev := serve.Event{
-		Kind: serve.EventRetrain, Patient: "chb01",
-		Time: time.Unix(0, 1712345678901234567), Seq: 9, Version: 2,
-		Err: errors.New("labeling failed"),
+	frames := kindFrames()
+	var seeds [][]byte
+	for _, k := range allKinds() {
+		fn, ok := frames[k]
+		if !ok {
+			tb.Fatalf("kind %v has no canonical frame in kindFrames; the fuzz corpus would miss it", k)
+		}
+		seeds = append(seeds, one(fn))
 	}
-	return [][]byte{
-		one(func(e *Encoder) error { return e.Hello() }),
-		one(func(e *Encoder) error { return e.Push("chb01", []float64{1, 2.5, -3}, []float64{0, 1e-300, 9}) }),
-		one(func(e *Encoder) error { return e.Confirm("ward-3/bed 12") }),
-		one(func(e *Encoder) error { return e.Event(ev) }),
-		one(func(e *Encoder) error { return e.StatsReq(7) }),
-		one(func(e *Encoder) error { return e.Stats(7, serve.Stats{Sessions: 3, Windows: 96, Alarms: 2}) }),
-		one(func(e *Encoder) error { return e.Ping(99) }),
-		one(func(e *Encoder) error { return e.Pong(99) }),
-		one(func(e *Encoder) error { return e.ModelGet(11, "chb01") }),
-		one(func(e *Encoder) error { return e.ModelPut(11, "chb01", 5, []byte(`{"trees":[],"oob_error":0.5}`)) }),
-		one(func(e *Encoder) error { return e.ModelPut(0, "chb02", 0, nil) }),
-		one(func(e *Encoder) error { return e.ModelAnnounce("chb01", 5) }),
-	}
+	// Edge cases beyond the canonical frames: the "no model" reply.
+	seeds = append(seeds, one(func(e *Encoder) error { return e.ModelPut(0, "chb02", 0, nil) }))
+	return seeds
 }
 
 // FuzzDecode feeds arbitrary byte streams through the frame decoder: a

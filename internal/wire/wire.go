@@ -211,6 +211,8 @@ func (e *Encoder) Hello() error {
 }
 
 // Push writes one sample batch frame.
+//
+//selflearn:hotpath
 func (e *Encoder) Push(patient string, c0, c1 []float64) error {
 	e.begin(KindPush)
 	e.appendString(patient)
@@ -220,6 +222,8 @@ func (e *Encoder) Push(patient string, c0, c1 []float64) error {
 }
 
 // Confirm writes one confirmation frame.
+//
+//selflearn:hotpath
 func (e *Encoder) Confirm(patient string) error {
 	e.begin(KindConfirm)
 	e.appendString(patient)
@@ -228,6 +232,8 @@ func (e *Encoder) Confirm(patient string) error {
 
 // Event writes one event frame. The error (if any) crosses as its
 // message string.
+//
+//selflearn:hotpath
 func (e *Encoder) Event(ev serve.Event) error {
 	e.begin(KindEvent)
 	e.appendU8(uint8(ev.Kind))

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"testing"
@@ -33,6 +34,68 @@ func decodeOne(t *testing.T, raw []byte) Msg {
 		t.Fatal(err)
 	}
 	return m
+}
+
+// allKinds enumerates every named frame kind by probing String()'s
+// default branch, so tests built on it cannot silently fall behind a
+// kind added to the codec.
+func allKinds() []Kind {
+	var out []Kind
+	for k := 1; k < 256; k++ {
+		if Kind(k).String() != fmt.Sprintf("kind(%d)", k) {
+			out = append(out, Kind(k))
+		}
+	}
+	return out
+}
+
+// kindFrames maps every frame kind to one canonical encode call. Both
+// the parity test and the fuzz corpus derive from this table, so a new
+// kind must land here to land at all.
+func kindFrames() map[Kind]func(*Encoder) error {
+	ev := serve.Event{
+		Kind: serve.EventRetrain, Patient: "chb01",
+		Time: time.Unix(0, 1712345678901234567), Seq: 9, Version: 2,
+		Err: errors.New("labeling failed"),
+	}
+	return map[Kind]func(*Encoder) error{
+		KindHello:    func(e *Encoder) error { return e.Hello() },
+		KindPush:     func(e *Encoder) error { return e.Push("chb01", []float64{1, 2.5, -3}, []float64{0, 1e-300, 9}) },
+		KindConfirm:  func(e *Encoder) error { return e.Confirm("ward-3/bed 12") },
+		KindEvent:    func(e *Encoder) error { return e.Event(ev) },
+		KindStatsReq: func(e *Encoder) error { return e.StatsReq(7) },
+		KindStats:    func(e *Encoder) error { return e.Stats(7, serve.Stats{Sessions: 3, Windows: 96, Alarms: 2}) },
+		KindPing:     func(e *Encoder) error { return e.Ping(99) },
+		KindPong:     func(e *Encoder) error { return e.Pong(99) },
+		KindModelGet: func(e *Encoder) error { return e.ModelGet(11, "chb01") },
+		KindModelPut: func(e *Encoder) error {
+			return e.ModelPut(11, "chb01", 5, []byte(`{"trees":[],"oob_error":0.5}`))
+		},
+		KindModelAnnounce: func(e *Encoder) error { return e.ModelAnnounce("chb01", 5) },
+	}
+}
+
+// TestFrameKindParity round-trips one frame of every kind the codec
+// names: each must have a canonical encoding in kindFrames, and each
+// must decode back to the same kind. This is the test-side twin of the
+// wirebounds analyzer's encode/decode switch parity check.
+func TestFrameKindParity(t *testing.T) {
+	frames := kindFrames()
+	kinds := allKinds()
+	if len(frames) != len(kinds) {
+		t.Errorf("kindFrames has %d entries for %d named kinds", len(frames), len(kinds))
+	}
+	for _, k := range kinds {
+		fn, ok := frames[k]
+		if !ok {
+			t.Errorf("kind %v has no canonical frame in kindFrames", k)
+			continue
+		}
+		m := decodeOne(t, encode(t, fn))
+		if m.Kind != k {
+			t.Errorf("frame encoded as %v decoded as %v", k, m.Kind)
+		}
+	}
 }
 
 func TestRoundTripAllKinds(t *testing.T) {
