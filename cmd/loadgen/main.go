@@ -11,6 +11,7 @@
 //	loadgen -scenario clean-replay,patient-churn -out rows.json
 //	loadgen -spec myscenario.json -cluster 127.0.0.1:7481,127.0.0.1:7482
 //	loadgen -scenario diurnal-wave -speed 4
+//	loadgen -scenario clean-replay -cluster 127.0.0.1:7461 -faults plan.json
 //
 // Cluster runs need the fleet started with a -rate matching the
 // workload's sample rate (128 for the synthetic matrix, 256 for
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"selflearn/internal/cluster"
+	"selflearn/internal/fault"
 	"selflearn/internal/scenario"
 	"selflearn/internal/serve"
 	"selflearn/internal/signal"
@@ -51,6 +53,7 @@ func main() {
 		patients = flag.Int("patients", 0, "override the patient count (0 keeps each spec's)")
 		duration = flag.Float64("duration", 0, "override stream seconds per patient (0 keeps each spec's)")
 		speed    = flag.Float64("speed", 0, "real-time pacing multiple (1 = wall clock, 0 = full speed)")
+		faults   = flag.String("faults", "", "fault-injection plan (JSON, see internal/fault); overrides each spec's faults section")
 		out      = flag.String("out", "", "write eval rows to this file instead of stdout")
 	)
 	flag.Parse()
@@ -66,6 +69,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var plan *fault.Plan
+	if *faults != "" {
+		data, err := os.ReadFile(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if plan, err = fault.LoadPlan(data); err != nil {
+			log.Fatal(err)
+		}
+	}
 	for i := range specs {
 		if *seed >= 0 {
 			specs[i].Seed = *seed
@@ -75,6 +88,9 @@ func main() {
 		}
 		if *duration > 0 {
 			specs[i].Duration = *duration
+		}
+		if plan != nil {
+			specs[i].Faults = plan
 		}
 	}
 
@@ -148,6 +164,9 @@ func runOne(spec scenario.Spec, addrs []string, idx int, speed float64) (*scenar
 	c := scenario.NewCollector()
 
 	if len(addrs) == 0 {
+		if w.Spec.Faults != nil {
+			log.Printf("%s: faults ignored in-process (network fault injection needs -cluster)", w.Spec.Name)
+		}
 		srv, err := scenario.NewLocalServer(w, c)
 		if err != nil {
 			return nil, err
@@ -174,7 +193,20 @@ func runOne(spec scenario.Spec, addrs []string, idx int, speed float64) (*scenar
 		}
 	}
 
-	r, err := cluster.Dial(addrs, cluster.Options{Admission: admissionPolicy(w.Spec.Admission)})
+	copts := cluster.Options{Admission: admissionPolicy(w.Spec.Admission)}
+	if w.Spec.Faults != nil {
+		// Every router and dial runs under the plan from here on; plan
+		// time starts now, so window offsets are relative to the
+		// scenario's cluster bring-up.
+		inj, err := fault.New(w.Spec.Faults)
+		if err != nil {
+			return nil, err
+		}
+		inj.Arm()
+		copts.Dialer = inj.Dial
+		log.Printf("%s: fault plan armed: %d windows (fault seed %d)", w.Spec.Name, len(inj.Windows()), w.Spec.Faults.Seed)
+	}
+	r, err := cluster.Dial(addrs, copts)
 	if err != nil {
 		return nil, err
 	}
@@ -272,6 +304,9 @@ func describe(s scenario.Spec) string {
 	}
 	if s.Quality == nil {
 		traits = append(traits, "no prefilter")
+	}
+	if s.Faults != nil {
+		traits = append(traits, fmt.Sprintf("%d fault rules", len(s.Faults.Rules)))
 	}
 	if s.Patients > 0 {
 		traits = append(traits, fmt.Sprintf("%d patients", s.Patients))

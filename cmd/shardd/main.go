@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"selflearn/internal/cluster"
+	"selflearn/internal/fault"
 	"selflearn/internal/rt"
 	"selflearn/internal/serve"
 	"selflearn/internal/signal"
@@ -60,7 +61,29 @@ func main() {
 	advertise := flag.String("advertise", "", "this shard's address as it appears in -peers and the front end's -cluster list (default -listen)")
 	replicas := flag.Int("replicas", 1, "next-in-line shards holding a copy of each checkpoint (with -peers)")
 	writeDeadline := flag.Duration("write-deadline", 10*time.Second, "socket write deadline for the shard protocol")
+	faultsFile := flag.String("faults", "", "fault-injection plan (JSON, see internal/fault) armed at boot: faults the listener, its connections, replication pushes, and the model store")
 	flag.Parse()
+
+	// The fault plan arms at boot, so window offsets count from process
+	// start. Connections accepted on the wrapped listener match rules by
+	// the listener label (this shard's advertised address), the store by
+	// label "store".
+	var inj *fault.Injector
+	if *faultsFile != "" {
+		data, err := os.ReadFile(*faultsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := fault.LoadPlan(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if inj, err = fault.New(plan); err != nil {
+			log.Fatal(err)
+		}
+		inj.Arm()
+		log.Printf("shardd: fault plan armed: %d windows (fault seed %d)", len(inj.Windows()), plan.Seed)
+	}
 
 	opts := []serve.Option{serve.WithEventBuffer(*eventBuffer)}
 	switch *admission {
@@ -78,7 +101,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts = append(opts, serve.WithModelStore(fs))
+		if inj != nil {
+			opts = append(opts, serve.WithModelStore(fault.NewStore(fs, inj, "store")))
+		} else {
+			opts = append(opts, serve.WithModelStore(fs))
+		}
 	}
 	if *quality {
 		pf, err := serve.QualityPrefilter(signal.DefaultQuality())
@@ -105,6 +132,9 @@ func main() {
 	}
 
 	copts := cluster.Options{WriteDeadline: *writeDeadline}
+	if inj != nil {
+		copts.Dialer = inj.Dial // replication pushes run under the plan too
+	}
 	if *peers != "" {
 		self := *advertise
 		if self == "" {
@@ -124,6 +154,13 @@ func main() {
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if inj != nil {
+		label := *advertise
+		if label == "" {
+			label = *listen
+		}
+		ln = fault.NewListener(ln, inj, label)
 	}
 	ss := cluster.Serve(srv, ln, copts)
 	replication := "off"

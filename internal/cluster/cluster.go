@@ -26,6 +26,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +73,21 @@ type Options struct {
 	// flush, and the server side of the handshake — so a peer that
 	// stops reading cannot wedge a writer forever (default 10 s).
 	WriteDeadline time.Duration
+	// ReadIdleTimeout bounds how long a ShardServer waits for the next
+	// frame from a connected client before reaping the connection
+	// (default 2 m). A half-open client — peer host gone, no FIN ever
+	// sent — would otherwise pin its handler goroutine and per-patient
+	// stream handles forever. Routers ping every PingInterval, so any
+	// live client refreshes the deadline orders of magnitude faster
+	// than it expires. Read by ShardServer only.
+	ReadIdleTimeout time.Duration
+	// Dialer overrides how cluster connections are established, for
+	// both the Router's shard connections and the shard-side
+	// replicator's checkpoint pushes (default net.DialTimeout over
+	// TCP). The fault-injection layer plugs in here: internal/fault's
+	// Injector.Dial satisfies this signature and wraps every
+	// connection in its fault plan.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
 	// Replication configures shard-side checkpoint replication; nil
 	// disables it. Read by ShardServer only — routers ignore it.
 	Replication *ReplicationConfig
@@ -104,6 +120,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.WriteDeadline <= 0 {
 		o.WriteDeadline = 10 * time.Second
+	}
+	if o.ReadIdleTimeout <= 0 {
+		o.ReadIdleTimeout = 2 * time.Minute
+	}
+	if o.Dialer == nil {
+		o.Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
 	}
 	return o
 }
@@ -344,12 +368,24 @@ func (r *Router) warmTransfer(patient string, target *shardConn) {
 	if err != nil {
 		have = 0
 	}
+	// The fallback sweep runs under one total budget, not one timeout
+	// per shard: resolve() — and the Push waiting behind it — is stalled
+	// while this runs, and a large fleet of half-dead peers (reachable
+	// but partitioned, so every modelGet times out) must not stack N
+	// timeouts onto a patient's failover. When the budget runs out the
+	// transfer fails open: the patient resumes at whatever the target
+	// holds — locally-untrained serving at worst, never a stuck stream.
+	sweepDeadline := time.Now().Add(2 * timeout)
 	bestV, bestData := have, []byte(nil)
 	for _, sc := range r.shards {
 		if sc == target || !sc.healthy.Load() {
 			continue
 		}
-		v, data, err := sc.modelGet(patient, timeout)
+		remaining := time.Until(sweepDeadline)
+		if remaining <= 0 {
+			break
+		}
+		v, data, err := sc.modelGet(patient, min(timeout, remaining))
 		if err != nil || v <= bestV || len(data) == 0 {
 			continue
 		}

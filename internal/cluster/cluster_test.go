@@ -250,6 +250,7 @@ func runScenario(t *testing.T, b backend, patients []string, closeBackend func()
 // exactly one stock serve.Server either way, and retrain seeds derive
 // from the patient, not the topology.
 func TestClusterMatchesSingleProcess(t *testing.T) {
+	servetest.CheckGoroutines(t)
 	shardA := startShard(t, "127.0.0.1:0")
 	defer shardA.stop()
 	shardB := startShard(t, "127.0.0.1:0")
@@ -486,6 +487,7 @@ func awaitModelVersion(t testing.TB, srv *serve.Server, patient string, want uin
 // survivor would classify everything negative until enough seizures
 // re-trigger retraining.
 func TestFailoverWarmResume(t *testing.T) {
+	servetest.CheckGoroutines(t)
 	shardA, shardB, _, r, patient := replicatedPair(t)
 	defer shardA.stop()
 	defer shardB.stop()
@@ -749,6 +751,7 @@ func TestClusterAdmissionSuite(t *testing.T) {
 // fanout channel before deregistering it, so a concurrent fanout send
 // panicked shardd; connections now leave the fanout set first.
 func TestShardServerSurvivesClientChurn(t *testing.T) {
+	servetest.CheckGoroutines(t)
 	ts := startShard(t, "127.0.0.1:0")
 	defer ts.stop()
 

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -79,8 +80,14 @@ func (sc *shardConn) Congested(p serve.AdmissionPolicy) bool { return sc.queue.F
 func (sc *shardConn) Depth() int { return sc.queue.Depth() }
 
 // manage is the connection's lifecycle loop, running until Router.Close.
+// Backoff is exponential (doubling, capped at 8× base) with equal
+// jitter: each wait lands uniformly in [backoff/2, backoff), so a
+// fleet of routers cut off by the same partition does not redial the
+// healed backend in lockstep. The jitter RNG is seeded from the shard
+// address, keeping reconnect traces reproducible run to run.
 func (sc *shardConn) manage() {
 	defer close(sc.done)
+	rng := rand.New(rand.NewSource(int64(fnv64(sc.addr))))
 	backoff := sc.r.opts.ReconnectBackoff
 	for {
 		select {
@@ -88,9 +95,9 @@ func (sc *shardConn) manage() {
 			return
 		default:
 		}
-		conn, err := net.DialTimeout("tcp", sc.addr, sc.r.opts.DialTimeout)
+		conn, err := sc.r.opts.Dialer(sc.addr, sc.r.opts.DialTimeout)
 		if err != nil {
-			if !sc.sleep(backoff) {
+			if !sc.sleep(jittered(rng, backoff)) {
 				return
 			}
 			backoff = min(backoff*2, 8*sc.r.opts.ReconnectBackoff)
@@ -103,10 +110,19 @@ func (sc *shardConn) manage() {
 		}
 		// Brief pause before redialing so a crash-looping backend is not
 		// hammered.
-		if !sc.sleep(backoff) {
+		if !sc.sleep(jittered(rng, backoff)) {
 			return
 		}
 	}
+}
+
+// jittered spreads one backoff delay uniformly over [d/2, d).
+func jittered(rng *rand.Rand, d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)))
 }
 
 // sleep waits d unless the router closes first.

@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"fmt"
-	"net"
 	"sort"
 	"time"
 
@@ -141,7 +140,12 @@ func (r *replicator) target(patient string) string {
 }
 
 // replicate pushes the patient's current checkpoint to their
-// next-in-line shard.
+// next-in-line shard, retrying once after a short pause. Retries are
+// bounded — not looped to success — because a push is already
+// per-operation bounded (dial timeout, handshake deadline, write
+// deadline) and best-effort by contract: an unreachable target costs
+// replica freshness until the next publish, while an unbounded retry
+// loop would wedge the replicator queue behind one dead peer.
 func (r *replicator) replicate(patient string) {
 	target := r.target(patient)
 	if target == "" {
@@ -151,27 +155,38 @@ func (r *replicator) replicate(patient string) {
 	if version == 0 {
 		return
 	}
-	r.push(target, patient, version, data)
+	for attempt := 0; attempt < 2; attempt++ {
+		if r.push(target, patient, version, data) {
+			return
+		}
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
 }
 
-// push dials the peer shard, handshakes, and delivers one ModelPut.
-// The connection is short-lived by design: checkpoint saves are
-// retrain-rate events (per confirmed seizure), far too rare to be
-// worth a persistent connection state machine.
-func (r *replicator) push(addr, patient string, version uint64, data []byte) {
-	conn, err := net.DialTimeout("tcp", addr, r.s.opts.DialTimeout)
+// push dials the peer shard, handshakes, and delivers one ModelPut,
+// reporting whether the frames were flushed. The connection is
+// short-lived by design: checkpoint saves are retrain-rate events (per
+// confirmed seizure), far too rare to be worth a persistent connection
+// state machine. Dialing goes through Options.Dialer so replication
+// links run under the same fault plan as router links.
+func (r *replicator) push(addr, patient string, version uint64, data []byte) bool {
+	conn, err := r.s.opts.Dialer(addr, r.s.opts.DialTimeout)
 	if err != nil {
-		return
+		return false
 	}
 	defer conn.Close()
 	enc := wire.NewEncoder(conn)
 	dec := wire.NewDecoder(conn)
 	if err := handshake(conn, enc, dec, r.s.opts.DialTimeout); err != nil {
-		return
+		return false
 	}
 	conn.SetWriteDeadline(time.Now().Add(r.s.opts.WriteDeadline))
 	if err := enc.ModelPut(0, patient, version, data); err != nil {
-		return
+		return false
 	}
-	enc.Flush()
+	return enc.Flush() == nil
 }

@@ -216,6 +216,15 @@ func (c *clientConn) handle() {
 	go c.eventWriter(writerDone)
 
 	for {
+		// Arm the idle deadline only around waiting for the next frame:
+		// a half-open peer (host gone, no FIN ever arrives) is reaped
+		// after ReadIdleTimeout instead of pinning this goroutine and
+		// its patient handles forever, while a frame stalled in apply's
+		// backpressure loop — deliberate flow control — never trips it.
+		// Any live router refreshes it every PingInterval.
+		// (The deadline is re-armed per frame, and reads only happen
+		// here, so an apply stall never sees a stale deadline fire.)
+		c.conn.SetReadDeadline(time.Now().Add(c.s.opts.ReadIdleTimeout))
 		m, err := dec.Next()
 		if err != nil {
 			return

@@ -1,0 +1,55 @@
+package fault
+
+import (
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Listener wraps a net.Listener so every accepted connection runs
+// under the injector's plan (peer label = the listener's label), and
+// KindAcceptStall windows hold accepted connections back until the
+// window closes — dialers see their handshakes time out, exactly like
+// a listening host too wedged to serve its backlog.
+type Listener struct {
+	net.Listener
+	inj    *Injector
+	label  string
+	closed atomic.Bool
+}
+
+// NewListener wraps ln under inj; rules match accepted connections on
+// label. A nil injector returns ln unchanged.
+func NewListener(ln net.Listener, inj *Injector, label string) net.Listener {
+	if inj == nil {
+		return ln
+	}
+	return &Listener{Listener: ln, inj: inj, label: label}
+}
+
+func (l *Listener) Close() error {
+	l.closed.Store(true)
+	return l.Listener.Close()
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	// Stall inside Accept, not on the accepted socket: the dialer's
+	// handshake deadline — not its dial timeout — is what expires, the
+	// same failure shape as a wedged accept queue. Listener close
+	// interrupts the stall so server teardown never waits out a window.
+	for {
+		if l.closed.Load() {
+			conn.Close()
+			return nil, net.ErrClosed
+		}
+		if _, ok := l.inj.Active(l.label, KindAcceptStall); !ok {
+			break
+		}
+		time.Sleep(pollInterval)
+	}
+	return WrapConn(conn, l.inj, l.label), nil
+}

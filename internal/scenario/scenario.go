@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"selflearn/internal/fault"
 	"selflearn/internal/signal"
 )
 
@@ -71,6 +72,14 @@ type Spec struct {
 	// Refractory is the alarm hold-off in seconds. 0 = 30 (the rt
 	// default of two minutes would mask clustered seizures).
 	Refractory float64 `json:"refractory_s,omitempty"`
+	// Faults, when non-nil, is the scenario's chaos plan: a seeded
+	// fault-injection schedule (internal/fault) that cmd/loadgen
+	// applies to its cluster connections, composing infrastructure
+	// failure with the adversarial signal above. The plan carries its
+	// own seed, so the fault schedule replays as deterministically as
+	// the workload. Local (in-process) runs have no network to fault
+	// and ignore it.
+	Faults *fault.Plan `json:"faults,omitempty"`
 }
 
 // Source selects the signal origin.
@@ -222,6 +231,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Tolerance < 0 || s.Refractory < 0 {
 		return fmt.Errorf("scenario: negative tolerance or refractory")
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

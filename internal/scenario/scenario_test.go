@@ -1,9 +1,11 @@
 package scenario
 
 import (
+	"encoding/json"
 	"reflect"
 	"testing"
 
+	"selflearn/internal/fault"
 	"selflearn/internal/signal"
 )
 
@@ -152,5 +154,49 @@ func TestSpecValidate(t *testing.T) {
 		if err := s.withDefaults().Validate(); err != nil {
 			t.Errorf("%s: %v", s.Name, err)
 		}
+	}
+}
+
+// TestSpecFaultsSection pins the chaos plumbing in the spec format: a
+// faults section survives a JSON round trip intact (so a scenario file
+// replays the identical fault schedule), and an invalid plan fails
+// Validate instead of silently running a clean baseline.
+func TestSpecFaultsSection(t *testing.T) {
+	spec := Spec{
+		Name: "chaos",
+		Seed: 9,
+		Faults: &fault.Plan{Seed: 42, Rules: []fault.Rule{
+			{Peer: "127.0.0.1:7461", Kind: fault.KindPartition, Start: 30, Duration: 10, Repeat: 2, Period: 60, Jitter: 3},
+		}},
+	}
+	if err := spec.withDefaults().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Spec
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Faults == nil || !reflect.DeepEqual(*got.Faults, *spec.Faults) {
+		t.Fatalf("faults section did not round-trip: %+v", got.Faults)
+	}
+	ws1, err := spec.Faults.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws2, err := got.Faults.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fault.FormatSchedule(ws1) != fault.FormatSchedule(ws2) {
+		t.Fatal("fault schedule changed across the spec round trip")
+	}
+
+	spec.Faults.Rules[0].Duration = 0
+	if err := spec.withDefaults().Validate(); err == nil {
+		t.Fatal("spec with an invalid fault rule validated")
 	}
 }

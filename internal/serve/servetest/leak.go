@@ -1,0 +1,107 @@
+package servetest
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goroutineAllowlist marks background goroutines that legitimately
+// outlive a test: runtime and testing internals, and long-lived
+// machinery the process shares across tests. A stack containing any of
+// these substrings is never reported as a leak.
+var goroutineAllowlist = []string{
+	"created by runtime.",
+	"created by testing.",
+	"runtime.ReadTrace",
+	"os/signal.loop",
+	"runtime/pprof.",
+}
+
+// CheckGoroutines guards a test against goroutine leaks: it snapshots
+// the live goroutine set now and registers a cleanup that fails the
+// test if goroutines born during the test are still alive after every
+// later-registered cleanup has run. Orderly teardown is asynchronous
+// (closed servers join their workers, routers their manage loops), so
+// the check polls for up to settle time before declaring a leak, and
+// allow-listed stacks (runtime, testing, plus any extra substrings
+// given) are ignored.
+//
+// Call it FIRST in the test, before constructing the system under
+// test: t.Cleanup runs last-registered-first, so the guard observes
+// the world after the harness has torn everything down.
+func CheckGoroutines(t testing.TB, allow ...string) {
+	t.Helper()
+	before := goroutineIDs()
+	t.Cleanup(func() {
+		const settle = 5 * time.Second
+		deadline := time.Now().Add(settle)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for id, stack := range goroutineStacks() {
+				if before[id] || allowed(stack, allow) {
+					continue
+				}
+				leaked = append(leaked, stack)
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d goroutines born during the test still alive %v after teardown:\n%s",
+			len(leaked), settle, strings.Join(leaked, "\n"))
+	})
+}
+
+func allowed(stack string, extra []string) bool {
+	for _, s := range goroutineAllowlist {
+		if strings.Contains(stack, s) {
+			return true
+		}
+	}
+	for _, s := range extra {
+		if s != "" && strings.Contains(stack, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// goroutineStacks parses runtime.Stack(all=true) into id → stack text.
+// The two-line header of each record ("goroutine N [state]:") carries
+// the ID; records are separated by blank lines.
+func goroutineStacks() map[int64]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	stacks := make(map[int64]string)
+	for _, rec := range strings.Split(string(buf), "\n\n") {
+		var id int64
+		if _, err := fmt.Sscanf(rec, "goroutine %d ", &id); err != nil {
+			continue
+		}
+		stacks[id] = rec
+	}
+	return stacks
+}
+
+func goroutineIDs() map[int64]bool {
+	ids := make(map[int64]bool)
+	for id := range goroutineStacks() {
+		ids[id] = true
+	}
+	return ids
+}

@@ -46,8 +46,11 @@ func (o *Observer) NoteAlarms(n int) { o.Alarms.Add(uint64(n)) }
 
 // RunAdmissionSuite runs the shared admission-policy suite. mk must
 // return a fresh idle harness whose shard queue holds at most depth
-// jobs and has no concurrent consumer.
+// jobs and has no concurrent consumer. The suite doubles as a leak
+// gate: every goroutine a harness spawns (workers, manage loops,
+// drain helpers) must be gone once its cleanup has run.
 func RunAdmissionSuite(t *testing.T, mk func(t *testing.T, depth int) Harness) {
+	CheckGoroutines(t)
 	batch := func(patient string, obs *Observer) serve.Job {
 		return serve.Job{Patient: patient, C0: []float64{0}, C1: []float64{0}, Stream: obs}
 	}

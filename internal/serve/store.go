@@ -191,6 +191,11 @@ func (s *FileStore) path(patientID string) string {
 	return filepath.Join(s.dir, url.PathEscape(patientID)+".forest.json")
 }
 
+// PathFor exposes the patient's checkpoint file path — the seam tooling
+// (fault injection's torn-write store, operational scripts) uses to
+// reach a checkpoint on disk without re-deriving the escaping rules.
+func (s *FileStore) PathFor(patientID string) string { return s.path(patientID) }
+
 // quarantine moves a corrupt checkpoint aside under a name no future
 // corruption will reuse, so back-to-back failures never overwrite the
 // forensic evidence of an earlier one: the first lands at
