@@ -1,0 +1,96 @@
+// Command benchcmp compares two BENCH_*.json throughput snapshots (the
+// machine-readable files internal/serve's TestMain writes) and exits
+// nonzero when any series regressed by more than -threshold — the
+// regression gate of CI's bench-snapshot job.
+//
+//	benchcmp [-threshold 0.10] committed.json fresh.json
+//
+// Every series present in the committed snapshot must exist in the
+// fresh one (a silently vanished benchmark is itself a regression);
+// series the fresh run added are reported but never gate. Comparisons
+// are only meaningful within one hardware class: re-record the
+// committed snapshots when the benchmark shape or the CI runner class
+// changes, not to chase run-to-run noise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type snapshot struct {
+	Benchmark     string             `json:"benchmark"`
+	GOMAXPROCS    int                `json:"gomaxprocs"`
+	WindowsPerSec map[string]float64 `json:"windows_per_sec"`
+}
+
+func load(path string) snapshot {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	if len(s.WindowsPerSec) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %s: no windows_per_sec series\n", path)
+		os.Exit(2)
+	}
+	return s
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "max tolerated fractional regression per series")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold 0.10] committed.json fresh.json")
+		os.Exit(2)
+	}
+	was, now := load(flag.Arg(0)), load(flag.Arg(1))
+	if was.Benchmark != now.Benchmark {
+		fmt.Fprintf(os.Stderr, "benchcmp: comparing %s against %s\n", was.Benchmark, now.Benchmark)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(was.WindowsPerSec))
+	for name := range was.WindowsPerSec {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fail := false
+	for _, name := range names {
+		old := was.WindowsPerSec[name]
+		cur, ok := now.WindowsPerSec[name]
+		if !ok {
+			fmt.Printf("FAIL  %-16s series missing from fresh snapshot\n", name)
+			fail = true
+			continue
+		}
+		if old <= 0 {
+			fmt.Printf("skip  %-16s committed rate %.0f is not comparable\n", name, old)
+			continue
+		}
+		delta := (cur - old) / old
+		verdict := "ok  "
+		if delta < -*threshold {
+			verdict = "FAIL"
+			fail = true
+		}
+		fmt.Printf("%s  %-16s %10.0f -> %10.0f windows/s (%+.1f%%)\n", verdict, name, old, cur, 100*delta)
+	}
+	for name := range now.WindowsPerSec {
+		if _, ok := was.WindowsPerSec[name]; !ok {
+			fmt.Printf("new   %-16s %10.0f windows/s (no committed baseline)\n", name, now.WindowsPerSec[name])
+		}
+	}
+	if fail {
+		fmt.Printf("benchcmp: %s regressed more than %.0f%% vs %s\n", now.Benchmark, 100**threshold, flag.Arg(0))
+		os.Exit(1)
+	}
+}

@@ -200,6 +200,7 @@ func main() {
 	}()
 
 	stop := make(chan struct{})
+	meter := &steadyRate{}
 	go func() {
 		tick := time.NewTicker(*statsEvery)
 		defer tick.Stop()
@@ -208,7 +209,9 @@ func main() {
 			case <-stop:
 				return
 			case <-tick.C:
-				out.stats(bk.snapshot())
+				st := bk.snapshot()
+				meter.observe(st.WindowsPerSec)
+				out.stats(st)
 			}
 		}
 	}()
@@ -261,6 +264,10 @@ func main() {
 
 	out.headline("replayed %d patient-streams in %v", *patients, elapsed.Round(time.Millisecond))
 	summary := summaryFields(st, elapsed, alarmsObserved, retrainsObserved, evictionsObserved, shedsObserved)
+	// The final snapshot's interval rate covers the idle drain tail, so
+	// statsFields put a meaningless ~0 in windows_per_sec. Replace it
+	// with the steady-state rate the ticker measured mid-replay.
+	summary["windows_per_sec"] = meter.value(summary["windows_per_sec_avg"].(float64))
 	summary["model_versions"] = modelVersions
 	out.summary(st, summary)
 	if *benchOut != "" {
@@ -403,6 +410,43 @@ func confirm(h streamHandle) {
 	}
 }
 
+// steadyRate accumulates the interval throughput samples the periodic
+// stats ticker observes during the replay. serve.Stats.WindowsPerSec is
+// sampled over the interval since the previous Snapshot call, so with
+// the ticker as the sole mid-replay observer each sample is one clean
+// -stats interval. The first interval is warmup (session opens,
+// first-batch model loads) and is excluded; the drain tail never enters
+// because sampling stops with the ticker.
+type steadyRate struct {
+	mu      sync.Mutex
+	samples []float64
+}
+
+func (s *steadyRate) observe(v float64) {
+	s.mu.Lock()
+	s.samples = append(s.samples, v)
+	s.mu.Unlock()
+}
+
+// value returns the mean post-warmup interval rate, or fallback when
+// the replay finished before the ticker saw a steady interval.
+func (s *steadyRate) value(fallback float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	xs := s.samples
+	if len(xs) >= 2 {
+		xs = xs[1:]
+	}
+	if len(xs) == 0 {
+		return fallback
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
 // printer renders harness output as human text or JSON lines.
 type printer struct {
 	mu    sync.Mutex
@@ -481,8 +525,10 @@ func summaryFields(st serve.Stats, elapsed time.Duration, alarmsObserved, retrai
 	f := statsFields(st)
 	f["type"] = "summary"
 	f["elapsed_s"] = elapsed.Seconds()
-	// windows_per_sec covers the final (idle) drain interval; the
-	// replay-wide average is what dashboards want.
+	// statsFields copied the final snapshot's windows_per_sec, which
+	// covers the idle drain interval; main overrides it with the
+	// steady-state mid-replay rate. The replay-wide average rides along
+	// for dashboards that want a whole-run number.
 	f["windows_per_sec_avg"] = float64(st.Windows) / elapsed.Seconds()
 	f["alarms_observed"] = alarmsObserved
 	f["retrains_observed"] = retrainsObserved

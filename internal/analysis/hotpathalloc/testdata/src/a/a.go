@@ -32,6 +32,42 @@ func growHelper(buf []float64, n int) []float64 {
 	return buf[:n]
 }
 
+// arena mirrors the wire encoder's scratch-body shape: append-style
+// grow that must preserve existing contents.
+type arena struct{ buf []byte }
+
+//selflearn:hotpath
+func (a *arena) grow(n int) []byte {
+	if cap(a.buf) < len(a.buf)+n {
+		grown := make([]byte, len(a.buf), 2*len(a.buf)+n) // copy-and-swap grow: dominated by a capacity test
+		copy(grown, a.buf)
+		a.buf = grown
+	}
+	b := a.buf[len(a.buf) : len(a.buf)+n]
+	a.buf = a.buf[:len(a.buf)+n]
+	return b
+}
+
+//selflearn:hotpath
+func (a *arena) growUnguarded(n int) []byte {
+	grown := make([]byte, len(a.buf)+n) // want `make allocates on the hot path \(no grow-once guard on "grown"\)`
+	copy(grown, a.buf)
+	a.buf = grown
+	return a.buf
+}
+
+// spill mirrors the batch predictors: a stack buffer for the common
+// case, an escaped heap spill above it.
+//
+//selflearn:hotpath
+func spill(nRows int) []int32 {
+	var stack [64]int32
+	if nRows <= 64 {
+		return stack[:nRows]
+	}
+	return make([]int32, nRows) //selflearn:alloc-ok fixture: large-batch spill, amortized
+}
+
 //selflearn:hotpath
 func lits(n int) *point {
 	_ = []int{n}        // want `slice literal allocates on the hot path`

@@ -208,8 +208,10 @@ loop:
 	return stopped
 }
 
-// handshake exchanges Hello frames under a deadline and verifies the
-// protocol version.
+// handshake exchanges Hello frames under a deadline and negotiates the
+// protocol version: any peer at wire.MinVersion or newer is accepted,
+// and the encoder is pinned to min(wire.Version, peer's) so frames the
+// peer cannot parse (PushQ toward a v3 shard) are never sent.
 func handshake(conn net.Conn, enc *wire.Encoder, dec *wire.Decoder, timeout time.Duration) error {
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return err
@@ -224,9 +226,10 @@ func handshake(conn net.Conn, enc *wire.Encoder, dec *wire.Decoder, timeout time
 	if err != nil {
 		return err
 	}
-	if m.Kind != wire.KindHello || m.Version != wire.Version {
-		return fmt.Errorf("cluster: peer speaks %v v%d, want hello v%d", m.Kind, m.Version, wire.Version)
+	if m.Kind != wire.KindHello || m.Version < wire.MinVersion {
+		return fmt.Errorf("cluster: peer speaks %v v%d, want hello v%d or newer", m.Kind, m.Version, wire.MinVersion)
 	}
+	enc.SetVersion(m.Version)
 	return conn.SetDeadline(time.Time{})
 }
 

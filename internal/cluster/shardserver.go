@@ -194,13 +194,15 @@ func (c *clientConn) handle() {
 
 	enc := wire.NewEncoder(c.conn)
 	dec := wire.NewDecoder(c.conn)
-	// Handshake mirrors the client: Hello both ways, versions must
-	// match, bounded by the shared write deadline.
+	// Handshake mirrors the client: Hello both ways, any peer at
+	// MinVersion or newer accepted, the effective version negotiated
+	// down to the older side, bounded by the shared write deadline.
 	c.conn.SetDeadline(time.Now().Add(c.s.opts.WriteDeadline))
 	m, err := dec.Next()
-	if err != nil || m.Kind != wire.KindHello || m.Version != wire.Version {
+	if err != nil || m.Kind != wire.KindHello || m.Version < wire.MinVersion {
 		return
 	}
+	enc.SetVersion(m.Version)
 	if err := enc.Hello(); err != nil {
 		return
 	}
@@ -230,7 +232,7 @@ func (c *clientConn) handle() {
 			return
 		}
 		switch m.Kind {
-		case wire.KindPush:
+		case wire.KindPush, wire.KindPushQ:
 			h, err := c.stream(m.Patient)
 			if err != nil {
 				return // server closed; connection is useless now

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"selflearn/internal/serve"
+	"selflearn/internal/wire"
+)
+
+// helloFrame hand-crafts a Hello advertising an arbitrary version —
+// wire.Encoder always advertises its own build's Version, so acting as
+// an old peer needs raw bytes.
+func helloFrame(v uint32) []byte {
+	b := make([]byte, 9)
+	binary.LittleEndian.PutUint32(b, 5)
+	b[4] = byte(wire.KindHello)
+	binary.LittleEndian.PutUint32(b[5:], v)
+	return b
+}
+
+// adcSamples builds a batch on a uint16 grid (integer ADC counts × a
+// power-of-two LSB) — data a v4 encoder would frame as PushQ.
+func adcSamples(n int, seed uint64) []float64 {
+	xs := make([]float64, n)
+	state := seed
+	for i := range xs {
+		state = state*6364136223846793005 + 1442695040888963407
+		xs[i] = float64((state>>33)%4096) * (1.0 / (1 << 13))
+	}
+	return xs
+}
+
+// TestV3ClientAgainstV4Shard: a peer still speaking protocol v3 must
+// handshake with a current shard and stream float Push frames through
+// it — the v4 bump is additive and cannot strand deployed routers.
+func TestV3ClientAgainstV4Shard(t *testing.T) {
+	ts := startShard(t, "127.0.0.1:0")
+	defer ts.stop()
+
+	conn, err := net.Dial("tcp", ts.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(helloFrame(3)); err != nil {
+		t.Fatal(err)
+	}
+	dec := wire.NewDecoder(conn)
+	m, err := dec.Next()
+	if err != nil {
+		t.Fatalf("shard hung up on a v3 hello: %v", err)
+	}
+	if m.Kind != wire.KindHello || m.Version != wire.Version {
+		t.Fatalf("shard hello = %+v, want v%d", m, wire.Version)
+	}
+
+	enc := wire.NewEncoder(conn)
+	enc.SetVersion(3) // what a real v3 peer's encoder would produce
+	rec := testRecording(t, 77, 12, -1, 0)
+	for off := 0; off+testRate <= len(rec.Data[0]); off += testRate {
+		if err := enc.Push("v3-patient", rec.Data[0][off:off+testRate], rec.Data[1][off:off+testRate]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The shard must classify those batches: poll its stats over the
+	// same v3 connection until windows appear.
+	deadline := time.Now().Add(30 * time.Second)
+	for token := uint64(1); ; token++ {
+		if err := enc.StatsReq(token); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var st serve.Stats
+		for {
+			m, err := dec.Next()
+			if err != nil {
+				t.Fatalf("reading stats reply: %v", err)
+			}
+			if m.Kind == wire.KindStats && m.Token == token {
+				st = m.Stats
+				break
+			}
+		}
+		if st.Windows > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no windows classified over the v3 connection: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestAncientPeerRefused: versions below wire.MinVersion must be turned
+// away at the handshake, not trickle garbage into the frame loop.
+func TestAncientPeerRefused(t *testing.T) {
+	ts := startShard(t, "127.0.0.1:0")
+	defer ts.stop()
+	conn, err := net.Dial("tcp", ts.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(helloFrame(wire.MinVersion - 1)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := wire.NewDecoder(conn).Next(); err == nil {
+		t.Fatal("shard answered a v2 hello instead of closing")
+	}
+}
+
+// TestRouterSpeaksFloatToV3Shard: a router facing a v3 shard must
+// negotiate down and send float Push frames even for batches that
+// would quantize — and the samples must arrive bit-identical.
+func TestRouterSpeaksFloatToV3Shard(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	c0, c1 := adcSamples(testRate, 11), adcSamples(testRate, 12)
+	const wantBatches = 5
+	got := make(chan wire.Msg, wantBatches)
+	errs := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer conn.Close()
+		dec := wire.NewDecoder(conn)
+		m, err := dec.Next()
+		if err != nil || m.Kind != wire.KindHello {
+			errs <- err
+			return
+		}
+		if _, err := conn.Write(helloFrame(3)); err != nil { // we are a v3 shard
+			errs <- err
+			return
+		}
+		enc := wire.NewEncoder(conn)
+		enc.SetVersion(3)
+		for {
+			m, err := dec.Next()
+			if err != nil {
+				return
+			}
+			switch m.Kind {
+			case wire.KindPing:
+				enc.Pong(m.Token)
+				enc.Flush()
+			case wire.KindPush:
+				select {
+				case got <- m:
+				default:
+				}
+			case wire.KindPushQ:
+				errs <- err // signal below via closed channel semantics
+				close(got)
+				return
+			}
+		}
+	}()
+
+	r, err := Dial([]string{ln.Addr().String()}, Options{
+		DialTimeout:  5 * time.Second,
+		PingInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	h, err := r.Open("grid-patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	for i := 0; i < wantBatches; i++ {
+		pushSamples(t, h, c0, c1)
+	}
+
+	deadline := time.After(30 * time.Second)
+	for seen := 0; seen < wantBatches; {
+		select {
+		case err := <-errs:
+			t.Fatalf("fake v3 shard failed (nil error means a PushQ frame arrived): %v", err)
+		case m, ok := <-got:
+			if !ok {
+				t.Fatal("router sent a v4 PushQ frame to a v3 shard")
+			}
+			if len(m.C0) != len(c0) {
+				t.Fatalf("push has %d samples, want %d", len(m.C0), len(c0))
+			}
+			for i := range c0 {
+				if math.Float64bits(m.C0[i]) != math.Float64bits(c0[i]) ||
+					math.Float64bits(m.C1[i]) != math.Float64bits(c1[i]) {
+					t.Fatalf("sample %d corrupted crossing to the v3 shard", i)
+				}
+			}
+			seen++
+		case <-deadline:
+			t.Fatalf("fake v3 shard never received the batches")
+		}
+	}
+}
+
+// TestClusterServesQuantizedBatches: two current peers exchanging
+// ADC-grid data (which rides PushQ frames) must classify windows
+// exactly as ever — the wire format is invisible to the pipeline.
+func TestClusterServesQuantizedBatches(t *testing.T) {
+	ts := startShard(t, "127.0.0.1:0")
+	defer ts.stop()
+	r, err := Dial([]string{ts.addr()}, Options{DialTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	h, err := r.Open("grid-patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	c0, c1 := adcSamples(12*testRate, 21), adcSamples(12*testRate, 22)
+	pushSamples(t, h, c0, c1)
+	awaitSnapshot(t, clusterBackend{r}, "windows from quantized batches", func(st serve.Stats) bool {
+		return st.Windows > 0
+	})
+}

@@ -77,14 +77,64 @@ func (p *PSD) TotalPower() float64 {
 //
 //selflearn:hotpath
 func (p *PSD) BandPower(b Band) float64 {
+	lo, hi := p.bandRange(b)
 	var s float64
-	for k := range p.Power {
-		f := p.Freq(k)
-		if f >= b.Low && f < b.High {
-			s += p.Power[k]
-		}
+	for _, v := range p.Power[lo:hi] {
+		s += v
 	}
 	return s * p.BinWidth
+}
+
+// bandRange returns the half-open bin range [lo, hi) whose center
+// frequencies lie in [b.Low, b.High). The bounds are located by
+// division and then pinned against the exact per-bin predicate
+// (Freq(k) >= Low, Freq(k) < High), so the selected bins — and
+// therefore BandPower's sum, term for term — are identical to the
+// full scan this replaces, for any BinWidth rounding behavior.
+//
+//selflearn:hotpath
+func (p *PSD) bandRange(b Band) (lo, hi int) {
+	n := len(p.Power)
+	bw := p.BinWidth
+	if math.IsNaN(bw) {
+		return 0, 0 // Freq(k) is NaN for every bin: nothing selects
+	}
+	if bw <= 0 {
+		// Degenerate spacing: every bin sits at frequency k*bw <= 0;
+		// bin 0 (and, for bw == 0, every bin) is at exactly 0.
+		if bw == 0 && b.Low <= 0 && b.High > 0 {
+			return 0, n
+		}
+		return 0, 0
+	}
+	lo = clampBin(int(b.Low/bw), n)
+	for lo > 0 && float64(lo-1)*bw >= b.Low {
+		lo--
+	}
+	for lo < n && float64(lo)*bw < b.Low {
+		lo++
+	}
+	hi = clampBin(int(b.High/bw), n)
+	for hi > 0 && float64(hi-1)*bw >= b.High {
+		hi--
+	}
+	for hi < n && float64(hi)*bw < b.High {
+		hi++
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+func clampBin(k, n int) int {
+	if k < 0 {
+		return 0
+	}
+	if k > n {
+		return n
+	}
+	return k
 }
 
 // RelativeBandPower returns BandPower(b)/TotalPower, or 0 when the total
@@ -109,7 +159,8 @@ type Workspace struct {
 	fs     float64
 	coeffs []float64 // shared read-only taper table (window.Cached)
 	wp     float64   // taper power correction
-	buf    []complex128
+	rp     *fft.RealPlan
+	rbuf   []float64 // tapered, zero-padded real input
 	scale  float64
 	half   int
 }
@@ -128,18 +179,26 @@ func NewWorkspace(n int, fs float64, taper window.Func) (*Workspace, error) {
 	if wp == 0 {
 		wp = 1
 	}
-	return &Workspace{
+	ws := &Workspace{
 		n:      n,
 		fs:     fs,
 		coeffs: window.Cached(taper, n),
 		wp:     wp,
-		buf:    make([]complex128, nfft),
+		rbuf:   make([]float64, nfft),
 		// One-sided PSD with taper power correction. The denominator
 		// uses the original (pre-padding) length so that total power
 		// matches the time-domain mean square of the tapered signal.
 		scale: 1 / (fs * float64(n) * wp),
 		half:  nfft/2 + 1,
-	}, nil
+	}
+	if nfft >= 2 {
+		rp, err := fft.NewRealPlan(nfft)
+		if err != nil {
+			return nil, err
+		}
+		ws.rp = rp
+	}
+	return ws, nil
 }
 
 // NumBins returns the number of one-sided PSD bins the workspace produces.
@@ -153,24 +212,30 @@ func (ws *Workspace) PeriodogramInto(dst *PSD, xs []float64) error {
 	if len(xs) != ws.n {
 		return fmt.Errorf("spectrum: workspace sized for %d samples, got %d", ws.n, len(xs))
 	}
-	for i, v := range xs {
-		ws.buf[i] = complex(v*ws.coeffs[i], 0)
-	}
-	for i := ws.n; i < len(ws.buf); i++ {
-		ws.buf[i] = 0
-	}
-	if err := fft.Forward(ws.buf); err != nil {
-		return err
-	}
 	if cap(dst.Power) < ws.half {
 		dst.Power = make([]float64, ws.half)
 	}
 	dst.Power = dst.Power[:ws.half]
-	nfft := len(ws.buf)
+	nfft := len(ws.rbuf)
+	for i, v := range xs {
+		ws.rbuf[i] = v * ws.coeffs[i]
+	}
+	for i := ws.n; i < nfft; i++ {
+		ws.rbuf[i] = 0
+	}
+	if ws.rp != nil {
+		// |X[k]|² straight into the PSD bins, via the half-size
+		// real-input transform.
+		if _, err := ws.rp.PowerSpectrumInto(dst.Power, ws.rbuf); err != nil {
+			return err
+		}
+	} else {
+		// nfft == 1: the single bin is the (tapered) sample itself.
+		dst.Power[0] = ws.rbuf[0] * ws.rbuf[0]
+	}
 	var total float64
 	for k := 0; k < ws.half; k++ {
-		re, im := real(ws.buf[k]), imag(ws.buf[k])
-		p := (re*re + im*im) * ws.scale
+		p := dst.Power[k] * ws.scale
 		if k != 0 && k != nfft/2 {
 			p *= 2 // fold negative frequencies
 		}

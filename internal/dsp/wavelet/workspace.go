@@ -72,15 +72,47 @@ func (ws *Workspace) forwardInto(approx, detail, x []float64) {
 	if straight > half {
 		straight = half
 	}
-	for i := 0; i < straight; i++ {
-		var a, d float64
-		win := x[2*i : 2*i+m]
-		for j, v := range win {
-			a += h[j] * v
-			d += g[j] * v
+	if m == 8 {
+		// Eight-tap analysis (db4/sym4, the serving configuration) with
+		// the filter held in registers and the window load hoisted. The
+		// accumulation order is exactly the generic loop's
+		// (a += h[j]*v, ascending j), so coefficients stay bit-identical.
+		h0, h1, h2, h3, h4, h5, h6, h7 := h[0], h[1], h[2], h[3], h[4], h[5], h[6], h[7]
+		g0, g1, g2, g3, g4, g5, g6, g7 := g[0], g[1], g[2], g[3], g[4], g[5], g[6], g[7]
+		for i := 0; i < straight; i++ {
+			win := x[2*i : 2*i+8 : 2*i+8]
+			v0, v1, v2, v3 := win[0], win[1], win[2], win[3]
+			v4, v5, v6, v7 := win[4], win[5], win[6], win[7]
+			a := h0 * v0
+			a += h1 * v1
+			a += h2 * v2
+			a += h3 * v3
+			a += h4 * v4
+			a += h5 * v5
+			a += h6 * v6
+			a += h7 * v7
+			d := g0 * v0
+			d += g1 * v1
+			d += g2 * v2
+			d += g3 * v3
+			d += g4 * v4
+			d += g5 * v5
+			d += g6 * v6
+			d += g7 * v7
+			approx[i] = a
+			detail[i] = d
 		}
-		approx[i] = a
-		detail[i] = d
+	} else {
+		for i := 0; i < straight; i++ {
+			var a, d float64
+			win := x[2*i : 2*i+m]
+			for j, v := range win {
+				a += h[j] * v
+				d += g[j] * v
+			}
+			approx[i] = a
+			detail[i] = d
+		}
 	}
 	for i := straight; i < half; i++ {
 		var a, d float64

@@ -1,0 +1,39 @@
+package fixedpoint
+
+// Bins is a monotone quantization grid: strictly increasing cut points
+// over one feature. Code maps a real value to its integer rank against
+// the grid, which is the order-preserving (and therefore
+// decision-exact) analog of affine Q15 quantization for threshold
+// comparisons: for any cut index j,
+//
+//	x <= b[j]  ⟺  Code(x) <= j
+//
+// so a decision tree that stores threshold ranks instead of float
+// thresholds reproduces every float comparison exactly from the int16
+// codes. An affine scale/offset mapping cannot make that guarantee —
+// rounding merges values on either side of a cut — which is why the
+// quantized forest derives its grids here instead of via FromFloat.
+type Bins []float64
+
+// Code returns the number of cuts strictly below x. NaN maps to
+// len(b): NaN fails every x <= cut comparison, so it must outrank every
+// cut, exactly like the float path's "NaN falls right" semantics
+// (±Inf need no special case — they order correctly on their own).
+//
+//selflearn:hotpath
+func (b Bins) Code(x float64) int {
+	if x != x {
+		return len(b)
+	}
+	// Binary search for the first cut >= x; its index is #{c : c < x}.
+	lo, hi := 0, len(b)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

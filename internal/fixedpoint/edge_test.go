@@ -1,0 +1,174 @@
+package fixedpoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFromFloatSaturationBoundary walks the exact edge of the Q15
+// range: one ulp inside ±1 must still saturate (rounding carries it to
+// ±2^15), and the largest representable magnitudes must convert
+// without saturating.
+func TestFromFloatSaturationBoundary(t *testing.T) {
+	if got := FromFloat(math.Nextafter(1, 0)); got != MaxQ15 {
+		t.Errorf("FromFloat(1-ulp) = %d, want MaxQ15 (rounds to 2^15)", got)
+	}
+	if got := FromFloat(math.Nextafter(-1, 0)); got != MinQ15 {
+		t.Errorf("FromFloat(-1+ulp) = %d, want MinQ15 (rounds to -2^15)", got)
+	}
+	// Rounding is half away from zero: (2^15 - 1.5)/2^15 lands exactly on
+	// the .5 and carries up to MaxQ15, while half a step further in it
+	// stays at MaxQ15-1.
+	if got := FromFloat((oneQ15 - 1.5) / oneQ15); got != MaxQ15 {
+		t.Errorf("FromFloat at the half-step boundary = %d, want %d", got, MaxQ15)
+	}
+	if got := FromFloat((oneQ15 - 2.5) / oneQ15); got != MaxQ15-1 {
+		t.Errorf("FromFloat half a step further in = %d, want %d", got, MaxQ15-1)
+	}
+	if got := FromFloat(float64(MaxQ15-1) / oneQ15); got != MaxQ15-1 {
+		t.Errorf("largest exact non-saturating value = %d, want %d", got, MaxQ15-1)
+	}
+	if got := FromFloat(math.Inf(1)); got != MaxQ15 {
+		t.Errorf("FromFloat(+Inf) = %d, want MaxQ15", got)
+	}
+	if got := FromFloat(math.Inf(-1)); got != MinQ15 {
+		t.Errorf("FromFloat(-Inf) = %d, want MinQ15", got)
+	}
+}
+
+// TestFromFloatNaNDeterministic: NaN must quantize to exactly 0 on
+// every platform — the float→int conversion it would otherwise reach
+// is implementation-defined in Go.
+func TestFromFloatNaNDeterministic(t *testing.T) {
+	if got := FromFloat(math.NaN()); got != 0 {
+		t.Errorf("FromFloat(NaN) = %d, want 0", got)
+	}
+}
+
+// TestQuantizeColumnsConstant: a zero-variance column must quantize to
+// all-zero codes with the identity scale, whatever its level.
+func TestQuantizeColumnsConstant(t *testing.T) {
+	for _, level := range []float64{0, -7.25, 1e9, 5e-324} {
+		q, scales, err := QuantizeColumns([][]float64{{level, level, level, level}}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range q[0] {
+			if v != 0 {
+				t.Errorf("constant column at %g: code[%d] = %d, want 0", level, i, v)
+			}
+		}
+		if scales[0] != 1 {
+			t.Errorf("constant column at %g: scale = %g, want 1", level, scales[0])
+		}
+	}
+}
+
+// TestQuantizeColumnsNaN: a NaN anywhere in a column poisons its mean
+// and deviation, so the whole column must degrade to deterministic
+// zeros — never to platform-dependent garbage codes.
+func TestQuantizeColumnsNaN(t *testing.T) {
+	cols := [][]float64{
+		{1, math.NaN(), 3, 4},                            // one bad sample
+		{math.NaN(), math.NaN(), math.NaN(), math.NaN()}, // dead channel
+		{0, 1, 2, 3}, // healthy neighbor
+	}
+	q, scales, err := QuantizeColumns(cols, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		for i, v := range q[c] {
+			if v != 0 {
+				t.Errorf("NaN column %d: code[%d] = %d, want 0", c, i, v)
+			}
+		}
+		if scales[c] != 1 {
+			t.Errorf("NaN column %d: scale = %g, want 1", c, scales[c])
+		}
+	}
+	// The healthy column must be unaffected by its poisoned neighbors.
+	if q[2][0] >= 0 || q[2][3] <= 0 {
+		t.Errorf("healthy column miscoded next to NaN columns: %v", q[2])
+	}
+}
+
+// TestBinsCodeOrderExactness is the property the quantized forest
+// stands on: for every cut index j, x <= b[j] ⟺ Code(x) <= j — probed
+// at the cuts themselves, one ulp on either side, and the infinities.
+func TestBinsCodeOrderExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		seen := map[float64]bool{}
+		var b Bins
+		for len(b) < n {
+			c := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+			if !seen[c] {
+				seen[c] = true
+				b = append(b, c)
+			}
+		}
+		sortBins(b)
+		probes := []float64{math.Inf(-1), math.Inf(1), 0}
+		for _, c := range b {
+			probes = append(probes, c, math.Nextafter(c, math.Inf(-1)), math.Nextafter(c, math.Inf(1)))
+		}
+		for _, x := range probes {
+			code := b.Code(x)
+			for j, cut := range b {
+				if (x <= cut) != (code <= j) {
+					t.Fatalf("trial %d: x=%g cut[%d]=%g: float says %v, code %d says %v",
+						trial, x, j, cut, x <= cut, code, code <= j)
+				}
+			}
+		}
+		if got := b.Code(math.NaN()); got != len(b) {
+			t.Fatalf("Code(NaN) = %d, want len(b)=%d (NaN outranks every cut)", got, len(b))
+		}
+	}
+}
+
+func sortBins(b Bins) {
+	for i := 1; i < len(b); i++ {
+		for j := i; j > 0 && b[j] < b[j-1]; j-- {
+			b[j], b[j-1] = b[j-1], b[j]
+		}
+	}
+}
+
+// TestBinsCodeEmpty: an empty grid codes everything (including NaN) to
+// zero — a forest with no splits on a feature never consults it.
+func TestBinsCodeEmpty(t *testing.T) {
+	var b Bins
+	for _, x := range []float64{0, -1e300, 1e300, math.Inf(1), math.Inf(-1), math.NaN()} {
+		if got := b.Code(x); got != 0 {
+			t.Errorf("empty Bins Code(%g) = %d, want 0", x, got)
+		}
+	}
+}
+
+// TestBinsCodeInfiniteCuts: ±Inf cut points (degenerate but legal
+// thresholds) order correctly without special-casing.
+func TestBinsCodeInfiniteCuts(t *testing.T) {
+	b := Bins{math.Inf(-1), -1, 1, math.Inf(1)}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{math.Inf(-1), 0}, // not strictly below the -Inf cut
+		{-5, 1},
+		{-1, 1},
+		{0, 2},
+		{1, 2},
+		{2, 3},
+		{math.Inf(1), 3}, // below no cut except itself
+		{math.NaN(), 4},
+	}
+	for _, tc := range cases {
+		if got := b.Code(tc.x); got != tc.want {
+			t.Errorf("Code(%g) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}

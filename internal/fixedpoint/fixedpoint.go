@@ -28,9 +28,16 @@ const (
 	oneQ15 = 1 << 15
 )
 
-// FromFloat converts a float64 to Q15 with saturation.
+// FromFloat converts a float64 to Q15 with saturation. NaN maps to 0:
+// without the explicit case it would fall through both saturation
+// comparisons into a float→int16 conversion whose result Go leaves
+// implementation-defined — a nondeterminism the decision-parity tests
+// would eventually trip over on some platform.
 func FromFloat(v float64) Q15 {
 	scaled := math.Round(v * oneQ15)
+	if scaled != scaled {
+		return 0
+	}
 	if scaled >= math.MaxInt16 {
 		return MaxQ15
 	}

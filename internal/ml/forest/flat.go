@@ -25,6 +25,13 @@ type FlatForest struct {
 	roots     []int32
 	nFeatures int
 	oob       float64
+
+	// quant is the int16-quantized companion (see quant.go), built once
+	// at Flatten/LoadFlat time and nil when the forest does not fit the
+	// int16 code space. It is set only before the forest is shared (or
+	// cleared by DropQuant under the learner's install lock), so readers
+	// need no synchronization.
+	quant *QuantForest
 }
 
 // Flatten packs the forest into a FlatForest.
@@ -46,7 +53,41 @@ func (f *Forest) Flatten() *FlatForest {
 		ff.roots = append(ff.roots, int32(len(ff.nodes)))
 		ff.nodes = t.AppendFlat(ff.nodes)
 	}
+	ff.quant = quantizeForest(ff)
 	return ff
+}
+
+// Quant returns the int16-quantized companion forest, or nil when the
+// model did not quantize (code-space overflow, or the learner dropped
+// it after a parity failure) — callers fall back to the float walk.
+//
+//selflearn:hotpath
+func (ff *FlatForest) Quant() *QuantForest { return ff.quant }
+
+// DropQuant discards the quantized companion, pinning this model to the
+// float path. Only valid before the forest is shared across goroutines
+// (the learner calls it under its install critical section, pre-publish).
+func (ff *FlatForest) DropQuant() { ff.quant = nil }
+
+// QuantParity reports whether the quantized companion reproduces the
+// float forest's exact vote count on every row of X (vacuously true
+// when there is no companion). The learner runs this over each model's
+// training rows before publishing and drops the companion on any
+// disagreement, so quantization can never change a served decision even
+// if a future representation change broke the order-exactness argument.
+func (ff *FlatForest) QuantParity(X [][]float64) bool {
+	qf := ff.quant
+	if qf == nil {
+		return true
+	}
+	codes := make([]int16, qf.nFeatures)
+	for _, x := range X {
+		qf.QuantizeRowInto(codes, x)
+		if qf.votes(codes) != ff.votes(x) {
+			return false
+		}
+	}
+	return true
 }
 
 // NumTrees returns the ensemble size.

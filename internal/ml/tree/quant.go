@@ -1,0 +1,29 @@
+package tree
+
+// QuantNode is one node of the int16-quantized tree representation,
+// 8 bytes wide — half of FlatNode — so twice as many nodes share a
+// cache line and a whole serving-size tree fits in L1. Internal nodes:
+// Feature >= 0, Cut is the rank of the split threshold in the forest's
+// per-feature cut grid (fixedpoint.Bins), the left child is implicitly
+// the next node (preorder layout, as in FlatNode) and Right indexes the
+// right child. Leaves: Feature == QuantLeafFeature and Cut holds the
+// majority vote as 0/1 for branchless accumulation; Right is unused.
+//
+// The descent compares int16 feature codes against Cut with the same
+// branch-free select as the float walk; because codes are threshold
+// ranks (not affine-rounded values), every comparison — and therefore
+// every decision — is exactly the float tree's.
+type QuantNode struct {
+	Feature int16
+	Cut     int16
+	Right   int32
+}
+
+// QuantLeafFeature marks a leaf in QuantNode.Feature.
+const QuantLeafFeature int16 = -1
+
+// MaxQuantCuts is the largest per-feature cut-grid size the int16 code
+// space supports: codes run 0..len(cuts) inclusive (the top value is
+// the NaN/above-all rank), so the grid itself may hold at most 2^15−1
+// cuts. Forests exceeding this on any feature stay un-quantized.
+const MaxQuantCuts = 1<<15 - 1

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"selflearn/internal/ml/forest"
 )
 
 // benchSnapshot and pipelineSnapshot accumulate BenchmarkServe and
@@ -62,13 +64,17 @@ func writeSnapshot(name, env, def string, mu *sync.Mutex, m map[string]float64) 
 }
 
 // BenchmarkServe measures steady-state classification throughput as the
-// worker count grows. Each iteration pushes one one-second batch on one
-// of 32 patients' streams round-robin (retrying on backpressure, so the
-// measured rate is the processing rate, not the enqueue rate); ns/op is
-// therefore the wall time per streamed patient-second, and it should
-// fall as workers are added until the core count is exhausted. Shards
-// are resolved once at Open, so the loop body is hash-free — the
-// remaining per-push hash cost is isolated in BenchmarkShard.
+// worker count grows. Four producer goroutines each own a disjoint
+// subset of 32 patients' streams and push one-second batches round-robin,
+// sleeping briefly on backpressure — so the shard queues stay saturated,
+// the workers' coalescing drains engage, and the measured rate is the
+// server's processing capacity rather than the wakeup latency of a
+// single producer (which a lone pushing goroutine ends up measuring:
+// one park/unpark handshake per window). ns/op is the wall time per
+// streamed patient-second and should fall as workers are added until
+// the core count is exhausted. Shards are resolved once at Open, so the
+// loop body is hash-free — the remaining per-push hash cost is isolated
+// in BenchmarkShard.
 func BenchmarkServe(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
@@ -110,12 +116,30 @@ func benchServe(b *testing.B, workers, patients int) {
 			}
 		}
 	}
+	const producers = 4
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for streams[i%patients].Push(c0, c1) == ErrBackpressure {
-			runtime.Gosched()
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		n := b.N / producers
+		if pr < b.N%producers {
+			n++
 		}
+		wg.Add(1)
+		go func(pr, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				// Producer pr owns patients ≡ pr (mod producers): streams
+				// stay single-pusher and the load is round-robin overall.
+				h := streams[(pr+producers*i)%patients]
+				for h.Push(c0, c1) == ErrBackpressure {
+					// Sleep, don't spin: a busy retry would steal the very
+					// CPU the workers need to drain the queue.
+					time.Sleep(20 * time.Microsecond)
+				}
+			}
+		}(pr, n)
 	}
+	wg.Wait()
 	b.StopTimer()
 	srv.Close()
 	st := srv.Snapshot()
@@ -135,14 +159,19 @@ func benchServe(b *testing.B, workers, patients int) {
 // TestSessionBatchPathZeroAlloc).
 func BenchmarkPipeline(b *testing.B) {
 	model := trainOnRecording(b)
+	// The float ablation trains an identical forest (same seeds) and
+	// drops its int16 companion, so trained vs trained-float isolates
+	// exactly the quantized-descent win inside the full pipeline.
+	floatModel := trainOnRecording(b)
+	floatModel.DropQuant()
 	for _, tc := range []struct {
-		name    string
-		trained bool
-	}{{"untrained", false}, {"trained", true}} {
+		name  string
+		model *forest.FlatForest
+	}{{"untrained", nil}, {"trained", model}, {"trained-float", floatModel}} {
 		b.Run(tc.name, func(b *testing.B) {
 			sess, _ := benchSession(b, 3600)
-			if tc.trained {
-				sess.model.Store(model)
+			if tc.model != nil {
+				sess.model.Store(tc.model)
 			}
 			rec := testRecording(b, 21, 60, -1, 0)
 			c0, c1 := rec.Data[0], rec.Data[1]

@@ -1,5 +1,7 @@
 package serve
 
+import "selflearn/internal/ml/forest"
+
 // localTransport is the in-process ShardTransport: the goroutine worker
 // pool the server was born with, now behind the same seam a cluster of
 // shardd processes plugs into. Patients map to workers by FNV-1a hash;
@@ -90,59 +92,246 @@ func (w *worker) Congested(p AdmissionPolicy) bool { return w.queue.FastReject(p
 // Depth implements Shard.
 func (w *worker) Depth() int { return w.queue.Depth() }
 
+// drainJob is one admitted batch job's place in a coalesced drain: its
+// session, its row span [lo, hi) in the shared row arena, and the model
+// pointer captured at admission time (so a learner publish landing
+// mid-drain cannot split one job's rows across two models).
+type drainJob struct {
+	j      Job
+	sess   *session
+	lo, hi int32
+	model  *forest.FlatForest
+	scored bool
+}
+
+// drain owns the reusable arenas of the coalescing loop: the admitted
+// jobs, every job's completed feature rows (stable history-ring views),
+// the prediction arena aligned with the rows, and the per-model-group
+// gather/scatter scratch. All slices grow once and are reused, keeping
+// the steady-state drain allocation-free.
+type drain struct {
+	jobs  []drainJob
+	rows  [][]float64
+	preds []bool
+	gmap  []int32     // model group: arena row indices
+	grows [][]float64 // model group: gathered rows (float fallback)
+	gpred []bool      // model group: contiguous predictions
+	codes []int16     // model group: quantized row codes
+}
+
+func (d *drain) reset() {
+	d.jobs = d.jobs[:0]
+	d.rows = d.rows[:0]
+}
+
+// run is the worker loop: one blocking receive per wakeup, then a
+// non-blocking drain of up to Coalesce-1 more ready jobs, processed as
+// one cross-patient batch in three phases — admit (prefilter, session,
+// ingest, model reconcile; strictly in arrival order), score (one
+// tree-major walk per distinct model across every patient's rows), and
+// settle (alarms, stats, events; again in arrival order). Per-patient
+// semantics are exactly the one-job-at-a-time loop's: a patient's jobs
+// all land on this worker, rows enter the alarm layer in arrival
+// order, and two row-bearing jobs of the same patient never share a
+// drain (the second would overwrite the first's history-ring views),
+// enforced by the conflict check below.
 func (w *worker) run(historyRows int) {
 	defer close(w.done)
-	for j := range w.queue.C() {
-		// Quality-aware admission: a garbage batch is refused here,
-		// before any session state or classifier time is spent on it.
-		// The samples never reach the feature streamer — the window
-		// stream skips the unusable second.
-		if !j.Confirm && w.srv.prefilter != nil &&
-			!w.srv.prefilter.Admit(j.C0, j.C1, w.srv.cfg.SampleRate) {
-			w.srv.qualityRejected.Add(1)
-			if j.Stream != nil {
-				j.Stream.NoteRejected()
-			}
-			w.srv.hub.emit(Event{Kind: EventQualityReject, Patient: j.Patient})
-			continue
+	maxDrain := w.srv.cfg.Coalesce
+	if maxDrain < 1 {
+		maxDrain = 1
+	}
+	d := &drain{}
+	for {
+		j, ok := <-w.queue.C()
+		if !ok {
+			return
 		}
-		sess, err := w.session(j.Patient, historyRows)
-		if err != nil {
-			// The pipeline was pre-flighted in New, so a constructor
-			// failure here should be unreachable; count it rather than
-			// crash the shard, and surface it via Stats.StreamErrors.
-			w.srv.streamErrors.Add(1)
-			continue
-		}
-		if j.Confirm {
-			w.confirm(sess)
-			continue
-		}
-		rows, err := sess.ingest(j.C0, j.C1)
-		if err != nil {
-			w.srv.streamErrors.Add(1)
-		}
-		if len(rows) > 0 {
-			// Reconcile with the model cache: the learner publishes
-			// there first, and a session recreated after LRU eviction
-			// would otherwise miss a retrain that completed in flight.
-			// LRU-only lookup — the store must stay off the batch path.
-			if f := w.srv.cache.cached(j.Patient); f != nil && f != sess.model.Load() {
-				sess.model.Store(f)
-			}
-			fired := sess.classify(rows)
-			w.srv.windows.Add(uint64(len(rows)))
-			if j.Stream != nil {
-				j.Stream.NoteWindows(len(rows))
-			}
-			if len(fired) > 0 {
-				w.srv.alarms.Add(uint64(len(fired)))
-				if j.Stream != nil {
-					j.Stream.NoteAlarms(len(fired))
+		for pending := true; pending; {
+			pending = false
+			d.reset()
+			w.admit(d, j, historyRows)
+			for len(d.jobs) < maxDrain {
+				nj, ok := w.queue.TryRecv()
+				if !ok {
+					break
 				}
-				for _, at := range fired {
-					w.srv.hub.emit(Event{Kind: EventAlarm, Patient: j.Patient, StreamTime: at})
+				if !nj.Confirm && w.conflicts(d, nj.Patient) {
+					// Same patient already contributed rows: flush what we
+					// have and start the next drain with this job, keeping
+					// its ring views and alarm ordering intact.
+					j, pending = nj, true
+					break
 				}
+				w.admit(d, nj, historyRows)
+			}
+			w.score(d)
+			w.settle(d)
+		}
+	}
+}
+
+// conflicts reports whether a row-bearing job for patient is already in
+// the drain. Confirm jobs never conflict: they snapshot the ring, they
+// do not advance it.
+func (w *worker) conflicts(d *drain, patient string) bool {
+	for i := range d.jobs {
+		if !d.jobs[i].j.Confirm && d.jobs[i].j.Patient == patient {
+			return true
+		}
+	}
+	return false
+}
+
+// admit runs one job's arrival-order phase: quality admission, session
+// resolution, confirm dispatch or ingest, and the model-cache
+// reconcile. Completed rows are appended to the drain's shared arena.
+func (w *worker) admit(d *drain, j Job, historyRows int) {
+	// Quality-aware admission: a garbage batch is refused here,
+	// before any session state or classifier time is spent on it.
+	// The samples never reach the feature streamer — the window
+	// stream skips the unusable second.
+	if !j.Confirm && w.srv.prefilter != nil &&
+		!w.srv.prefilter.Admit(j.C0, j.C1, w.srv.cfg.SampleRate) {
+		w.srv.qualityRejected.Add(1)
+		if j.Stream != nil {
+			j.Stream.NoteRejected()
+		}
+		w.srv.hub.emit(Event{Kind: EventQualityReject, Patient: j.Patient})
+		return
+	}
+	sess, err := w.session(j.Patient, historyRows)
+	if err != nil {
+		// The pipeline was pre-flighted in New, so a constructor
+		// failure here should be unreachable; count it rather than
+		// crash the shard, and surface it via Stats.StreamErrors.
+		w.srv.streamErrors.Add(1)
+		return
+	}
+	if j.Confirm {
+		// Snapshot at the job's arrival position: earlier ingests in this
+		// drain have already advanced the ring, later ones have not.
+		w.confirm(sess)
+		return
+	}
+	rows, err := sess.ingest(j.C0, j.C1)
+	if err != nil {
+		w.srv.streamErrors.Add(1)
+	}
+	if len(rows) == 0 {
+		return
+	}
+	// Reconcile with the model cache: the learner publishes
+	// there first, and a session recreated after LRU eviction
+	// would otherwise miss a retrain that completed in flight.
+	// LRU-only lookup — the store must stay off the batch path.
+	if f := w.srv.cache.cached(j.Patient); f != nil && f != sess.model.Load() {
+		sess.model.Store(f)
+	}
+	lo := int32(len(d.rows))
+	// Copy the row views out of the session's reusable scratch; the
+	// views themselves are stable ring slots, valid for the whole drain.
+	d.rows = append(d.rows, rows...)
+	d.jobs = append(d.jobs, drainJob{
+		j: j, sess: sess, lo: lo, hi: int32(len(d.rows)), model: sess.model.Load(),
+	})
+}
+
+// score classifies every admitted row, grouping jobs by model pointer
+// so each distinct forest makes exactly one tree-major pass over all of
+// its patients' rows. Quantized models score the whole group from one
+// contiguous int16 code arena — the cross-patient generalization of the
+// 4-row lock-step walk; un-quantized models gather their group and take
+// the float batch path; untrained sessions are all-negative.
+//
+//selflearn:hotpath
+func (w *worker) score(d *drain) {
+	if len(d.rows) == 0 {
+		return
+	}
+	if cap(d.preds) < len(d.rows) {
+		d.preds = make([]bool, len(d.rows))
+	}
+	d.preds = d.preds[:len(d.rows)]
+	for i := range d.jobs {
+		ji := &d.jobs[i]
+		if ji.scored || ji.lo == ji.hi {
+			continue
+		}
+		m := ji.model
+		if m == nil {
+			for k := i; k < len(d.jobs); k++ {
+				jk := &d.jobs[k]
+				if jk.model == nil {
+					for r := jk.lo; r < jk.hi; r++ {
+						d.preds[r] = false
+					}
+					jk.scored = true
+				}
+			}
+			continue
+		}
+		d.gmap = d.gmap[:0]
+		for k := i; k < len(d.jobs); k++ {
+			jk := &d.jobs[k]
+			if jk.model == m {
+				for r := jk.lo; r < jk.hi; r++ {
+					d.gmap = append(d.gmap, r)
+				}
+				jk.scored = true
+			}
+		}
+		n := len(d.gmap)
+		if cap(d.gpred) < n {
+			d.gpred = make([]bool, n)
+		}
+		if qf := m.Quant(); qf != nil {
+			nf := qf.NumFeatures()
+			if cap(d.codes) < n*nf {
+				d.codes = make([]int16, n*nf)
+			}
+			codes := d.codes[:n*nf]
+			for gi, r := range d.gmap {
+				qf.QuantizeRowInto(codes[gi*nf:(gi+1)*nf], d.rows[r])
+			}
+			qf.PredictBatchInto(d.gpred[:n], codes, n)
+		} else {
+			if cap(d.grows) < n {
+				d.grows = make([][]float64, n)
+			}
+			grows := d.grows[:n]
+			for gi, r := range d.gmap {
+				grows[gi] = d.rows[r]
+			}
+			m.PredictBatchInto(d.gpred[:n], grows)
+		}
+		for gi, r := range d.gmap {
+			d.preds[r] = d.gpred[gi]
+		}
+	}
+}
+
+// settle feeds each job's predictions through its session's alarm
+// layer and attributes stats and events, in arrival order.
+func (w *worker) settle(d *drain) {
+	for i := range d.jobs {
+		ji := &d.jobs[i]
+		if ji.lo == ji.hi {
+			continue
+		}
+		nRows := int(ji.hi - ji.lo)
+		fired := ji.sess.pushAlarms(d.preds[ji.lo:ji.hi])
+		w.srv.windows.Add(uint64(nRows))
+		if ji.j.Stream != nil {
+			ji.j.Stream.NoteWindows(nRows)
+		}
+		if len(fired) > 0 {
+			w.srv.alarms.Add(uint64(len(fired)))
+			if ji.j.Stream != nil {
+				ji.j.Stream.NoteAlarms(len(fired))
+			}
+			for _, at := range fired {
+				w.srv.hub.emit(Event{Kind: EventAlarm, Patient: ji.j.Patient, StreamTime: at})
 			}
 		}
 	}

@@ -91,8 +91,14 @@ func (l *learner) retrain(j retrainJob) error {
 	}
 	// Flatten once at train time: everything downstream — the live
 	// session's classify path, the model cache, and checkpoints — works
-	// on the inference-optimized representation.
+	// on the inference-optimized representation. Flatten also builds the
+	// int16-quantized companion; verify it reproduces the float vote
+	// count on every training row and drop it on any disagreement, so a
+	// quantized model can never serve a decision the float model wouldn't.
 	flat := f.Flatten()
+	if !flat.QuantParity(X) {
+		flat.DropQuant()
+	}
 	// Two learners can finish the same patient's retrains out of order;
 	// only the highest sequence may install. The check and the publish
 	// must be one critical section: a bare CAS gate would let a

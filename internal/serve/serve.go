@@ -60,6 +60,13 @@ type Config struct {
 	// recently used session is evicted (its model survives in the
 	// model cache/store). 0 = 1024.
 	MaxSessions int
+	// Coalesce caps how many ready jobs a worker drains per queue
+	// wakeup. Drained jobs from different patients are classified as one
+	// cross-patient batch through a shared arena (see dispatch.go);
+	// per-patient ordering and attribution are preserved, and windows of
+	// the same patient never share a drain. 1 disables coalescing.
+	// 0 = 16.
+	Coalesce int
 	// ModelCacheSize caps the in-memory LRU in front of the model
 	// store. 0 = 4096.
 	ModelCacheSize int
@@ -95,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 1024
+	}
+	if c.Coalesce <= 0 {
+		c.Coalesce = 16
 	}
 	if c.ModelCacheSize <= 0 {
 		c.ModelCacheSize = 4096

@@ -44,6 +44,7 @@ type session struct {
 	rowsScratch  [][]float64
 	predScratch  []bool
 	alarmScratch []float64
+	codeScratch  []int16 // quantized row codes arena (quant classify path)
 
 	// retrainSeq counts confirmations dispatched to the learner; it
 	// seeds forest training so retrains stay deterministic per patient.
@@ -169,8 +170,8 @@ func (s *session) historySnapshot() [][]float64 {
 //
 //selflearn:hotpath
 func (s *session) classify(rows [][]float64) []float64 {
-	fired := s.alarmScratch[:0]
 	if len(rows) == 0 {
+		fired := s.alarmScratch[:0]
 		s.alarmScratch = fired
 		return fired
 	}
@@ -178,13 +179,53 @@ func (s *session) classify(rows [][]float64) []float64 {
 		s.predScratch = make([]bool, len(rows))
 	}
 	preds := s.predScratch[:len(rows)]
-	if f := s.model.Load(); f != nil {
-		f.PredictBatchInto(preds, rows)
-	} else {
+	s.predictInto(preds, rows)
+	return s.pushAlarms(preds)
+}
+
+// predictInto scores rows with the current model into preds (all
+// negative while untrained), preferring the int16-quantized walk when
+// the model carries one. The two halves of classify are split so the
+// coalescing drain (dispatch.go) can score many sessions' rows in one
+// arena pass and still feed each session's alarm layer separately.
+//
+//selflearn:hotpath
+func (s *session) predictInto(preds []bool, rows [][]float64) {
+	f := s.model.Load()
+	if f == nil {
 		for i := range preds {
 			preds[i] = false
 		}
+		return
 	}
+	if qf := f.Quant(); qf != nil {
+		// Quantize once per row into the reusable arena, then walk the
+		// half-width int16 node tables. Decisions are exactly the float
+		// forest's (rank codes are order-exact; the learner verified
+		// parity before publishing).
+		nf := qf.NumFeatures()
+		if cap(s.codeScratch) < len(rows)*nf {
+			s.codeScratch = make([]int16, len(rows)*nf)
+		}
+		codes := s.codeScratch[:len(rows)*nf]
+		for i, row := range rows {
+			qf.QuantizeRowInto(codes[i*nf:(i+1)*nf], row)
+		}
+		qf.PredictBatchInto(preds, codes, len(rows))
+	} else {
+		f.PredictBatchInto(preds, rows)
+	}
+}
+
+// pushAlarms feeds a batch of window predictions through the alarm
+// layer in stream order, returning the stream times of the alarms that
+// fired. The returned slice is the session's reusable scratch, valid
+// until the next call; the common (alarm-free) path stays
+// allocation-free.
+//
+//selflearn:hotpath
+func (s *session) pushAlarms(preds []bool) []float64 {
+	fired := s.alarmScratch[:0]
 	for _, p := range preds {
 		if s.alarm.PushPrediction(p) {
 			fired = append(fired, s.alarm.LastAlarmTime())

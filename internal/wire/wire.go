@@ -44,7 +44,18 @@ import (
 // v3: Event frames carry StreamTime (deterministic alarm time for
 // replay scoring); Stats frames carry QualityRejected (quality
 // prefilter refusals).
-const Version = 3
+//
+// v4: PushQ frames added — a quantized int16 sample batch used only
+// when the samples round-trip bitwise (ADC-grid data), at a quarter of
+// the float payload. v4 is additive: the Hello exchange negotiates the
+// effective version down to min(ours, peer's), so a v4 sender facing a
+// v3 peer simply keeps sending float Push frames.
+const Version = 4
+
+// MinVersion is the oldest peer protocol revision this build still
+// speaks. Everything since v3 is additive, so the negotiated effective
+// version is min(Version, peer's) and either side may be newer.
+const MinVersion = 3
 
 // MaxFrame bounds a frame body so a corrupt or hostile length prefix
 // cannot make the decoder allocate gigabytes. 16 MiB fits >500 s of
@@ -93,6 +104,15 @@ const (
 	// at a model version, without the checkpoint payload — how routers
 	// keep their per-patient version tables current.
 	KindModelAnnounce
+	// KindPushQ (v4) carries one patient's sample batch quantized to
+	// uint16 steps on a per-channel affine grid: patient, then per
+	// channel an offset and power-of-two scale (float64 each), a uint32
+	// count, and count little-endian uint16 codes. The encoder emits it
+	// only when every sample reconstructs bitwise as offset+code*scale —
+	// true for ADC-grid data, where the frame is ~4× smaller than Push —
+	// and falls back to Push otherwise, so decoding is always lossless
+	// and decisions are identical to the float frame's.
+	KindPushQ
 )
 
 // String names the kind for logs and errors.
@@ -120,6 +140,8 @@ func (k Kind) String() string {
 		return "model-put"
 	case KindModelAnnounce:
 		return "model-announce"
+	case KindPushQ:
+		return "push-q"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -144,13 +166,28 @@ type Msg struct {
 // mutex. Flush must be called when the caller wants buffered frames on
 // the wire (senders flush when their queue goes idle).
 type Encoder struct {
-	w   *bufio.Writer
-	buf []byte
+	w       *bufio.Writer
+	buf     []byte
+	version uint32   // negotiated peer version; gates v4 frames
+	q0, q1  []uint16 // Push quantization scratch, reused per frame
 }
 
-// NewEncoder returns an encoder framing onto w.
+// NewEncoder returns an encoder framing onto w. Until SetVersion is
+// called after the Hello exchange, the encoder assumes a same-version
+// peer.
 func NewEncoder(w io.Writer) *Encoder {
-	return &Encoder{w: bufio.NewWriterSize(w, 64<<10)}
+	return &Encoder{w: bufio.NewWriterSize(w, 64<<10), version: Version}
+}
+
+// SetVersion records the negotiated protocol version — min(Version,
+// peer's Hello) — after the handshake. Frames newer than the peer
+// (PushQ under v3) are then silently replaced with their older
+// equivalents.
+func (e *Encoder) SetVersion(v uint32) {
+	if v > Version {
+		v = Version
+	}
+	e.version = v
 }
 
 // Flush pushes buffered frames to the underlying writer.
@@ -169,10 +206,35 @@ func (e *Encoder) appendString(s string) {
 	e.buf = append(e.buf, s...)
 }
 
+// grow extends the scratch body by n bytes in one step and returns the
+// new region — the bulk-append primitive under the float and uint16
+// payload writers, replacing per-element append growth checks.
+func (e *Encoder) grow(n int) []byte {
+	if cap(e.buf) < len(e.buf)+n {
+		grown := make([]byte, len(e.buf), 2*len(e.buf)+n)
+		copy(grown, e.buf)
+		e.buf = grown
+	}
+	b := e.buf[len(e.buf) : len(e.buf)+n]
+	e.buf = e.buf[:len(e.buf)+n]
+	return b
+}
+
 func (e *Encoder) appendFloats(xs []float64) {
 	e.appendU32(uint32(len(xs)))
-	for _, x := range xs {
-		e.appendF64(x)
+	b := e.grow(8 * len(xs))
+	for i := 0; len(b) >= 8; i++ {
+		binary.LittleEndian.PutUint64(b, math.Float64bits(xs[i]))
+		b = b[8:]
+	}
+}
+
+func (e *Encoder) appendU16s(qs []uint16) {
+	e.appendU32(uint32(len(qs)))
+	b := e.grow(2 * len(qs))
+	for i := 0; len(b) >= 2; i++ {
+		binary.LittleEndian.PutUint16(b, qs[i])
+		b = b[2:]
 	}
 }
 
@@ -210,15 +272,93 @@ func (e *Encoder) Hello() error {
 	return e.frame()
 }
 
-// Push writes one sample batch frame.
+// Push writes one sample batch frame. Against a v4 peer it first tries
+// the quantized PushQ layout — emitted only when every sample in both
+// channels reconstructs bitwise from its uint16 code, so the receiver
+// always recovers the exact float64 stream and downstream decisions
+// cannot drift. Data that doesn't sit on an affine uint16 grid (or a v3
+// peer) gets the float frame, unchanged since v1.
 //
 //selflearn:hotpath
 func (e *Encoder) Push(patient string, c0, c1 []float64) error {
+	if e.version >= 4 {
+		if cap(e.q0) < len(c0) {
+			e.q0 = make([]uint16, len(c0))
+		}
+		if cap(e.q1) < len(c1) {
+			e.q1 = make([]uint16, len(c1))
+		}
+		o0, s0, ok := quantizeChannel(e.q0[:len(c0)], c0)
+		if ok {
+			o1, s1, ok := quantizeChannel(e.q1[:len(c1)], c1)
+			if ok {
+				e.begin(KindPushQ)
+				e.appendString(patient)
+				e.appendF64(o0)
+				e.appendF64(s0)
+				e.appendU16s(e.q0[:len(c0)])
+				e.appendF64(o1)
+				e.appendF64(s1)
+				e.appendU16s(e.q1[:len(c1)])
+				return e.frame()
+			}
+		}
+	}
 	e.begin(KindPush)
 	e.appendString(patient)
 	e.appendFloats(c0)
 	e.appendFloats(c1)
 	return e.frame()
+}
+
+// quantizeChannel tries to express xs exactly as offset + code*scale
+// with uint16 codes and a power-of-two scale, writing the codes into
+// dst (len(dst) == len(xs)). ok reports whether EVERY sample
+// reconstructs to its original bit pattern — the gate that keeps PushQ
+// lossless; the caller falls back to the float layout otherwise. A
+// power-of-two scale makes the check succeed for any data on an ADC
+// grid (integer counts times a power-of-two LSB), which is what
+// wearable front ends actually emit.
+//
+//selflearn:hotpath
+func quantizeChannel(dst []uint16, xs []float64) (offset, scale float64, ok bool) {
+	if len(xs) == 0 {
+		return 0, 1, true
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x != x {
+			return 0, 0, false
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	span := hi - lo
+	if math.IsInf(span, 0) {
+		return 0, 0, false
+	}
+	scale = 1.0
+	if span > 0 {
+		// Smallest power of two ≥ span/65535, via Frexp (span/65535 =
+		// frac·2^exp with frac ∈ [0.5, 1)).
+		frac, exp := math.Frexp(span / 65535)
+		scale = math.Ldexp(1, exp)
+		if frac == 0.5 {
+			scale = math.Ldexp(1, exp-1)
+		}
+	}
+	for i, x := range xs {
+		c := math.Floor((x-lo)/scale + 0.5)
+		if c < 0 || c > 65535 || math.Float64bits(lo+c*scale) != math.Float64bits(x) {
+			return 0, 0, false
+		}
+		dst[i] = uint16(c)
+	}
+	return lo, scale, true
 }
 
 // Confirm writes one confirmation frame.
@@ -453,6 +593,26 @@ func (r *reader) floats() []float64 {
 	return xs
 }
 
+// qfloats reads one PushQ channel — offset, scale, then the uint16
+// codes — and reconstructs the exact float64 samples the sender
+// quantized (the encoder only emits PushQ when offset+code*scale is
+// bit-identical to the original for every sample).
+func (r *reader) qfloats() []float64 {
+	offset := r.f64()
+	scale := r.f64()
+	n := r.u32()
+	if r.err != nil || r.off+2*int(n) > len(r.b) {
+		r.fail()
+		return nil
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = offset + float64(binary.LittleEndian.Uint16(r.b[r.off:]))*scale
+		r.off += 2
+	}
+	return xs
+}
+
 func parse(body []byte) (Msg, error) {
 	r := &reader{b: body}
 	m := Msg{Kind: Kind(r.u8())}
@@ -463,6 +623,10 @@ func parse(body []byte) (Msg, error) {
 		m.Patient = r.str()
 		m.C0 = r.floats()
 		m.C1 = r.floats()
+	case KindPushQ:
+		m.Patient = r.str()
+		m.C0 = r.qfloats()
+		m.C1 = r.qfloats()
 	case KindConfirm:
 		m.Patient = r.str()
 	case KindEvent:

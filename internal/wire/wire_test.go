@@ -59,8 +59,15 @@ func kindFrames() map[Kind]func(*Encoder) error {
 		Err: errors.New("labeling failed"),
 	}
 	return map[Kind]func(*Encoder) error{
-		KindHello:    func(e *Encoder) error { return e.Hello() },
-		KindPush:     func(e *Encoder) error { return e.Push("chb01", []float64{1, 2.5, -3}, []float64{0, 1e-300, 9}) },
+		KindHello: func(e *Encoder) error { return e.Hello() },
+		// 1e-300 is off any uint16 grid spanning the channel, so this
+		// batch cannot quantize and the float layout is guaranteed.
+		KindPush: func(e *Encoder) error { return e.Push("chb01", []float64{1, 2.5, -3}, []float64{0, 1e-300, 9}) },
+		// Both channels sit on uint16 grids (integers; quarters), so a
+		// v4 encoder auto-selects the quantized layout.
+		KindPushQ: func(e *Encoder) error {
+			return e.Push("chb01", []float64{1, 2, 3}, []float64{0.25, 0.5, 0.75})
+		},
 		KindConfirm:  func(e *Encoder) error { return e.Confirm("ward-3/bed 12") },
 		KindEvent:    func(e *Encoder) error { return e.Event(ev) },
 		KindStatsReq: func(e *Encoder) error { return e.StatsReq(7) },
@@ -240,9 +247,18 @@ func TestModelPutPayloadOutlivesDecoderBuffer(t *testing.T) {
 }
 
 func TestEmptyBatchRoundTrips(t *testing.T) {
+	// Empty channels quantize trivially, so a v4 encoder frames them as
+	// PushQ; a v3-pinned encoder must still produce the float layout.
 	m := decodeOne(t, encode(t, func(e *Encoder) error { return e.Push("p", nil, nil) }))
-	if m.Kind != KindPush || len(m.C0) != 0 || len(m.C1) != 0 {
+	if m.Kind != KindPushQ || len(m.C0) != 0 || len(m.C1) != 0 {
 		t.Fatalf("empty push = %+v", m)
+	}
+	m = decodeOne(t, encode(t, func(e *Encoder) error {
+		e.SetVersion(3)
+		return e.Push("p", nil, nil)
+	}))
+	if m.Kind != KindPush || len(m.C0) != 0 || len(m.C1) != 0 {
+		t.Fatalf("empty v3 push = %+v", m)
 	}
 }
 
