@@ -1,13 +1,19 @@
-// Command benchcmp compares two BENCH_*.json throughput snapshots (the
+// Command benchcmp compares BENCH_*.json throughput snapshots (the
 // machine-readable files internal/serve's TestMain writes) and exits
 // nonzero when any series regressed by more than -threshold — the
 // regression gate of CI's bench-snapshot job.
 //
 //	benchcmp [-threshold 0.10] committed.json fresh.json
+//	benchcmp [-threshold 0.10] committed.json run1.json run2.json run3.json
 //
-// Every series present in the committed snapshot must exist in the
+// With more than one fresh snapshot, each series is compared against
+// the per-series median across the fresh runs — the median-of-N mode
+// the CI gate uses so one noisy run (a GOMAXPROCS=1 scheduler hiccup
+// can swing a single run past 10%) cannot flap the gate.
+//
+// Every series present in the committed snapshot must exist in every
 // fresh one (a silently vanished benchmark is itself a regression);
-// series the fresh run added are reported but never gate. Comparisons
+// series the fresh runs added are reported but never gate. Comparisons
 // are only meaningful within one hardware class: re-record the
 // committed snapshots when the benchmark shape or the CI runner class
 // changes, not to chase run-to-run noise.
@@ -45,17 +51,56 @@ func load(path string) snapshot {
 	return s
 }
 
+// median of a non-empty slice; averages the middle pair on even length.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// merge folds N fresh snapshots into one whose per-series rate is the
+// median across the runs. A series missing from any single run is
+// dropped entirely, so the committed-side completeness check below
+// reports it as a regression rather than comparing a partial median.
+func merge(fresh []snapshot) snapshot {
+	series := map[string][]float64{}
+	for _, s := range fresh {
+		for name, v := range s.WindowsPerSec {
+			series[name] = append(series[name], v)
+		}
+	}
+	out := snapshot{Benchmark: fresh[0].Benchmark, GOMAXPROCS: fresh[0].GOMAXPROCS, WindowsPerSec: map[string]float64{}}
+	for name, vs := range series {
+		if len(vs) == len(fresh) {
+			out.WindowsPerSec[name] = median(vs)
+		}
+	}
+	return out
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "max tolerated fractional regression per series")
 	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold 0.10] committed.json fresh.json")
+	if flag.NArg() < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold 0.10] committed.json fresh.json [fresh2.json ...]")
 		os.Exit(2)
 	}
-	was, now := load(flag.Arg(0)), load(flag.Arg(1))
-	if was.Benchmark != now.Benchmark {
-		fmt.Fprintf(os.Stderr, "benchcmp: comparing %s against %s\n", was.Benchmark, now.Benchmark)
-		os.Exit(2)
+	was := load(flag.Arg(0))
+	fresh := make([]snapshot, 0, flag.NArg()-1)
+	for _, path := range flag.Args()[1:] {
+		s := load(path)
+		if was.Benchmark != s.Benchmark {
+			fmt.Fprintf(os.Stderr, "benchcmp: comparing %s against %s (%s)\n", was.Benchmark, s.Benchmark, path)
+			os.Exit(2)
+		}
+		fresh = append(fresh, s)
+	}
+	now := merge(fresh)
+	if len(fresh) > 1 {
+		fmt.Printf("benchcmp: median of %d fresh runs\n", len(fresh))
 	}
 
 	names := make([]string, 0, len(was.WindowsPerSec))
@@ -68,7 +113,7 @@ func main() {
 		old := was.WindowsPerSec[name]
 		cur, ok := now.WindowsPerSec[name]
 		if !ok {
-			fmt.Printf("FAIL  %-16s series missing from fresh snapshot\n", name)
+			fmt.Printf("FAIL  %-16s series missing from fresh snapshot(s)\n", name)
 			fail = true
 			continue
 		}

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{4, 2}, 3},
+		{[]float64{58300, 68700, 71000}, 68700}, // one noisy low run cannot drag the median
+		{[]float64{1, 2, 3, 4}, 2.5},
+	}
+	for _, c := range cases {
+		if got := median(append([]float64(nil), c.xs...)); got != c.want {
+			t.Errorf("median(%v) = %g, want %g", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestMergeMedianOfN(t *testing.T) {
+	// The flap this mode exists to stop: a committed workers=4 baseline
+	// of 68.7k windows/s, three fresh runs of which one dips to 58.3k
+	// (a >10% single-run regression at GOMAXPROCS=1) while the median
+	// holds. The merged series must be the healthy median, and a series
+	// missing from any run must vanish so the gate reports it.
+	fresh := []snapshot{
+		{Benchmark: "Serve", WindowsPerSec: map[string]float64{"workers=4": 58300, "workers=2": 66000}},
+		{Benchmark: "Serve", WindowsPerSec: map[string]float64{"workers=4": 69100, "workers=2": 67000}},
+		{Benchmark: "Serve", WindowsPerSec: map[string]float64{"workers=4": 70200}},
+	}
+	m := merge(fresh)
+	if got := m.WindowsPerSec["workers=4"]; got != 69100 {
+		t.Errorf("workers=4 median = %g, want 69100", got)
+	}
+	if _, ok := m.WindowsPerSec["workers=2"]; ok {
+		t.Error("series missing from one run survived the merge")
+	}
+
+	// Single-snapshot merge is the identity, so the 2-arg mode is
+	// unchanged.
+	one := merge(fresh[:1])
+	if got := one.WindowsPerSec["workers=4"]; got != 58300 {
+		t.Errorf("single-run merge = %g, want 58300", got)
+	}
+}

@@ -21,6 +21,12 @@
 // Rows are exactly reproducible on a fresh fleet; scenarios after the
 // first in one invocation run under prefixed patient IDs so their
 // window accounting starts on cold sessions.
+//
+// Scenarios with a prefilter section run the stage-1 amplitude gate in
+// this process — the "on device" half of the edge/cloud split — and
+// need every shard speaking wire v5; rows then carry uplink_bytes,
+// suppressed_windows and audit counters accounted in exact
+// wire-protocol bytes.
 package main
 
 import (
@@ -112,9 +118,14 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", spec.Name, err)
 		}
-		log.Printf("%s: %d windows, %d rejected, %d/%d detected, %.1f FA/h (%.1fs)",
+		line := fmt.Sprintf("%s: %d windows, %d rejected, %d/%d detected, %.1f FA/h, %d uplink bytes",
 			res.Name, res.Windows, res.QualityRejected, res.Detected, res.Events,
-			res.FalseAlarmsPerHour, time.Since(start).Seconds())
+			res.FalseAlarmsPerHour, res.UplinkBytes)
+		if res.SuppressedWindows > 0 {
+			line += fmt.Sprintf(" (%d suppressed, %d audited, %d disagreed)",
+				res.SuppressedWindows, res.AuditSamples, res.AuditDisagreements)
+		}
+		log.Printf("%s (%.1fs)", line, time.Since(start).Seconds())
 		if err := enc.Encode(res); err != nil {
 			log.Fatal(err)
 		}
@@ -183,6 +194,9 @@ func runOne(spec scenario.Spec, addrs []string, idx int, speed float64) (*scenar
 		}
 	}
 	log.Printf("%s: expects the fleet started with -rate %g", w.Spec.Name, w.SampleRate)
+	if w.Spec.Prefilter != nil {
+		log.Printf("%s: expects the fleet started with -avg-seizure 20s — stage-2 audits score with the shard's model, and a fleet trained under different labels inflates audit disagreements", w.Spec.Name)
+	}
 	if idx > 0 {
 		// Sessions persist on the fleet between scenarios: a reused
 		// patient ID would resume a warm feature streamer and break the
@@ -213,6 +227,11 @@ func runOne(spec scenario.Spec, addrs []string, idx int, speed float64) (*scenar
 	defer r.Close()
 	if err := r.WaitReady(10 * time.Second); err != nil {
 		return nil, err
+	}
+	if w.Spec.Prefilter != nil && !r.SupportsPrefilter() {
+		// A pre-v5 shard would silently drop the digest/audit frames and
+		// the engine's exact-drain accounting would hang; refuse up front.
+		return nil, fmt.Errorf("scenario declares a prefilter but the fleet does not speak wire v5")
 	}
 	go func() {
 		for ev := range r.Events() {
@@ -256,6 +275,19 @@ func (h clusterHandle) Push(c0, c1 []float64) error {
 }
 func (h clusterHandle) Confirm() error {
 	return retryTransient(func() error { return h.st.Confirm() })
+}
+
+// The PrefilterHandle extension: the stage-1 gate runs in this process
+// ("on device"), and these carry its declaration, digests and audit
+// samples to the shard over the v5 wire frames.
+func (h clusterHandle) DeclarePrefilter(cfg serve.PrefilterConfig) error {
+	return retryTransient(func() error { return h.st.DeclarePrefilter(cfg) })
+}
+func (h clusterHandle) PushDigest(d serve.Digest) error {
+	return retryTransient(func() error { return h.st.PushDigest(d) })
+}
+func (h clusterHandle) PushAudit(c0, c1 []float64) error {
+	return retryTransient(func() error { return h.st.PushAudit(c0, c1) })
 }
 func (h clusterHandle) Close() { h.st.Close() }
 
@@ -304,6 +336,9 @@ func describe(s scenario.Spec) string {
 	}
 	if s.Quality == nil {
 		traits = append(traits, "no prefilter")
+	}
+	if s.Prefilter != nil {
+		traits = append(traits, fmt.Sprintf("stage-1 gate ×%g", s.Prefilter.Factor))
 	}
 	if s.Faults != nil {
 		traits = append(traits, fmt.Sprintf("%d fault rules", len(s.Faults.Rules)))

@@ -43,15 +43,20 @@ import (
 	"time"
 
 	"selflearn/internal/cluster"
+	"selflearn/internal/rt"
 	"selflearn/internal/serve"
 	"selflearn/internal/synth"
 )
 
 // streamHandle is the per-patient surface the replay drives; both
-// serve.Stream and cluster.Stream satisfy it.
+// serve.Stream and cluster.Stream satisfy it, including the wire-v5
+// prefilter verbs (-prefilter leaves them uncalled when off).
 type streamHandle interface {
 	Push(c0, c1 []float64) error
 	Confirm() error
+	DeclarePrefilter(serve.PrefilterConfig) error
+	PushDigest(serve.Digest) error
+	PushAudit(c0, c1 []float64) error
 	Patient() string
 	Close()
 }
@@ -98,6 +103,7 @@ func main() {
 	admission := flag.String("admission", "drop", "admission policy on full shard queues: drop, block or shed")
 	deadline := flag.Duration("deadline", 50*time.Millisecond, "queue-space wait for -admission block")
 	storeDir := flag.String("store", "", "model checkpoint directory (persists detectors across runs); empty = in-memory")
+	prefilter := flag.Float64("prefilter", 0, "stage-1 amplitude gate factor run on-device (0 = off; >1 suppresses quiet seconds into digests)")
 	clusterAddrs := flag.String("cluster", "", "comma-separated shardd addresses; replaces the in-process server with the TCP router")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON lines instead of text")
 	benchOut := flag.String("benchout", "", "write the final summary JSON object to this file")
@@ -118,6 +124,20 @@ func main() {
 		log.Fatalf("serve: unknown -admission %q (want drop, block or shed)", *admission)
 	}
 
+	var pfCfg *serve.PrefilterConfig
+	if *prefilter > 0 {
+		// Proactive sampling: the replay loop doesn't service
+		// shard-requested audits, so declare a fixed audit cadence.
+		cfg := serve.PrefilterConfig{
+			Gate:       rt.GateConfig{Factor: *prefilter, HistoryWindows: 64},
+			AuditEvery: serve.DefaultAuditEvery,
+		}
+		if err := cfg.Validate(); err != nil {
+			log.Fatalf("serve: -prefilter %g: %v", *prefilter, err)
+		}
+		pfCfg = &cfg
+	}
+
 	clusterMode := *clusterAddrs != ""
 	var bk backend
 	var topology string
@@ -136,6 +156,9 @@ func main() {
 		}
 		if err := r.WaitReady(10 * time.Second); err != nil {
 			log.Fatal(err)
+		}
+		if pfCfg != nil && !r.SupportsPrefilter() {
+			log.Fatal("serve: -prefilter needs every shardd speaking wire v5")
 		}
 		bk = clusterBackend{r}
 		topology = fmt.Sprintf("%d shardd processes %v", len(addrs), addrs)
@@ -171,7 +194,7 @@ func main() {
 	// The delivery path: one subscriber drains every alarm, retrain
 	// outcome, eviction and shed; the summary cross-checks its alarm
 	// count against the server's counter.
-	var alarmsObserved, retrainsObserved, evictionsObserved, shedsObserved uint64
+	var alarmsObserved, retrainsObserved, evictionsObserved, shedsObserved, driftsObserved uint64
 	modelVersions := map[string]uint64{} // per-patient, from model-updated events
 	eventsDone := make(chan struct{})
 	events := bk.events() // subscribe before any traffic can emit
@@ -191,6 +214,9 @@ func main() {
 				evictionsObserved++
 			case serve.EventShed:
 				shedsObserved++
+			case serve.EventPrefilterDrift:
+				driftsObserved++
+				out.headline("PREFILTER-DRIFT %s: stage-1 suppression disagrees with stage-2 beyond the declared threshold", ev.Patient)
 			case serve.EventModelUpdated:
 				if ev.Version > modelVersions[ev.Patient] {
 					modelVersions[ev.Patient] = ev.Version
@@ -222,7 +248,7 @@ func main() {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			replayPatient(bk, p, *duration, *rate, *speed)
+			replayPatient(bk, p, *duration, *rate, *speed, pfCfg)
 		}(p)
 	}
 	wg.Wait()
@@ -264,6 +290,7 @@ func main() {
 
 	out.headline("replayed %d patient-streams in %v", *patients, elapsed.Round(time.Millisecond))
 	summary := summaryFields(st, elapsed, alarmsObserved, retrainsObserved, evictionsObserved, shedsObserved)
+	summary["drifts_observed"] = driftsObserved
 	// The final snapshot's interval rate covers the idle drain tail, so
 	// statsFields put a meaningless ~0 in windows_per_sec. Replace it
 	// with the steady-state rate the ticker measured mid-replay.
@@ -317,8 +344,11 @@ func main() {
 
 // replayPatient generates one patient's recording (background plus one
 // seizure) and streams it through a session handle in one-second
-// batches, confirming the seizure 15 s after it ends.
-func replayPatient(bk backend, p int, duration, rate, speed float64) {
+// batches, confirming the seizure 15 s after it ends. A non-nil pf
+// runs the stage-1 amplitude gate here — the "on device" half of the
+// edge/cloud split — shipping only gated seconds at full rate and
+// folding the rest into digests with periodic audit samples.
+func replayPatient(bk backend, p int, duration, rate, speed float64, pf *serve.PrefilterConfig) {
 	id := fmt.Sprintf("patient-%04d", p)
 	// Stagger seizure onsets across patients so confirmations (and the
 	// retrains they trigger) don't arrive in one synchronized burst,
@@ -345,6 +375,13 @@ func replayPatient(bk backend, p int, duration, rate, speed float64) {
 		log.Fatalf("%s: %v", id, err)
 	}
 	defer h.Close()
+	var pc *serve.PrefilterClient
+	if pf != nil {
+		if pc, err = serve.NewPrefilterClient(*pf); err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		retry(id, func() error { return h.DeclarePrefilter(*pf) })
+	}
 	c0, c1 := rec.Data[0], rec.Data[1]
 	batch := int(rate)
 	confirmAt := seizureStart + seizureDur + 15
@@ -359,10 +396,29 @@ func replayPatient(bk backend, p int, duration, rate, speed float64) {
 		if end > len(c0) {
 			end = len(c0)
 		}
-		push(h, c0[off:end], c1[off:end])
+		if pc == nil {
+			push(h, c0[off:end], c1[off:end])
+		} else {
+			a := pc.Decide(c0[off:end], c1[off:end])
+			// The closed digest span precedes the decision that closed it.
+			if a.Flush.Windows > 0 {
+				retry(id, func() error { return h.PushDigest(a.Flush) })
+			}
+			switch {
+			case a.Ship:
+				push(h, c0[off:end], c1[off:end])
+			case a.Audit:
+				retry(id, func() error { return h.PushAudit(c0[off:end], c1[off:end]) })
+			}
+		}
 		if !confirmed && float64(sec) >= confirmAt {
 			confirmed = true
 			confirm(h)
+		}
+	}
+	if pc != nil {
+		if d := pc.Final(); d.Windows > 0 {
+			retry(id, func() error { return h.PushDigest(d) })
 		}
 	}
 	if !confirmed {
@@ -381,33 +437,28 @@ func retryable(err error) bool {
 	return false
 }
 
-// push retries one batch until the shard accepts it; the wearable
-// gateway's local buffer-and-resend policy. (Under -admission shed the
-// first attempt always lands: the server makes room itself.)
-func push(h streamHandle, c0, c1 []float64) {
+// retry repeats op until the shard accepts it; the wearable gateway's
+// local buffer-and-resend policy. (Under -admission shed the first
+// attempt always lands: the server makes room itself.)
+func retry(patient string, op func() error) {
 	for {
-		err := h.Push(c0, c1)
+		err := op()
 		if err == nil {
 			return
 		}
 		if !retryable(err) {
-			log.Fatalf("%s: %v", h.Patient(), err)
+			log.Fatalf("%s: %v", patient, err)
 		}
 		time.Sleep(time.Millisecond)
 	}
 }
 
+func push(h streamHandle, c0, c1 []float64) {
+	retry(h.Patient(), func() error { return h.Push(c0, c1) })
+}
+
 func confirm(h streamHandle) {
-	for {
-		err := h.Confirm()
-		if err == nil {
-			return
-		}
-		if !retryable(err) {
-			log.Fatalf("%s: %v", h.Patient(), err)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	retry(h.Patient(), func() error { return h.Confirm() })
 }
 
 // steadyRate accumulates the interval throughput samples the periodic
@@ -497,25 +548,29 @@ func (p *printer) retrainError(ev serve.Event) {
 // statsFields flattens the snapshot for JSON output.
 func statsFields(st serve.Stats) map[string]any {
 	return map[string]any{
-		"uptime_s":          st.Uptime.Seconds(),
-		"sessions":          st.Sessions,
-		"streams_open":      st.StreamsOpen,
-		"windows":           st.Windows,
-		"windows_per_sec":   st.WindowsPerSec,
-		"alarms":            st.Alarms,
-		"queue_depth":       st.QueueDepth,
-		"batches":           st.Batches,
-		"batches_dropped":   st.BatchesDropped,
-		"batches_shed":      st.BatchesShed,
-		"quality_rejected":  st.QualityRejected,
-		"confirms":          st.Confirms,
-		"confirms_rejected": st.ConfirmsRejected,
-		"confirms_dropped":  st.ConfirmsDropped,
-		"retrains":          st.Retrains,
-		"retrain_errors":    st.RetrainErrors,
-		"models_cached":     st.ModelsCached,
-		"store_errors":      st.StoreErrors,
-		"events_dropped":    st.EventsDropped,
+		"uptime_s":            st.Uptime.Seconds(),
+		"sessions":            st.Sessions,
+		"streams_open":        st.StreamsOpen,
+		"windows":             st.Windows,
+		"windows_per_sec":     st.WindowsPerSec,
+		"alarms":              st.Alarms,
+		"queue_depth":         st.QueueDepth,
+		"batches":             st.Batches,
+		"batches_dropped":     st.BatchesDropped,
+		"batches_shed":        st.BatchesShed,
+		"quality_rejected":    st.QualityRejected,
+		"windows_suppressed":  st.WindowsSuppressed,
+		"audit_samples":       st.AuditSamples,
+		"audit_disagreements": st.AuditDisagreements,
+		"prefilter_drift":     st.PrefilterDrift,
+		"confirms":            st.Confirms,
+		"confirms_rejected":   st.ConfirmsRejected,
+		"confirms_dropped":    st.ConfirmsDropped,
+		"retrains":            st.Retrains,
+		"retrain_errors":      st.RetrainErrors,
+		"models_cached":       st.ModelsCached,
+		"store_errors":        st.StoreErrors,
+		"events_dropped":      st.EventsDropped,
 	}
 }
 

@@ -463,6 +463,10 @@ func (r *Router) Snapshot() serve.Stats {
 		agg.StreamErrors += st.StreamErrors
 		agg.ModelsCached += st.ModelsCached
 		agg.StoreErrors += st.StoreErrors
+		agg.WindowsSuppressed += st.WindowsSuppressed
+		agg.AuditSamples += st.AuditSamples
+		agg.AuditDisagreements += st.AuditDisagreements
+		agg.PrefilterDrift += st.PrefilterDrift
 		agg.EventsDropped += st.EventsDropped
 		agg.QueueDepth += st.QueueDepth
 	}
@@ -475,6 +479,40 @@ func (r *Router) Snapshot() serve.Stats {
 	agg.QueueDepth += r.Depth()
 	agg.Uptime = time.Since(r.start)
 	return agg
+}
+
+// UplinkBytes totals the framed job bytes (pushes, digests, audit
+// samples, confirms, prefilter declarations — not pings or stats
+// traffic) this router has put on the wire across every shard
+// connection. With a prefiltering client it is the numerator of the
+// uplink-reduction ratio; the same stream without a prefilter is the
+// denominator.
+func (r *Router) UplinkBytes() uint64 {
+	var n uint64
+	for _, sc := range r.shards {
+		n += sc.uplinkBytes.Load()
+	}
+	return n
+}
+
+// SupportsPrefilter reports whether every currently-healthy shard
+// negotiated protocol v5 or newer — the condition under which a client
+// may run its stage-1 prefilter against this fleet. Against a mixed or
+// older fleet the client should stream at full rate: the gated frames
+// would be silently dropped toward old shards, losing the digests'
+// accounting without telling the edge.
+func (r *Router) SupportsPrefilter() bool {
+	any := false
+	for _, sc := range r.shards {
+		if !sc.healthy.Load() {
+			continue
+		}
+		any = true
+		if sc.version.Load() < 5 {
+			return false
+		}
+	}
+	return any
 }
 
 // Close implements serve.ShardTransport: tears down every connection,
@@ -604,6 +642,8 @@ func (st *Stream) enqueue(j serve.Job) error {
 	switch {
 	case err == nil && j.Confirm:
 		st.confirms.Add(1)
+	case err == nil && j.Declare != nil:
+		// Declarations are control traffic, not batches.
 	case err == nil:
 		st.batches.Add(1)
 	case j.Confirm:
@@ -640,6 +680,52 @@ func (st *Stream) Push(c0, c1 []float64) error {
 		return serve.ErrBackpressure
 	}
 	return st.enqueue(serve.Job{Patient: st.patient, Stream: st, C0: c0, C1: c1})
+}
+
+// DeclarePrefilter announces the stream's client-side stage-1
+// prefilter to the patient's shard, mirroring serve.Stream: the shard
+// arms its audit mirror from the declaration. Effective only against a
+// v5 fleet (check Router.SupportsPrefilter first); toward an older
+// shard the frame is silently skipped on the wire.
+func (st *Stream) DeclarePrefilter(cfg serve.PrefilterConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if st.closed.Load() {
+		return serve.ErrStreamClosed
+	}
+	c := cfg
+	return st.enqueue(serve.Job{Patient: st.patient, Stream: st, Declare: &c})
+}
+
+// PushDigest reports a span of suppressed windows to the patient's
+// shard, mirroring serve.Stream.PushDigest. Empty digests are accepted
+// and ignored.
+func (st *Stream) PushDigest(d serve.Digest) error {
+	if d.Windows == 0 {
+		return nil
+	}
+	if st.closed.Load() {
+		return serve.ErrStreamClosed
+	}
+	dd := d
+	return st.enqueue(serve.Job{Patient: st.patient, Stream: st, Digest: &dd})
+}
+
+// PushAudit ships one suppressed window's full samples for shard-side
+// stage-2 audit replay, mirroring serve.Stream.PushAudit. The router
+// takes ownership of the slices.
+func (st *Stream) PushAudit(c0, c1 []float64) error {
+	if st.closed.Load() {
+		return serve.ErrStreamClosed
+	}
+	if len(c0) != len(c1) {
+		return fmt.Errorf("cluster: channel length mismatch %d vs %d", len(c0), len(c1))
+	}
+	if len(c0) == 0 {
+		return nil
+	}
+	return st.enqueue(serve.Job{Patient: st.patient, Stream: st, C0: c0, C1: c1, Audit: true})
 }
 
 // Confirm reports the patient's seizure confirmation to their shard,

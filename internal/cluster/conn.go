@@ -26,13 +26,21 @@ type shardConn struct {
 	queue   *serve.Queue
 	healthy atomic.Bool
 
+	// uplinkBytes totals the framed bytes of every job this connection
+	// put on the wire (pushes, digests, audits, confirms, declarations —
+	// not control traffic), across reconnects. It is the cluster side of
+	// the uplink-reduction accounting: digests standing in for suppressed
+	// batches show up here as exactly the bytes they cost.
+	uplinkBytes atomic.Uint64
+
 	// writeMu serializes frame writers (the queue drainer, pings, and
 	// stats requests) onto enc; enc is nil while disconnected.
 	writeMu sync.Mutex
 	enc     *wire.Encoder
 	conn    net.Conn
 
-	lastPong atomic.Int64 // UnixNano of the latest pong
+	lastPong atomic.Int64  // UnixNano of the latest pong
+	version  atomic.Uint32 // negotiated protocol version of the current/last session
 
 	pendMu        sync.Mutex
 	pending       map[uint64]chan serve.Stats
@@ -143,10 +151,12 @@ func (sc *shardConn) sleep(d time.Duration) bool {
 func (sc *shardConn) session(conn net.Conn) (stopped bool) {
 	enc := wire.NewEncoder(conn)
 	dec := wire.NewDecoder(conn)
-	if err := handshake(conn, enc, dec, sc.r.opts.DialTimeout); err != nil {
+	peerVersion, err := handshake(conn, enc, dec, sc.r.opts.DialTimeout)
+	if err != nil {
 		conn.Close()
 		return false
 	}
+	sc.version.Store(peerVersion)
 
 	sc.writeMu.Lock()
 	sc.enc = enc
@@ -210,27 +220,31 @@ loop:
 
 // handshake exchanges Hello frames under a deadline and negotiates the
 // protocol version: any peer at wire.MinVersion or newer is accepted,
-// and the encoder is pinned to min(wire.Version, peer's) so frames the
-// peer cannot parse (PushQ toward a v3 shard) are never sent.
-func handshake(conn net.Conn, enc *wire.Encoder, dec *wire.Decoder, timeout time.Duration) error {
+// and both codec halves are pinned to min(wire.Version, peer's) so
+// frames the peer cannot parse (PushQ toward a v3 shard, the prefilter
+// family toward v4) are never sent, and its Stats frames are decoded in
+// the layout it actually emits. Returns the negotiated version.
+func handshake(conn net.Conn, enc *wire.Encoder, dec *wire.Decoder, timeout time.Duration) (uint32, error) {
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		return err
+		return 0, err
 	}
 	if err := enc.Hello(); err != nil {
-		return err
+		return 0, err
 	}
 	if err := enc.Flush(); err != nil {
-		return err
+		return 0, err
 	}
 	m, err := dec.Next()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if m.Kind != wire.KindHello || m.Version < wire.MinVersion {
-		return fmt.Errorf("cluster: peer speaks %v v%d, want hello v%d or newer", m.Kind, m.Version, wire.MinVersion)
+		return 0, fmt.Errorf("cluster: peer speaks %v v%d, want hello v%d or newer", m.Kind, m.Version, wire.MinVersion)
 	}
-	enc.SetVersion(m.Version)
-	return conn.SetDeadline(time.Time{})
+	v := min(m.Version, wire.Version)
+	enc.SetVersion(v)
+	dec.SetVersion(v)
+	return v, conn.SetDeadline(time.Time{})
 }
 
 // send runs one encode+flush under the write lock; ErrShardDown while
@@ -265,11 +279,28 @@ func (sc *shardConn) writeLoop(conn net.Conn, stop, done chan struct{}) {
 				err = ErrShardDown
 			} else {
 				sc.conn.SetWriteDeadline(time.Now().Add(sc.r.opts.WriteDeadline))
-				if j.Confirm {
+				before := sc.enc.BytesWritten()
+				switch {
+				case j.Confirm:
 					err = sc.enc.Confirm(j.Patient)
-				} else {
+				case j.Declare != nil:
+					err = sc.enc.PrefilterDecl(j.Patient, *j.Declare)
+				case j.Digest != nil:
+					err = sc.enc.PushDigest(j.Patient, *j.Digest)
+				case j.Audit:
+					err = sc.enc.AuditPush(j.Patient, j.C0, j.C1)
+				default:
 					err = sc.enc.Push(j.Patient, j.C0, j.C1)
 				}
+				if err == wire.ErrVersionGated {
+					// A prefilter frame toward a pre-v5 shard: the peer
+					// cannot use it, and an audit window must never be
+					// promoted into the live stream — drop silently. The
+					// client should not be prefiltering against an old
+					// fleet in the first place (see Router.SupportsPrefilter).
+					err = nil
+				}
+				sc.uplinkBytes.Add(sc.enc.BytesWritten() - before)
 			}
 			if err == nil && sc.queue.Depth() == 0 {
 				err = sc.enc.Flush()
@@ -314,6 +345,11 @@ func (sc *shardConn) readLoop(dec *wire.Decoder, done chan struct{}) {
 			}
 		case wire.KindModelAnnounce:
 			sc.r.noteModelVersion(m.Patient, m.ModelVersion)
+		case wire.KindAuditRequest:
+			// The shard wants an audit sample from this patient's
+			// prefiltering client; surface it as the same event a local
+			// serve.Server emits, so gateways handle both modes uniformly.
+			sc.r.emit(serve.Event{Kind: serve.EventAuditRequest, Patient: m.Patient, Time: time.Now()})
 		case wire.KindModelPut:
 			// A ModelGet reply; unsolicited puts toward a client have no
 			// waiter and are dropped here.

@@ -203,6 +203,7 @@ func (c *clientConn) handle() {
 		return
 	}
 	enc.SetVersion(m.Version)
+	dec.SetVersion(m.Version)
 	if err := enc.Hello(); err != nil {
 		return
 	}
@@ -246,6 +247,30 @@ func (c *clientConn) handle() {
 				return
 			}
 			if !c.apply(h.Confirm) {
+				return
+			}
+		case wire.KindPrefilterDecl:
+			h, err := c.stream(m.Patient)
+			if err != nil {
+				return
+			}
+			if !c.apply(func() error { return h.DeclarePrefilter(m.Prefilter) }) {
+				return
+			}
+		case wire.KindPushDigest:
+			h, err := c.stream(m.Patient)
+			if err != nil {
+				return
+			}
+			if !c.apply(func() error { return h.PushDigest(m.Digest) }) {
+				return
+			}
+		case wire.KindAuditPush:
+			h, err := c.stream(m.Patient)
+			if err != nil {
+				return
+			}
+			if !c.apply(func() error { return h.PushAudit(m.C0, m.C1) }) {
 				return
 			}
 		case wire.KindPing:
@@ -336,7 +361,18 @@ func (c *clientConn) eventWriter(done chan struct{}) {
 	for ev := range c.events {
 		c.writeMu.Lock()
 		c.conn.SetWriteDeadline(time.Now().Add(c.s.opts.WriteDeadline))
-		err := c.enc.Event(ev)
+		var err error
+		if ev.Kind == serve.EventAuditRequest {
+			// Cross as the dedicated v5 frame so the router's read loop
+			// resurfaces it uniformly with local mode. A pre-v5 peer
+			// cannot have a declared prefilter to audit, so the gated
+			// frame is simply skipped for it.
+			if err = c.enc.AuditRequest(ev.Patient); err == wire.ErrVersionGated {
+				err = nil
+			}
+		} else {
+			err = c.enc.Event(ev)
+		}
 		if err == nil && ev.Kind == serve.EventModelUpdated {
 			err = c.enc.ModelAnnounce(ev.Patient, ev.Version)
 		}

@@ -1,0 +1,183 @@
+package rt
+
+import (
+	"math/rand"
+	"testing"
+
+	"selflearn/internal/stats"
+	"selflearn/internal/synth"
+)
+
+// refTwoStage is the pre-optimization TwoStage gating rule, kept
+// verbatim as the equivalence oracle: append-and-reslice history with a
+// copy-and-sort stats.Median per window. The incremental medianRing
+// must reproduce its trigger decisions bit for bit.
+type refTwoStage struct {
+	factor  float64
+	history []float64
+	maxHist int
+}
+
+func (t *refTwoStage) classify(ll float64) (trigger bool) {
+	trigger = true
+	if len(t.history) >= t.maxHist/2 {
+		baseline := stats.Median(t.history)
+		trigger = ll >= t.factor*baseline
+	}
+	if !trigger || len(t.history) < t.maxHist/2 {
+		t.history = append(t.history, ll)
+		if len(t.history) > t.maxHist {
+			t.history = t.history[1:]
+		}
+	}
+	return trigger
+}
+
+// TestMedianRingMatchesStatsMedian: the incremental median must be
+// bit-identical to stats.Median over the ring's contents at every step,
+// including duplicate values, evictions, and both parities of fill.
+func TestMedianRingMatchesStatsMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const capacity = 17
+	m := newMedianRing(capacity)
+	var window []float64
+	for i := 0; i < 2000; i++ {
+		// Coarse quantization forces duplicate values into the ring.
+		x := float64(rng.Intn(40)) / 8
+		m.Push(x)
+		window = append(window, x)
+		if len(window) > capacity {
+			window = window[1:]
+		}
+		want := stats.Median(window)
+		if got := m.Median(); got != want {
+			t.Fatalf("step %d: incremental median %v, stats.Median %v", i, got, want)
+		}
+		if m.Len() != len(window) {
+			t.Fatalf("step %d: Len %d, want %d", i, m.Len(), len(window))
+		}
+	}
+}
+
+// TestTwoStageEquivalence: the allocation-free Classify must make the
+// exact same trigger decisions as the historical copy-and-sort
+// implementation over realistic EEG with seizures.
+func TestTwoStageEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fs := 256.0
+	n := 900 * int(fs)
+	data := synth.Background(rng, n, fs, synth.DefaultBackground())
+	if err := synth.AddSeizure(rng, data, 300*int(fs), 40*int(fs), fs, synth.DefaultSeizure()); err != nil {
+		t.Fatal(err)
+	}
+	if err := synth.AddSeizure(rng, data, 600*int(fs), 25*int(fs), fs, synth.DefaultSeizure()); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := NewTwoStage(alwaysTrue{}, 2.5, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &refTwoStage{factor: 2.5, maxHist: 120}
+	win, hop := 4*int(fs), int(fs)
+	invoked := 0
+	for start := 0; start+win <= n; start += hop {
+		w := data[start : start+win]
+		_, ran := ts.Classify(w, nil)
+		wantRan := ref.classify(meanAbs(w))
+		if ran != wantRan {
+			t.Fatalf("window at %ds: optimized trigger %v, reference %v", start/int(fs), ran, wantRan)
+		}
+		if ran {
+			invoked++
+		}
+	}
+	if invoked == 0 {
+		t.Fatal("gate never triggered — equivalence vacuous")
+	}
+}
+
+// TestAmplitudeGateMatchesTwoStage: the standalone gate must reproduce
+// TwoStage's trigger sequence exactly when fed the same amplitudes —
+// the property the shard-side audit mirror depends on.
+func TestAmplitudeGateMatchesTwoStage(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	fs := 128.0
+	n := 600 * int(fs)
+	data := synth.Background(rng, n, fs, synth.DefaultBackground())
+	if err := synth.AddSeizure(rng, data, 200*int(fs), 30*int(fs), fs, synth.DefaultSeizure()); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := NewTwoStage(alwaysTrue{}, 2.5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewAmplitudeGate(GateConfig{Factor: 2.5, HistoryWindows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, hop := 4*int(fs), int(fs)
+	for start := 0; start+win <= n; start += hop {
+		w := data[start : start+win]
+		_, ran := ts.Classify(w, nil)
+		if ship := g.Admit(meanAbs(w)); ship != ran {
+			t.Fatalf("window at %ds: gate %v, TwoStage %v", start/int(fs), ship, ran)
+		}
+	}
+	if g.Shipped() == g.Windows() {
+		t.Fatal("gate never suppressed — test signal too hot")
+	}
+	if got := float64(g.Shipped()) / float64(g.Windows()); got > 0.4 {
+		t.Fatalf("uplink duty cycle %v, want well below 1", got)
+	}
+}
+
+// TestGateValidation pins the config contract shared with NewTwoStage.
+func TestGateValidation(t *testing.T) {
+	if _, err := NewAmplitudeGate(GateConfig{Factor: 1, HistoryWindows: 64}); err == nil {
+		t.Error("factor <= 1 should fail")
+	}
+	if _, err := NewAmplitudeGate(GateConfig{Factor: 2.5, HistoryWindows: 4}); err == nil {
+		t.Error("tiny history should fail")
+	}
+}
+
+// TestTwoStageClassifyZeroAlloc: the per-window path — pre-screen,
+// baseline maintenance, and gate bookkeeping — must not allocate, or a
+// day of 1 Hz windows churns 86k garbage objects per patient.
+func TestTwoStageClassifyZeroAlloc(t *testing.T) {
+	ts, err := NewTwoStage(alwaysTrue{}, 2.5, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	fs := 256.0
+	data := synth.Background(rng, 300*int(fs), fs, synth.DefaultBackground())
+	win, hop := 4*int(fs), int(fs)
+	starts := make([]int, 0, 256)
+	for start := 0; start+win <= len(data); start += hop {
+		starts = append(starts, start)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		s := starts[i%len(starts)]
+		ts.Classify(data[s:s+win], nil)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("TwoStage.Classify allocates %v objects per window, want 0", allocs)
+	}
+
+	g, err := NewAmplitudeGate(GateConfig{Factor: 2.5, HistoryWindows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i = 0
+	allocs = testing.AllocsPerRun(200, func() {
+		s := starts[i%len(starts)]
+		g.Admit(BatchAmplitude(data[s:s+hop], data[s:s+hop]))
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("AmplitudeGate.Admit allocates %v objects per window, want 0", allocs)
+	}
+}

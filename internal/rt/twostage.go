@@ -1,10 +1,6 @@
 package rt
 
-import (
-	"fmt"
-
-	"selflearn/internal/stats"
-)
+import "fmt"
 
 // TwoStage implements the self-aware detection scheme of the paper's
 // reference [24] (Forooghifar, Aminifar, Atienza): a nearly-free
@@ -15,13 +11,19 @@ import (
 // seizure-free hours. Ictal discharges run several times the interictal
 // amplitude, so the gate is triggered by exactly the windows the
 // classifier must see.
+//
+// The adaptive baseline is a running median over recent interictal
+// amplitudes, maintained incrementally (gate.go's medianRing) instead
+// of re-sorting the history per window: Classify is allocation-free and
+// O(log h + h move) per window, with a median bit-identical to
+// stats.Median over the same history.
 type TwoStage struct {
 	clf Classifier
 	// threshold on the window mean absolute amplitude, in multiples of
 	// the running background median.
 	factor float64
 	// history of recent amplitudes for the adaptive baseline.
-	history []float64
+	history *medianRing
 	maxHist int
 	// counters for the invocation statistics.
 	windows, invoked int
@@ -35,16 +37,15 @@ func NewTwoStage(clf Classifier, factor float64, historyWindows int) (*TwoStage,
 	if clf == nil {
 		return nil, fmt.Errorf("rt: nil classifier")
 	}
-	if factor <= 1 {
-		return nil, fmt.Errorf("rt: trigger factor %g must exceed 1", factor)
+	if err := (GateConfig{Factor: factor, HistoryWindows: historyWindows}).Validate(); err != nil {
+		return nil, err
 	}
-	if historyWindows < 8 {
-		return nil, fmt.Errorf("rt: history of %d windows too short", historyWindows)
-	}
-	return &TwoStage{clf: clf, factor: factor, maxHist: historyWindows}, nil
+	return &TwoStage{clf: clf, factor: factor, maxHist: historyWindows, history: newMedianRing(historyWindows)}, nil
 }
 
 // meanAbs is the mean absolute amplitude of the raw window.
+//
+//selflearn:hotpath
 func meanAbs(w []float64) float64 {
 	if len(w) == 0 {
 		return 0
@@ -63,6 +64,8 @@ func meanAbs(w []float64) float64 {
 // signal the pre-screen sees (one channel suffices), featureRow the
 // feature vector for the expensive stage. It returns the prediction and
 // whether the expensive stage actually ran.
+//
+//selflearn:hotpath
 func (t *TwoStage) Classify(rawWindow []float64, featureRow []float64) (pred, ranStage2 bool) {
 	ll := meanAbs(rawWindow)
 	t.windows++
@@ -70,17 +73,13 @@ func (t *TwoStage) Classify(rawWindow []float64, featureRow []float64) (pred, ra
 	// expensive stage always runs (cold-start safety: never miss a
 	// seizure to save energy).
 	trigger := true
-	if len(t.history) >= t.maxHist/2 {
-		baseline := stats.Median(t.history)
-		trigger = ll >= t.factor*baseline
+	if t.history.Len() >= t.maxHist/2 {
+		trigger = ll >= t.factor*t.history.Median()
 	}
 	// Only interictal-looking windows feed the baseline, so a long
 	// seizure does not drag the threshold up after itself.
-	if !trigger || len(t.history) < t.maxHist/2 {
-		t.history = append(t.history, ll)
-		if len(t.history) > t.maxHist {
-			t.history = t.history[1:]
-		}
+	if !trigger || t.history.Len() < t.maxHist/2 {
+		t.history.Push(ll)
 	}
 	if !trigger {
 		return false, false
@@ -101,6 +100,6 @@ func (t *TwoStage) InvocationFraction() float64 {
 
 // Reset clears the adaptive state and counters.
 func (t *TwoStage) Reset() {
-	t.history = nil
+	t.history.Reset()
 	t.windows, t.invoked = 0, 0
 }

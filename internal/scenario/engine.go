@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math"
 	"sync"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"selflearn/internal/rt"
 	"selflearn/internal/serve"
 	"selflearn/internal/signal"
+	"selflearn/internal/wire"
 )
 
 // Backend is the serving surface the engine replays against. The local
@@ -32,6 +34,17 @@ type Handle interface {
 	Close()
 }
 
+// PrefilterHandle is the uplink surface of the edge/cloud split — the
+// optional extension a Handle implements to carry prefilter traffic.
+// serve.Stream and cluster.Stream both satisfy it; the engine requires
+// it only when the spec declares a prefilter.
+type PrefilterHandle interface {
+	Handle
+	DeclarePrefilter(serve.PrefilterConfig) error
+	PushDigest(serve.Digest) error
+	PushAudit(c0, c1 []float64) error
+}
+
 // Collector accumulates the event-side outcomes of a run: per-patient
 // alarm stream times (Event.StreamTime — the deterministic clock
 // detections are scored on), per-patient model versions (the retrain
@@ -43,6 +56,7 @@ type Collector struct {
 	versions map[string]uint64
 	total    uint64
 	rejects  uint64
+	drifts   uint64
 }
 
 // NewCollector returns an empty collector.
@@ -69,7 +83,19 @@ func (c *Collector) Observe(ev serve.Event) {
 		c.mu.Lock()
 		c.rejects++
 		c.mu.Unlock()
+	case serve.EventPrefilterDrift:
+		c.mu.Lock()
+		c.drifts++
+		c.mu.Unlock()
 	}
+}
+
+// DriftEvents returns the number of EventPrefilterDrift events observed
+// — the event-side cross-check of Stats.PrefilterDrift.
+func (c *Collector) DriftEvents() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drifts
 }
 
 // AlarmTimes returns a copy of the patient's alarm stream times.
@@ -143,6 +169,77 @@ func admittedTime(t float64, mask []bool, prefix []int) float64 {
 	return float64(prefix[sec])
 }
 
+// prefilterPlan is one patient's precomputed on-device replay: the
+// stage-1 gate's verdict for every stream second, the trailing digest,
+// and the resulting audit counters. Precomputing keeps Run's accounting
+// exact — expected suppression and sample counts are known before the
+// first push — and hands the witness test the gate mask that maps
+// ground truth into admitted stream time.
+type prefilterPlan struct {
+	decl       serve.PrefilterConfig
+	actions    []serve.PrefilterAction
+	final      serve.Digest
+	ship       []bool
+	suppressed uint64
+	samples    uint64
+}
+
+// buildPrefilterPlan replays the patient's seconds through a fresh
+// stage-1 client — mistuned when the spec sets up the negative control.
+func buildPrefilterPlan(ps PatientStream, fs int, p *PrefilterSpec) (*prefilterPlan, error) {
+	client, err := serve.NewMistunedPrefilterClient(p.Config(), p.ActualGate())
+	if err != nil {
+		return nil, err
+	}
+	seconds := len(ps.C0) / fs
+	plan := &prefilterPlan{
+		decl:    client.Declared(),
+		actions: make([]serve.PrefilterAction, seconds),
+		ship:    make([]bool, seconds),
+	}
+	for sec := 0; sec < seconds; sec++ {
+		lo := sec * fs
+		a := client.Decide(ps.C0[lo:lo+fs], ps.C1[lo:lo+fs])
+		plan.actions[sec] = a
+		plan.ship[sec] = a.Ship
+	}
+	plan.final = client.Final()
+	plan.suppressed = client.Suppressed()
+	plan.samples = client.Samples()
+	return plan, nil
+}
+
+// uplinkMeter prices one patient's uplink in wire-protocol bytes by
+// encoding the exact frames a v5 connection would carry into a discard
+// writer. The meter measures the protocol, not one transport's socket,
+// so local and cluster runs report the same number for the same spec —
+// and the prefilter-off baseline is priced with the identical ruler.
+// io.Discard cannot fail, so encode errors are impossible here.
+type uplinkMeter struct {
+	enc *wire.Encoder
+}
+
+func newUplinkMeter() *uplinkMeter { return &uplinkMeter{enc: wire.NewEncoder(io.Discard)} }
+
+func (m *uplinkMeter) push(patient string, c0, c1 []float64) { _ = m.enc.Push(patient, c0, c1) }
+
+func (m *uplinkMeter) digest(patient string, d serve.Digest) {
+	if d.Windows == 0 {
+		return
+	}
+	_ = m.enc.PushDigest(patient, d)
+}
+
+func (m *uplinkMeter) audit(patient string, c0, c1 []float64) { _ = m.enc.AuditPush(patient, c0, c1) }
+
+func (m *uplinkMeter) declare(patient string, cfg serve.PrefilterConfig) {
+	_ = m.enc.PrefilterDecl(patient, cfg)
+}
+
+func (m *uplinkMeter) confirm(patient string) { _ = m.enc.Confirm(patient) }
+
+func (m *uplinkMeter) bytes() uint64 { return m.enc.BytesWritten() }
+
 // Run replays the workload against the backend and scores the alarms
 // the collector gathered. The collector must already be receiving the
 // backend's events (sink or channel drain) before Run is called.
@@ -150,19 +247,41 @@ func (w *Workload) Run(b Backend, c *Collector) (*Result, error) {
 	spec := w.Spec
 	fs := int(w.SampleRate)
 
+	var plans []*prefilterPlan
+	if spec.Prefilter != nil {
+		plans = make([]*prefilterPlan, len(w.Streams))
+		for i, ps := range w.Streams {
+			p, err := buildPrefilterPlan(ps, fs, spec.Prefilter)
+			if err != nil {
+				return nil, err
+			}
+			plans[i] = p
+		}
+	}
+
 	masks := make([][]bool, len(w.Streams))
 	prefixes := make([][]int, len(w.Streams))
-	var expWindows, expRejects uint64
+	var expWindows, expRejects, expSuppressed, expSamples uint64
 	var streamSeconds, admittedSeconds int
 	for i, ps := range w.Streams {
 		masks[i] = admittedMask(ps, w.SampleRate, spec.Quality)
+		if plans != nil {
+			// Stage 1 runs before the shard's quality gate: a suppressed
+			// second never reaches it, so it is neither admitted nor a
+			// quality rejection.
+			for s := range masks[i] {
+				masks[i][s] = masks[i][s] && plans[i].ship[s]
+			}
+			expSuppressed += plans[i].suppressed
+			expSamples += plans[i].samples
+		}
 		prefix := make([]int, len(masks[i])+1)
 		admitted := 0
 		for s, ok := range masks[i] {
 			prefix[s] = admitted
 			if ok {
 				admitted++
-			} else {
+			} else if plans == nil || plans[i].ship[s] {
 				expRejects++
 			}
 		}
@@ -184,11 +303,17 @@ func (w *Workload) Run(b Backend, c *Collector) (*Result, error) {
 
 	var wg sync.WaitGroup
 	errs := make([]error, len(w.Streams))
+	meters := make([]*uplinkMeter, len(w.Streams))
 	for i := range w.Streams {
+		meters[i] = newUplinkMeter()
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = w.runPatient(b, c, w.Streams[i], fs)
+			var plan *prefilterPlan
+			if plans != nil {
+				plan = plans[i]
+			}
+			errs[i] = w.runPatient(b, c, w.Streams[i], fs, plan, meters[i])
 		}(i)
 	}
 	wg.Wait()
@@ -206,11 +331,15 @@ func (w *Workload) Run(b Backend, c *Collector) (*Result, error) {
 			}
 		}
 	}
-	st, err := awaitDrain(b, base, c, spec.Admission == "block", expWindows, expRejects, expRetrains)
+	st, err := awaitDrain(b, base, c, spec.Admission == "block", expWindows, expRejects, expRetrains, expSuppressed, expSamples)
 	if err != nil {
 		return nil, err
 	}
 
+	var uplink uint64
+	for _, m := range meters {
+		uplink += m.bytes()
+	}
 	res := &Result{
 		Name:            spec.Name,
 		Seed:            spec.Seed,
@@ -224,6 +353,12 @@ func (w *Workload) Run(b Backend, c *Collector) (*Result, error) {
 		Dropped:         st.BatchesDropped,
 		Retrains:        st.Retrains,
 		Alarms:          st.Alarms,
+
+		UplinkBytes:        uplink,
+		SuppressedWindows:  st.WindowsSuppressed,
+		AuditSamples:       st.AuditSamples,
+		AuditDisagreements: st.AuditDisagreements,
+		DriftEvents:        st.PrefilterDrift,
 	}
 	var total eval.DetectionMetrics
 	for i, ps := range w.Streams {
@@ -252,9 +387,11 @@ func (w *Workload) Run(b Backend, c *Collector) (*Result, error) {
 }
 
 // runPatient replays one patient's stream in one-second batches:
-// churn-segmented handle lifecycle, backpressure retries, and the
-// confirm barrier after the first seizure.
-func (w *Workload) runPatient(b Backend, c *Collector, ps PatientStream, fs int) error {
+// churn-segmented handle lifecycle, backpressure retries, the confirm
+// barrier after the first seizure, and — when the spec declares a
+// prefilter — the precomputed on-device gate verdicts. Every frame that
+// crosses the backend is priced into the meter.
+func (w *Workload) runPatient(b Backend, c *Collector, ps PatientStream, fs int, plan *prefilterPlan, meter *uplinkMeter) error {
 	spec := w.Spec
 	seconds := len(ps.C0) / fs
 	h, err := b.Open(ps.ID)
@@ -262,6 +399,21 @@ func (w *Workload) runPatient(b Backend, c *Collector, ps PatientStream, fs int)
 		return err
 	}
 	defer func() { h.Close() }()
+
+	var pf PrefilterHandle
+	if plan != nil {
+		var ok bool
+		if pf, ok = h.(PrefilterHandle); !ok {
+			return fmt.Errorf("scenario: backend handle %T cannot carry prefilter traffic", h)
+		}
+		// Declared exactly once: a re-declaration after churn would reset
+		// the shard's audit state (mirror baseline, disagreement count)
+		// mid-run, while the server-side session survives reopens.
+		if err := declareRetry(pf, plan.decl); err != nil {
+			return fmt.Errorf("scenario: %s declare: %w", ps.ID, err)
+		}
+		meter.declare(ps.ID, plan.decl)
+	}
 
 	confirmAt := -1
 	if spec.Confirm && len(ps.Truth) > 0 {
@@ -285,15 +437,28 @@ func (w *Workload) runPatient(b Backend, c *Collector, ps PatientStream, fs int)
 			if h, err = b.Open(ps.ID); err != nil {
 				return err
 			}
+			if plan != nil {
+				var ok bool
+				if pf, ok = h.(PrefilterHandle); !ok {
+					return fmt.Errorf("scenario: backend handle %T cannot carry prefilter traffic", h)
+				}
+			}
 		}
 		lo := sec * fs
-		if err := pushRetry(h, ps.C0[lo:lo+fs], ps.C1[lo:lo+fs]); err != nil {
-			return fmt.Errorf("scenario: %s second %d: %w", ps.ID, sec, err)
+		c0b, c1b := ps.C0[lo:lo+fs], ps.C1[lo:lo+fs]
+		if plan == nil {
+			if err := pushRetry(h, c0b, c1b); err != nil {
+				return fmt.Errorf("scenario: %s second %d: %w", ps.ID, sec, err)
+			}
+			meter.push(ps.ID, c0b, c1b)
+		} else if err := pushGated(pf, ps.ID, sec, c0b, c1b, plan.actions[sec], meter); err != nil {
+			return err
 		}
 		if sec == confirmAt {
 			if err := confirmRetry(h); err != nil {
 				return fmt.Errorf("scenario: %s confirm: %w", ps.ID, err)
 			}
+			meter.confirm(ps.ID)
 			if err := c.WaitVersion(ps.ID, 1, 90*time.Second); err != nil {
 				return err
 			}
@@ -310,6 +475,38 @@ func (w *Workload) runPatient(b Backend, c *Collector, ps PatientStream, fs int)
 			}
 			time.Sleep(time.Duration(interval))
 		}
+	}
+	if plan != nil && plan.final.Windows > 0 {
+		if err := digestRetry(pf, plan.final); err != nil {
+			return fmt.Errorf("scenario: %s final digest: %w", ps.ID, err)
+		}
+		meter.digest(ps.ID, plan.final)
+	}
+	return nil
+}
+
+// pushGated replays one second through the on-device gate's verdict:
+// the completed digest flushes first (the shard's mirror consumes
+// amplitudes in stream order), then the batch crosses as a full push,
+// an audit sample, or not at all.
+func pushGated(pf PrefilterHandle, id string, sec int, c0, c1 []float64, a serve.PrefilterAction, meter *uplinkMeter) error {
+	if a.Flush.Windows > 0 {
+		if err := digestRetry(pf, a.Flush); err != nil {
+			return fmt.Errorf("scenario: %s digest at %d: %w", id, sec, err)
+		}
+		meter.digest(id, a.Flush)
+	}
+	switch {
+	case a.Ship:
+		if err := pushRetry(pf, c0, c1); err != nil {
+			return fmt.Errorf("scenario: %s second %d: %w", id, sec, err)
+		}
+		meter.push(id, c0, c1)
+	case a.Audit:
+		if err := auditRetry(pf, c0, c1); err != nil {
+			return fmt.Errorf("scenario: %s audit at %d: %w", id, sec, err)
+		}
+		meter.audit(id, c0, c1)
 	}
 	return nil
 }
@@ -342,12 +539,42 @@ func confirmRetry(h Handle) error {
 	}
 }
 
+func declareRetry(h PrefilterHandle, cfg serve.PrefilterConfig) error {
+	for {
+		err := h.DeclarePrefilter(cfg)
+		if err != serve.ErrBackpressure {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func digestRetry(h PrefilterHandle, d serve.Digest) error {
+	for {
+		err := h.PushDigest(d)
+		if err != serve.ErrBackpressure {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func auditRetry(h PrefilterHandle, c0, c1 []float64) error {
+	for {
+		err := h.PushAudit(c0, c1)
+		if err != serve.ErrBackpressure {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // awaitDrain waits until the backend has processed everything the
 // scenario pushed and the collector has seen every alarm event. With
 // lossless (block) admission the expected counters are exact and are
 // verified; with drop/shed admission the run waits for the counters to
 // go quiescent instead.
-func awaitDrain(b Backend, base serve.Stats, c *Collector, exact bool, expWindows, expRejects, expRetrains uint64) (serve.Stats, error) {
+func awaitDrain(b Backend, base serve.Stats, c *Collector, exact bool, expWindows, expRejects, expRetrains, expSuppressed, expSamples uint64) (serve.Stats, error) {
 	deadline := time.Now().Add(120 * time.Second) //selflearn:wallclock-ok operational drain timeout, not replay state
 	var last serve.Stats
 	stable := 0
@@ -358,17 +585,21 @@ func awaitDrain(b Backend, base serve.Stats, c *Collector, exact bool, expWindow
 		}
 		caughtUp := c.TotalAlarms() >= st.Alarms && st.Retrains >= expRetrains
 		if exact {
-			if caughtUp && st.Windows >= expWindows && st.QualityRejected >= expRejects {
-				if st.Windows != expWindows || st.QualityRejected != expRejects {
-					return st, fmt.Errorf("scenario: drained to %d windows / %d rejects, expected exactly %d / %d",
-						st.Windows, st.QualityRejected, expWindows, expRejects)
+			if caughtUp && st.Windows >= expWindows && st.QualityRejected >= expRejects &&
+				st.WindowsSuppressed >= expSuppressed && st.AuditSamples >= expSamples {
+				if st.Windows != expWindows || st.QualityRejected != expRejects ||
+					st.WindowsSuppressed != expSuppressed || st.AuditSamples != expSamples {
+					return st, fmt.Errorf("scenario: drained to %d windows / %d rejects / %d suppressed / %d audits, expected exactly %d / %d / %d / %d",
+						st.Windows, st.QualityRejected, st.WindowsSuppressed, st.AuditSamples,
+						expWindows, expRejects, expSuppressed, expSamples)
 				}
 				return st, nil
 			}
 		} else {
 			// Lossy admission: quiesce when the counters stop moving.
 			if caughtUp && st.Windows == last.Windows && st.QualityRejected == last.QualityRejected &&
-				st.Batches == last.Batches && st.Alarms == last.Alarms {
+				st.Batches == last.Batches && st.Alarms == last.Alarms &&
+				st.WindowsSuppressed == last.WindowsSuppressed && st.AuditSamples == last.AuditSamples {
 				stable++
 				if stable >= 20 { // ~400 ms of stillness
 					return st, nil
@@ -469,6 +700,10 @@ func statsDelta(st, base serve.Stats) serve.Stats {
 	st.RetrainErrors -= base.RetrainErrors
 	st.StreamErrors -= base.StreamErrors
 	st.StoreErrors -= base.StoreErrors
+	st.WindowsSuppressed -= base.WindowsSuppressed
+	st.AuditSamples -= base.AuditSamples
+	st.AuditDisagreements -= base.AuditDisagreements
+	st.PrefilterDrift -= base.PrefilterDrift
 	st.EventsDropped -= base.EventsDropped
 	return st
 }

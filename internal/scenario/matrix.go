@@ -66,7 +66,22 @@ func Matrix() []Spec {
 	wave.Patients = 4
 	wave.Wave.Period = 120
 
-	return []Spec{clean, noFilter, benign, burst, dropout, artDrop, cluster, churn, chb, wave}
+	// The uplink pair: the same seizure-sparse single-patient stream
+	// replayed with and without the stage-1 prefilter, same seed so the
+	// signal is identical. CI's prefilter-smoke job runs both against a
+	// live shardd and demands identical alarms at a ≥10x uplink
+	// reduction; the pinned witness test makes the stronger ≥100x case
+	// in-process on a longer stream.
+	pfOff := base("prefilter-off", 410)
+	pfOff.Patients = 1
+	pfOff.Duration = 1800
+	pfOff.Seizures = Seizures{Count: 2, First: 120, Gap: 600, Duration: 20}
+
+	pfOn := pfOff
+	pfOn.Name = "prefilter-uplink"
+	pfOn.Prefilter = &PrefilterSpec{Factor: 2.5, HistoryWindows: 32, AuditEvery: 128}
+
+	return []Spec{clean, noFilter, benign, burst, dropout, artDrop, cluster, churn, chb, wave, pfOff, pfOn}
 }
 
 // Lookup resolves a matrix scenario by name.

@@ -17,6 +17,8 @@ import (
 	"math"
 
 	"selflearn/internal/fault"
+	"selflearn/internal/rt"
+	"selflearn/internal/serve"
 	"selflearn/internal/signal"
 )
 
@@ -58,6 +60,12 @@ type Spec struct {
 	// assessment client-side to map ground truth into admitted stream
 	// time. Nil = no prefilter.
 	Quality *signal.QualityConfig `json:"quality,omitempty"`
+	// Prefilter, when non-nil, replays the edge/cloud two-stage split:
+	// the engine runs the declared amplitude gate "on device", ships
+	// gated seconds at full rate, folds suppressed ones into compact
+	// digests with periodic audit samples, and accounts the uplink in
+	// wire-protocol bytes. Nil = every second ships at full rate.
+	Prefilter *PrefilterSpec `json:"prefilter,omitempty"`
 	// Admission is the stream admission policy: "block" (default —
 	// lossless, required for exact-count determinism), "drop" or "shed".
 	Admission string `json:"admission,omitempty"`
@@ -134,6 +142,63 @@ type Dropouts struct {
 // streamer keeps its state).
 type Churn struct {
 	Reopens int `json:"reopens,omitempty"`
+}
+
+// PrefilterSpec declares the client-side stage-1 amplitude gate of the
+// edge/cloud split (serve.PrefilterClient). The engine precomputes the
+// gate's per-second verdicts, so the replay — and every counter derived
+// from it — stays exactly deterministic.
+type PrefilterSpec struct {
+	// Factor is the declared gate's trigger multiple over the rolling
+	// median amplitude (rt.GateConfig.Factor). Required, > 1.
+	Factor float64 `json:"factor"`
+	// HistoryWindows sizes the gate's rolling baseline. 0 = 64.
+	HistoryWindows int `json:"history_windows,omitempty"`
+	// AuditEvery ships every Nth suppressed window at full rate for the
+	// shard-side audit. 0 = serve.DefaultAuditEvery. Negative values are
+	// rejected: serve's shard-requested-only sampling mode (AuditEvery
+	// 0 on the wire) depends on event round-trip timing and cannot be
+	// replayed deterministically.
+	AuditEvery int `json:"audit_every,omitempty"`
+	// DriftThreshold is the shard's audit-disagreement tolerance before
+	// it emits EventPrefilterDrift. 0 = serve.DefaultDriftThreshold.
+	DriftThreshold int `json:"drift_threshold,omitempty"`
+	// MistuneFactor, when > 0, is the factor the device ACTUALLY gates
+	// with while still declaring Factor to the shard — the negative
+	// control proving the audit catches a drifted stage 1.
+	MistuneFactor float64 `json:"mistune_factor,omitempty"`
+}
+
+// Config resolves the spec into the declaration the stream announces to
+// its shard.
+func (p PrefilterSpec) Config() serve.PrefilterConfig {
+	hw := p.HistoryWindows
+	if hw == 0 {
+		hw = 64
+	}
+	ae := p.AuditEvery
+	if ae == 0 {
+		ae = serve.DefaultAuditEvery
+	}
+	dt := p.DriftThreshold
+	if dt == 0 {
+		dt = serve.DefaultDriftThreshold
+	}
+	return serve.PrefilterConfig{
+		Gate:           rt.GateConfig{Factor: p.Factor, HistoryWindows: hw},
+		AuditEvery:     ae,
+		DriftThreshold: dt,
+	}
+}
+
+// ActualGate is the gate the replayed device really runs: the declared
+// one, unless MistuneFactor sets up the negative control.
+func (p PrefilterSpec) ActualGate() rt.GateConfig {
+	g := p.Config().Gate
+	if p.MistuneFactor > 0 {
+		g.Factor = p.MistuneFactor
+	}
+	return g
 }
 
 // Wave shapes real-time pacing as a diurnal load wave with the given
@@ -229,6 +294,17 @@ func (s Spec) Validate() error {
 			return err
 		}
 	}
+	if p := s.Prefilter; p != nil {
+		if p.AuditEvery < 0 {
+			return fmt.Errorf("scenario: prefilter audit_every %d (shard-requested sampling is not replayable)", p.AuditEvery)
+		}
+		if err := p.Config().Validate(); err != nil {
+			return err
+		}
+		if err := p.ActualGate().Validate(); err != nil {
+			return err
+		}
+	}
 	if s.Tolerance < 0 || s.Refractory < 0 {
 		return fmt.Errorf("scenario: negative tolerance or refractory")
 	}
@@ -263,6 +339,18 @@ type Result struct {
 	// raised.
 	Retrains uint64 `json:"retrains"`
 	Alarms   uint64 `json:"alarms"`
+	// Uplink accounting for the edge/cloud split. UplinkBytes prices
+	// every frame the run pushed (batches, digests, audit samples,
+	// declarations, confirms) in wire-protocol v5 bytes, so local and
+	// cluster backends report the same number for the same spec.
+	// SuppressedWindows, AuditSamples, AuditDisagreements and
+	// DriftEvents are the shard's prefilter-audit counters; all zero
+	// when the spec declares no prefilter.
+	UplinkBytes        uint64 `json:"uplink_bytes"`
+	SuppressedWindows  uint64 `json:"suppressed_windows"`
+	AuditSamples       uint64 `json:"audit_samples"`
+	AuditDisagreements uint64 `json:"audit_disagreements"`
+	DriftEvents        uint64 `json:"drift_events"`
 	// Detection metrics over the scored events (excluding each
 	// patient's confirmed training seizure when Confirm is set).
 	Events             int     `json:"events"`

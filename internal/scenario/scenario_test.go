@@ -37,7 +37,9 @@ func TestScenarioMatrix(t *testing.T) {
 			rows[spec.Name] = r1
 		})
 	}
-	if t.Failed() {
+	if t.Failed() || len(rows) != len(Matrix()) {
+		// Cross-checks need every arm; a -run filter selecting a subset
+		// still pins determinism for the arms it ran.
 		return
 	}
 
@@ -102,6 +104,26 @@ func TestScenarioMatrix(t *testing.T) {
 	if r := rows["chbmit-replay"]; r.Source != "chbmit" || r.Windows != 2*(360-3) {
 		t.Errorf("chbmit-replay: source %q windows %d, want chbmit / %d", r.Source, r.Windows, 2*(360-3))
 	}
+
+	// The uplink pair: the stage-1 prefilter must not change
+	// event-level detection on the same signal, while cutting uplink
+	// bytes by at least the 10x CI gates on.
+	pfOff, pfOn := rows["prefilter-off"], rows["prefilter-uplink"]
+	if pfOn.Detected != pfOff.Detected || pfOn.Events != pfOff.Events {
+		t.Errorf("prefilter changed detection:\n  on:  %+v\n  off: %+v", pfOn, pfOff)
+	}
+	if pfOn.UplinkBytes == 0 || pfOff.UplinkBytes < 10*pfOn.UplinkBytes {
+		t.Errorf("uplink reduction below 10x: %d vs %d bytes", pfOff.UplinkBytes, pfOn.UplinkBytes)
+	}
+	if pfOn.SuppressedWindows == 0 || pfOn.AuditSamples == 0 {
+		t.Errorf("prefilter-uplink: suppressed %d, audit samples %d, want both nonzero", pfOn.SuppressedWindows, pfOn.AuditSamples)
+	}
+	if pfOn.DriftEvents != 0 {
+		t.Errorf("well-tuned gate fired drift: %+v", pfOn)
+	}
+	if pfOff.SuppressedWindows != 0 || pfOff.AuditSamples != 0 || pfOff.UplinkBytes == 0 {
+		t.Errorf("prefilter-off arm carries prefilter counters: %+v", pfOff)
+	}
 }
 
 // TestEDFFallback: an EDF source pointed at a directory with no
@@ -143,6 +165,9 @@ func TestSpecValidate(t *testing.T) {
 		{Seizures: Seizures{Count: 1, First: 400, Duration: 30}}, // overflows 420 s
 		{Dropouts: Dropouts{Count: 1, First: 0, Duration: 10, Channel: 2}},
 		{Quality: &signal.QualityConfig{FlatlineStd: -1}},
+		{Prefilter: &PrefilterSpec{Factor: 0.5}},                   // factor must exceed 1
+		{Prefilter: &PrefilterSpec{Factor: 2, AuditEvery: -1}},     // shard-requested sampling not replayable
+		{Prefilter: &PrefilterSpec{Factor: 2, MistuneFactor: 0.5}}, // mistuned gate still needs a valid factor
 	}
 	for i, s := range bad {
 		if err := s.withDefaults().Validate(); err == nil {

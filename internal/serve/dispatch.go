@@ -186,7 +186,13 @@ func (w *worker) conflicts(d *drain, patient string) bool {
 // admit runs one job's arrival-order phase: quality admission, session
 // resolution, confirm dispatch or ingest, and the model-cache
 // reconcile. Completed rows are appended to the drain's shared arena.
+// Prefilter jobs (declare, digest, audit sample) are handled entirely
+// here — they carry no feature rows.
 func (w *worker) admit(d *drain, j Job, historyRows int) {
+	if j.Declare != nil || j.Digest != nil || j.Audit {
+		w.admitPrefilter(j, historyRows)
+		return
+	}
 	// Quality-aware admission: a garbage batch is refused here,
 	// before any session state or classifier time is spent on it.
 	// The samples never reach the feature streamer — the window
@@ -213,6 +219,12 @@ func (w *worker) admit(d *drain, j Job, historyRows int) {
 		// drain have already advanced the ring, later ones have not.
 		w.confirm(sess)
 		return
+	}
+	if sess.audit != nil {
+		// A declared prefilter's mirror gate consumes shipped
+		// amplitudes in stream order, keeping its cold-start baseline
+		// in lockstep with the client's.
+		sess.audit.observeShipped(j.C0, j.C1)
 	}
 	rows, err := sess.ingest(j.C0, j.C1)
 	if err != nil {
@@ -334,6 +346,72 @@ func (w *worker) settle(d *drain) {
 				w.srv.hub.emit(Event{Kind: EventAlarm, Patient: ji.j.Patient, StreamTime: at})
 			}
 		}
+	}
+}
+
+// admitPrefilter processes the prefilter job kinds against the
+// patient's session-attached audit state: a Declare (re)builds the
+// mirror, a Digest is checked against the declared gate and counted,
+// and an Audit sample replays through stage 2 with the session's
+// current model. Disagreements crossing the declared threshold emit
+// EventPrefilterDrift; unaudited suppression on a no-proactive-sampling
+// stream emits EventAuditRequest.
+func (w *worker) admitPrefilter(j Job, historyRows int) {
+	sess, err := w.session(j.Patient, historyRows)
+	if err != nil {
+		w.srv.streamErrors.Add(1)
+		return
+	}
+	if j.Declare != nil {
+		audit, err := newPrefilterAudit(*j.Declare, w.srv.cfg)
+		if err != nil {
+			// Stream.DeclarePrefilter validates before enqueueing, so
+			// only a feature-pipeline failure lands here; surface it.
+			w.srv.streamErrors.Add(1)
+			return
+		}
+		sess.audit = audit
+		return
+	}
+	if sess.audit == nil {
+		// Digest or audit traffic without a declaration — a client bug
+		// or a declaration lost to shedding. Count the suppression (the
+		// uplink saving is real) but nothing can be audited.
+		if j.Digest != nil {
+			w.srv.windowsSuppressed.Add(uint64(j.Digest.Windows))
+		}
+		return
+	}
+	if j.Digest != nil {
+		w.srv.windowsSuppressed.Add(uint64(j.Digest.Windows))
+		disagreed, requestAudit := sess.audit.observeDigest(*j.Digest)
+		w.noteAuditOutcome(sess, j.Patient, disagreed)
+		if requestAudit {
+			w.srv.hub.emit(Event{Kind: EventAuditRequest, Patient: j.Patient})
+		}
+		return
+	}
+	// Audit sample: reconcile the model first so the replay scores with
+	// the freshest forest, exactly like the ingest path.
+	if f := w.srv.cache.cached(j.Patient); f != nil && f != sess.model.Load() {
+		sess.model.Store(f)
+	}
+	w.srv.auditSamples.Add(1)
+	disagreed := sess.audit.observeSample(j.C0, j.C1, sess.model.Load())
+	w.noteAuditOutcome(sess, j.Patient, disagreed)
+}
+
+// noteAuditOutcome folds audit disagreements into the server counters
+// and emits the once-per-declaration drift event when the stream's
+// threshold is crossed.
+func (w *worker) noteAuditOutcome(sess *session, patient string, disagreed uint64) {
+	if disagreed == 0 {
+		return
+	}
+	w.srv.auditDisagreements.Add(disagreed)
+	if sess.audit.noteDisagreements(disagreed) {
+		w.srv.prefilterDrift.Add(1)
+		w.srv.hub.emit(Event{Kind: EventPrefilterDrift, Patient: patient})
 	}
 }
 

@@ -37,6 +37,20 @@ const (
 	// succeeded); this event and Stats.QualityRejected are how garbage
 	// input is observed.
 	EventQualityReject
+	// EventPrefilterDrift reports that a stream's client-side prefilter
+	// (a declared stage-1 amplitude gate suppressing uplink windows) has
+	// disagreed with the shard's audit beyond the stream's declared
+	// threshold: digests carried amplitudes the declared gate should
+	// have shipped, or audited full-rate samples that stage 2 classified
+	// positive. It means stage-1 suppression may be costing sensitivity
+	// — the condition the edge/cloud split promises never to hide.
+	EventPrefilterDrift
+	// EventAuditRequest asks a prefiltering client that declared no
+	// proactive sampling (AuditEvery 0) to ship its next suppressed
+	// window at full rate so the shard can audit what stage 1 drops.
+	// Carried over the wire as a dedicated AuditRequest frame rather
+	// than a generic event.
+	EventAuditRequest
 )
 
 // String names the kind for logs.
@@ -54,6 +68,10 @@ func (k EventKind) String() string {
 		return "model-updated"
 	case EventQualityReject:
 		return "quality-reject"
+	case EventPrefilterDrift:
+		return "prefilter-drift"
+	case EventAuditRequest:
+		return "audit-request"
 	default:
 		return "unknown"
 	}

@@ -188,6 +188,20 @@ type Stats struct {
 	// counts ModelStore load/save failures (treated as cache misses).
 	ModelsCached int
 	StoreErrors  uint64
+	// WindowsSuppressed counts windows a client-side prefilter reported
+	// suppressing (via digests) instead of shipping — the uplink seconds
+	// the edge/cloud split saved. AuditSamples counts suppressed windows
+	// the client shipped at full rate for auditing; AuditDisagreements
+	// counts audit checks where the shard disagreed with the client's
+	// suppression (a digest amplitude above the declared gate's trigger
+	// level, or an audited window stage 2 classified positive);
+	// PrefilterDrift counts EventPrefilterDrift emissions (disagreements
+	// crossing a stream's declared threshold). All 0 without a declared
+	// prefilter.
+	WindowsSuppressed  uint64
+	AuditSamples       uint64
+	AuditDisagreements uint64
+	PrefilterDrift     uint64
 	// EventsDropped counts events lost to a lagging Events subscriber.
 	EventsDropped uint64
 	// QueueDepth is the total number of jobs waiting across workers.
@@ -240,6 +254,11 @@ type Server struct {
 	retrainErrors    atomic.Uint64
 	streamErrors     atomic.Uint64
 	storeErrors      atomic.Uint64
+
+	windowsSuppressed  atomic.Uint64
+	auditSamples       atomic.Uint64
+	auditDisagreements atomic.Uint64
+	prefilterDrift     atomic.Uint64
 }
 
 // New starts a server with cfg's workers and learners running. Options
@@ -339,27 +358,31 @@ func (s *Server) enqueue(sh Shard, adm AdmissionPolicy, j Job) error {
 func (s *Server) Snapshot() Stats {
 	now := time.Now()
 	st := Stats{
-		Sessions:         int(s.sessions.Load()),
-		StreamsOpen:      int(s.streamsOpen.Load()),
-		SessionsCreated:  s.sessionsCreated.Load(),
-		SessionsEvicted:  s.sessionsEvicted.Load(),
-		Batches:          s.batches.Load(),
-		BatchesDropped:   s.batchesDropped.Load(),
-		BatchesShed:      s.batchesShed.Load(),
-		QualityRejected:  s.qualityRejected.Load(),
-		Windows:          s.windows.Load(),
-		Alarms:           s.alarms.Load(),
-		Confirms:         s.confirms.Load(),
-		ConfirmsRejected: s.confirmsRejected.Load(),
-		ConfirmsDropped:  s.confirmsDropped.Load(),
-		Retrains:         s.retrains.Load(),
-		RetrainErrors:    s.retrainErrors.Load(),
-		StreamErrors:     s.streamErrors.Load(),
-		ModelsCached:     s.cache.Len(),
-		StoreErrors:      s.storeErrors.Load(),
-		EventsDropped:    s.hub.dropped.Load(),
-		QueueDepth:       s.transport.Depth(),
-		Uptime:           now.Sub(s.start),
+		Sessions:           int(s.sessions.Load()),
+		StreamsOpen:        int(s.streamsOpen.Load()),
+		SessionsCreated:    s.sessionsCreated.Load(),
+		SessionsEvicted:    s.sessionsEvicted.Load(),
+		Batches:            s.batches.Load(),
+		BatchesDropped:     s.batchesDropped.Load(),
+		BatchesShed:        s.batchesShed.Load(),
+		QualityRejected:    s.qualityRejected.Load(),
+		Windows:            s.windows.Load(),
+		Alarms:             s.alarms.Load(),
+		Confirms:           s.confirms.Load(),
+		ConfirmsRejected:   s.confirmsRejected.Load(),
+		ConfirmsDropped:    s.confirmsDropped.Load(),
+		Retrains:           s.retrains.Load(),
+		RetrainErrors:      s.retrainErrors.Load(),
+		StreamErrors:       s.streamErrors.Load(),
+		ModelsCached:       s.cache.Len(),
+		StoreErrors:        s.storeErrors.Load(),
+		WindowsSuppressed:  s.windowsSuppressed.Load(),
+		AuditSamples:       s.auditSamples.Load(),
+		AuditDisagreements: s.auditDisagreements.Load(),
+		PrefilterDrift:     s.prefilterDrift.Load(),
+		EventsDropped:      s.hub.dropped.Load(),
+		QueueDepth:         s.transport.Depth(),
+		Uptime:             now.Sub(s.start),
 	}
 	st.WindowsPerSec = s.sampleWindowRate(now)
 	return st

@@ -46,6 +46,11 @@ type session struct {
 	alarmScratch []float64
 	codeScratch  []int16 // quantized row codes arena (quant classify path)
 
+	// audit is the shard half of a declared client-side prefilter
+	// (nil until a Declare job arrives). Worker-confined like the
+	// session's streaming state.
+	audit *prefilterAudit
+
 	// retrainSeq counts confirmations dispatched to the learner; it
 	// seeds forest training so retrains stay deterministic per patient.
 	retrainSeq int64

@@ -139,6 +139,67 @@ func (st *Stream) Push(c0, c1 []float64) error {
 	return err
 }
 
+// DeclarePrefilter announces the stream's client-side stage-1
+// prefilter to the shard, arming the shard-side audit (mirror gate,
+// digest checks, stage-2 replay of audit samples). Call it once after
+// Open, before the first Push; a re-declaration resets the audit state.
+func (st *Stream) DeclarePrefilter(cfg PrefilterConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if st.closed.Load() {
+		return ErrStreamClosed
+	}
+	c := cfg
+	return st.srv.enqueue(st.shard, st.adm, Job{Patient: st.patient, Stream: st, Declare: &c})
+}
+
+// PushDigest reports a span of suppressed windows (a
+// PrefilterClient.Decide Flush) to the shard's audit. Empty digests are
+// accepted and ignored so callers can forward Flush unconditionally.
+func (st *Stream) PushDigest(d Digest) error {
+	if d.Windows == 0 {
+		return nil
+	}
+	if st.closed.Load() {
+		return ErrStreamClosed
+	}
+	if st.srv.closedFast.Load() {
+		return ErrClosed
+	}
+	dd := d
+	err := st.srv.enqueue(st.shard, st.adm, Job{Patient: st.patient, Stream: st, Digest: &dd})
+	if err == nil {
+		st.batches.Add(1)
+	}
+	return err
+}
+
+// PushAudit ships one suppressed window's full samples for shard-side
+// stage-2 audit replay. The batch does not enter the patient's feature
+// stream — the window stays suppressed; the shard only checks whether
+// stage 2 agrees it was safe to drop. The server takes ownership of the
+// slices.
+func (st *Stream) PushAudit(c0, c1 []float64) error {
+	if st.closed.Load() {
+		return ErrStreamClosed
+	}
+	if len(c0) != len(c1) {
+		return fmt.Errorf("serve: channel length mismatch %d vs %d", len(c0), len(c1))
+	}
+	if len(c0) == 0 {
+		return nil
+	}
+	if st.srv.closedFast.Load() {
+		return ErrClosed
+	}
+	err := st.srv.enqueue(st.shard, st.adm, Job{Patient: st.patient, Stream: st, C0: c0, C1: c1, Audit: true})
+	if err == nil {
+		st.batches.Add(1)
+	}
+	return err
+}
+
 // Confirm reports the patient's seizure confirmation (the paper's
 // button press): the session's buffered feature history is scheduled
 // for a-posteriori labeling and detector retraining in the background.

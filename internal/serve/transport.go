@@ -9,14 +9,23 @@ package serve
 // path and the TCP path share one admission layer and one behavioral
 // test suite (internal/serve/servetest).
 
-// Job is one unit of shard input crossing a transport: either a sample
-// batch (C0/C1) or a seizure confirmation. Both kinds flow through the
-// same queue so a patient's confirmation is processed after every batch
-// submitted before it. The shard takes ownership of the slices.
+// Job is one unit of shard input crossing a transport: a sample batch
+// (C0/C1), a seizure confirmation, or one of the prefilter kinds — a
+// gate declaration, a suppressed-span digest, or an audit-sampled
+// window (C0/C1 with Audit set). All kinds flow through the same queue
+// so a patient's frames are processed strictly in submission order.
+// The shard takes ownership of the slices.
 type Job struct {
 	Patient string
 	C0, C1  []float64
 	Confirm bool
+	// Declare announces the stream's client-side prefilter to the
+	// shard-side audit; Digest reports a span of suppressed windows;
+	// Audit marks C0/C1 as a full-rate sample of a suppressed window
+	// (stage-2 audit replay, not session ingest).
+	Declare *PrefilterConfig
+	Digest  *Digest
+	Audit   bool
 	// Stream observes per-stream outcomes for the handle that produced
 	// the job (shed counts on discard; windows/alarms on local
 	// processing). Nil for jobs without an attached handle.

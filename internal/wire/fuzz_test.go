@@ -66,7 +66,7 @@ func FuzzDecode(f *testing.F) {
 			// A decoded frame must carry a known kind: parse rejects
 			// unknown kind bytes, so anything that got through is one of
 			// the declared constants.
-			if m.Kind < KindHello || m.Kind > KindPushQ {
+			if m.Kind < KindHello || m.Kind > KindAuditRequest {
 				t.Fatalf("decoder accepted unknown kind %d", m.Kind)
 			}
 		}

@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"selflearn/internal/rt"
+	"selflearn/internal/serve"
+)
+
+func testPrefilterCfg() serve.PrefilterConfig {
+	return serve.PrefilterConfig{
+		Gate:           rt.GateConfig{Factor: 2.5, HistoryWindows: 64},
+		AuditEvery:     32,
+		DriftThreshold: 3,
+	}
+}
+
+// TestPrefilterFramesRoundTrip: the v5 prefilter family must decode
+// back field-for-field, AuditPush with bit-identical samples.
+func TestPrefilterFramesRoundTrip(t *testing.T) {
+	cfg := testPrefilterCfg()
+	m := decodeOne(t, encode(t, func(e *Encoder) error { return e.PrefilterDecl("chb01", cfg) }))
+	if m.Kind != KindPrefilterDecl || m.Patient != "chb01" || m.Prefilter != cfg {
+		t.Fatalf("prefilter-decl = %+v", m)
+	}
+
+	d := serve.Digest{Windows: 59, SumAmp: 12.5, MinAmp: 0.0625, MaxAmp: 1.75}
+	m = decodeOne(t, encode(t, func(e *Encoder) error { return e.PushDigest("chb01", d) }))
+	if m.Kind != KindPushDigest || m.Patient != "chb01" || m.Digest != d {
+		t.Fatalf("push-digest = %+v", m)
+	}
+
+	c0 := []float64{1.5, -2.25, math.Pi}
+	c1 := []float64{0, 1e-300, 4}
+	m = decodeOne(t, encode(t, func(e *Encoder) error { return e.AuditPush("chb01", c0, c1) }))
+	if m.Kind != KindAuditPush || m.Patient != "chb01" {
+		t.Fatalf("audit-push = %+v", m)
+	}
+	for i := range c0 {
+		if math.Float64bits(m.C0[i]) != math.Float64bits(c0[i]) ||
+			math.Float64bits(m.C1[i]) != math.Float64bits(c1[i]) {
+			t.Fatalf("audit-push samples corrupted at %d: %v / %v", i, m.C0, m.C1)
+		}
+	}
+
+	m = decodeOne(t, encode(t, func(e *Encoder) error { return e.AuditRequest("ward-3/bed 12") }))
+	if m.Kind != KindAuditRequest || m.Patient != "ward-3/bed 12" {
+		t.Fatalf("audit-request = %+v", m)
+	}
+}
+
+// TestPrefilterVersionGate: every v5 frame must be refused with
+// ErrVersionGated against a v4 (or v3) peer, and nothing may reach the
+// wire — a v4 shardd would kill the connection on an unknown kind.
+func TestPrefilterVersionGate(t *testing.T) {
+	for _, v := range []uint32{3, 4} {
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		e.SetVersion(v)
+		steps := map[string]func() error{
+			"PrefilterDecl": func() error { return e.PrefilterDecl("p", testPrefilterCfg()) },
+			"PushDigest":    func() error { return e.PushDigest("p", serve.Digest{Windows: 1}) },
+			"AuditPush":     func() error { return e.AuditPush("p", []float64{1}, []float64{2}) },
+			"AuditRequest":  func() error { return e.AuditRequest("p") },
+		}
+		for name, fn := range steps {
+			if err := fn(); err != ErrVersionGated {
+				t.Fatalf("v%d %s err = %v, want ErrVersionGated", v, name, err)
+			}
+		}
+		e.Flush()
+		if buf.Len() != 0 {
+			t.Fatalf("v%d-pinned encoder leaked %d bytes of v5 frames", v, buf.Len())
+		}
+		if e.BytesWritten() != 0 {
+			t.Fatalf("v%d-pinned encoder counted %d bytes it never wrote", v, e.BytesWritten())
+		}
+	}
+}
+
+// TestStatsCrossVersionLayouts: Stats frames must cross in the layout
+// the negotiated version defines — v5 peers exchange the suppression
+// and audit counters, v4/v3 peers the pre-v5 layout with those fields
+// zero on arrival, in both cases with every other field intact.
+func TestStatsCrossVersionLayouts(t *testing.T) {
+	full := serve.Stats{
+		Sessions: 3, Batches: 100, Windows: 96, Alarms: 12,
+		WindowsSuppressed: 5000, AuditSamples: 40, AuditDisagreements: 2,
+		PrefilterDrift: 1, EventsDropped: 9, QueueDepth: 17,
+		Uptime: 90 * time.Second,
+	}
+	for _, v := range []uint32{3, 4, 5} {
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		e.SetVersion(v)
+		if err := e.Stats(7, full); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		d := NewDecoder(&buf)
+		d.SetVersion(v)
+		m, err := d.Next()
+		if err != nil {
+			t.Fatalf("v%d stats: %v", v, err)
+		}
+		want := full
+		if v < 5 {
+			want.WindowsSuppressed = 0
+			want.AuditSamples = 0
+			want.AuditDisagreements = 0
+			want.PrefilterDrift = 0
+		}
+		if m.Kind != KindStats || m.Token != 7 || m.Stats != want {
+			t.Fatalf("v%d stats = %+v, want %+v", v, m.Stats, want)
+		}
+	}
+}
+
+// TestStatsVersionMismatchRejected: a decoder pinned to the wrong
+// version must not silently misparse a Stats frame — the length checks
+// catch the layout difference.
+func TestStatsVersionMismatchRejected(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf) // v5 layout
+	if err := e.Stats(7, serve.Stats{Sessions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	d.SetVersion(4) // expects the shorter layout
+	if _, err := d.Next(); err == nil {
+		t.Fatal("v4-pinned decoder accepted a v5 stats frame")
+	}
+
+	buf.Reset()
+	e = NewEncoder(&buf)
+	e.SetVersion(4)
+	if err := e.Stats(7, serve.Stats{Sessions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	if _, err := NewDecoder(bytes.NewReader(buf.Bytes())).Next(); err == nil {
+		t.Fatal("v5 decoder accepted a v4 stats frame")
+	}
+}
+
+// TestPrefilterTruncatedPayloadRejected: cut v5 frame bodies must
+// error, mirroring the PushQ truncation test.
+func TestPrefilterTruncatedPayloadRejected(t *testing.T) {
+	frames := [][]byte{
+		encode(t, func(e *Encoder) error { return e.PrefilterDecl("chb01", testPrefilterCfg()) }),
+		encode(t, func(e *Encoder) error {
+			return e.PushDigest("chb01", serve.Digest{Windows: 9, SumAmp: 1, MinAmp: 0.5, MaxAmp: 2})
+		}),
+		encode(t, func(e *Encoder) error { return e.AuditPush("chb01", []float64{1, 2}, []float64{3, 4}) }),
+	}
+	for fi, raw := range frames {
+		for cut := 5; cut < len(raw)-1; cut += 2 {
+			trunc := append([]byte(nil), raw[:cut]...)
+			if _, err := NewDecoder(bytes.NewReader(trunc)).Next(); err == nil {
+				t.Fatalf("frame %d: decoder accepted a body truncated at %d", fi, cut)
+			}
+		}
+	}
+}
+
+// TestDigestZeroAllocSteadyState: the digest is the stream's steady
+// state under prefiltering — it must frame without garbage, like Push.
+func TestDigestZeroAllocSteadyState(t *testing.T) {
+	e := NewEncoder(io.Discard)
+	d := serve.Digest{Windows: 60, SumAmp: 3, MinAmp: 0.01, MaxAmp: 0.2}
+	if err := e.PushDigest("p", d); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := e.PushDigest("p", d); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 { // same bufio slack tolerance as TestEncoderReusesScratch
+		t.Fatalf("PushDigest allocates %.1f objects per frame in steady state", allocs)
+	}
+}
+
+// TestBytesWritten: the uplink accounting must equal the exact framed
+// bytes (headers included) — the witness's wire-byte ratios depend on it.
+func TestBytesWritten(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	if err := e.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushDigest("p", serve.Digest{Windows: 1, SumAmp: 1, MinAmp: 1, MaxAmp: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.BytesWritten(), uint64(buf.Len()); got != want {
+		t.Fatalf("BytesWritten = %d, wire carried %d", got, want)
+	}
+}

@@ -16,9 +16,10 @@
 // so field-order changes here only require bumping Version.
 //
 // Client → shard: Hello, Push, Confirm, StatsReq, Ping, ModelGet,
-// ModelPut (failover checkpoint transfer).
+// ModelPut (failover checkpoint transfer), PrefilterDecl, PushDigest,
+// AuditPush (edge prefilter, v5).
 // Shard → client: Hello, Event, Stats, Pong, ModelPut (ModelGet reply),
-// ModelAnnounce.
+// ModelAnnounce, AuditRequest (v5).
 // Shard → shard: Hello, ModelPut (checkpoint replication).
 package wire
 
@@ -50,7 +51,16 @@ import (
 // the float payload. v4 is additive: the Hello exchange negotiates the
 // effective version down to min(ours, peer's), so a v4 sender facing a
 // v3 peer simply keeps sending float Push frames.
-const Version = 4
+//
+// v5: the edge/cloud prefilter split — PrefilterDecl announces a
+// stream's client-side stage-1 gate, PushDigest summarizes suppressed
+// spans, AuditPush ships a sampled suppressed window at full rate for
+// shard-side stage-2 audit, and AuditRequest asks the client for such a
+// sample; Stats frames gain the suppression/audit counters. v5 is
+// additive like v4: a v5 peer facing v4 sends none of these (the
+// prefilter methods return ErrVersionGated) and Stats crosses in the v4
+// layout, negotiated by the same Hello min-version exchange.
+const Version = 5
 
 // MinVersion is the oldest peer protocol revision this build still
 // speaks. Everything since v3 is additive, so the negotiated effective
@@ -65,6 +75,12 @@ const MaxFrame = 16 << 20
 // ErrFrameTooLarge is returned by Decoder.Next for a frame whose
 // declared body exceeds MaxFrame.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+
+// ErrVersionGated is returned by encoder methods for frames the
+// negotiated peer version cannot decode (the v5 prefilter family under
+// a v4 peer). Senders treat it as "this peer cannot use the feature" —
+// skip, don't fail the connection.
+var ErrVersionGated = errors.New("wire: frame kind not supported by negotiated version")
 
 // Kind discriminates frame bodies.
 type Kind uint8
@@ -113,6 +129,27 @@ const (
 	// and falls back to Push otherwise, so decoding is always lossless
 	// and decisions are identical to the float frame's.
 	KindPushQ
+	// KindPrefilterDecl (v5) announces a stream's client-side stage-1
+	// prefilter at stream open: patient, then the gate's trigger factor
+	// (float64), baseline history length, proactive audit sampling
+	// period, and drift threshold (uint32 each). The shard arms its
+	// audit mirror from this declaration.
+	KindPrefilterDecl
+	// KindPushDigest (v5) summarizes a span of suppressed windows
+	// instead of their full samples: patient, window count (uint32),
+	// then the span's sum/min/max mean-absolute-amplitude (float64
+	// each) — ~40 bytes standing in for up to a minute of full-rate
+	// batches, the frame that delivers the 100–1000x uplink reduction.
+	KindPushDigest
+	// KindAuditPush (v5) ships one suppressed window at full rate for
+	// shard-side stage-2 audit replay: same layout as Push. The window
+	// stays suppressed (it is covered by the digest that precedes it);
+	// the shard only checks whether stage 2 agrees it was droppable.
+	KindAuditPush
+	// KindAuditRequest (v5) asks a prefiltering client to ship its next
+	// suppressed window as an AuditPush: patient. Sent by shards when a
+	// stream that declared no proactive sampling runs unaudited.
+	KindAuditRequest
 )
 
 // String names the kind for logs and errors.
@@ -142,6 +179,14 @@ func (k Kind) String() string {
 		return "model-announce"
 	case KindPushQ:
 		return "push-q"
+	case KindPrefilterDecl:
+		return "prefilter-decl"
+	case KindPushDigest:
+		return "push-digest"
+	case KindAuditPush:
+		return "audit-push"
+	case KindAuditRequest:
+		return "audit-request"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -151,14 +196,16 @@ func (k Kind) String() string {
 // the rest are zero.
 type Msg struct {
 	Kind         Kind
-	Version      uint32      // Hello
-	Patient      string      // Push, Confirm, ModelGet, ModelPut, ModelAnnounce
-	C0, C1       []float64   // Push
-	Event        serve.Event // Event
-	Stats        serve.Stats // Stats
-	Token        uint64      // StatsReq, Stats, Ping, Pong, ModelGet, ModelPut
-	ModelVersion uint64      // ModelPut, ModelAnnounce
-	Model        []byte      // ModelPut: JSON forest checkpoint (empty = no model)
+	Version      uint32                // Hello
+	Patient      string                // Push, Confirm, ModelGet, ModelPut, ModelAnnounce, prefilter family
+	C0, C1       []float64             // Push, AuditPush
+	Event        serve.Event           // Event
+	Stats        serve.Stats           // Stats
+	Token        uint64                // StatsReq, Stats, Ping, Pong, ModelGet, ModelPut
+	ModelVersion uint64                // ModelPut, ModelAnnounce
+	Model        []byte                // ModelPut: JSON forest checkpoint (empty = no model)
+	Prefilter    serve.PrefilterConfig // PrefilterDecl
+	Digest       serve.Digest          // PushDigest
 }
 
 // Encoder writes frames through an internal bufio.Writer. It is not
@@ -168,8 +215,9 @@ type Msg struct {
 type Encoder struct {
 	w       *bufio.Writer
 	buf     []byte
-	version uint32   // negotiated peer version; gates v4 frames
+	version uint32   // negotiated peer version; gates v4+ frames
 	q0, q1  []uint16 // Push quantization scratch, reused per frame
+	written uint64   // total framed bytes (header + body), for uplink accounting
 }
 
 // NewEncoder returns an encoder framing onto w. Until SetVersion is
@@ -262,8 +310,17 @@ func (e *Encoder) frame() error {
 		return err
 	}
 	_, err := e.w.Write(e.buf)
+	if err == nil {
+		e.written += uint64(4 + len(e.buf))
+	}
 	return err
 }
+
+// BytesWritten returns the total framed bytes (headers + bodies) this
+// encoder has emitted — the exact bytes-on-the-wire accounting behind
+// uplink-reduction measurements. Not synchronized; read it where the
+// encoder is owned (connection writers hold their write mutex).
+func (e *Encoder) BytesWritten() uint64 { return e.written }
 
 // Hello writes the version-exchange frame.
 func (e *Encoder) Hello() error {
@@ -390,6 +447,67 @@ func (e *Encoder) Event(ev serve.Event) error {
 	return e.frame()
 }
 
+// PrefilterDecl writes a stream's stage-1 prefilter declaration.
+// Returns ErrVersionGated against a pre-v5 peer — the caller then
+// simply does not prefilter toward that peer.
+func (e *Encoder) PrefilterDecl(patient string, cfg serve.PrefilterConfig) error {
+	if e.version < 5 {
+		return ErrVersionGated
+	}
+	e.begin(KindPrefilterDecl)
+	e.appendString(patient)
+	e.appendF64(cfg.Gate.Factor)
+	e.appendU32(uint32(cfg.Gate.HistoryWindows))
+	e.appendU32(uint32(cfg.AuditEvery))
+	e.appendU32(uint32(cfg.DriftThreshold))
+	return e.frame()
+}
+
+// PushDigest writes one suppressed-span digest. Returns ErrVersionGated
+// against a pre-v5 peer.
+//
+//selflearn:hotpath
+func (e *Encoder) PushDigest(patient string, d serve.Digest) error {
+	if e.version < 5 {
+		return ErrVersionGated
+	}
+	e.begin(KindPushDigest)
+	e.appendString(patient)
+	e.appendU32(d.Windows)
+	e.appendF64(d.SumAmp)
+	e.appendF64(d.MinAmp)
+	e.appendF64(d.MaxAmp)
+	return e.frame()
+}
+
+// AuditPush writes one audit-sampled suppressed window at full rate —
+// the Push layout under its own kind so the shard replays it through
+// stage 2 instead of the patient's live feature stream. Returns
+// ErrVersionGated against a pre-v5 peer.
+//
+//selflearn:hotpath
+func (e *Encoder) AuditPush(patient string, c0, c1 []float64) error {
+	if e.version < 5 {
+		return ErrVersionGated
+	}
+	e.begin(KindAuditPush)
+	e.appendString(patient)
+	e.appendFloats(c0)
+	e.appendFloats(c1)
+	return e.frame()
+}
+
+// AuditRequest asks a prefiltering client for an audit sample. Returns
+// ErrVersionGated against a pre-v5 peer.
+func (e *Encoder) AuditRequest(patient string) error {
+	if e.version < 5 {
+		return ErrVersionGated
+	}
+	e.begin(KindAuditRequest)
+	e.appendString(patient)
+	return e.frame()
+}
+
 // ModelGet writes a model request carrying a correlation token.
 func (e *Encoder) ModelGet(token uint64, patient string) error {
 	e.begin(KindModelGet)
@@ -429,7 +547,9 @@ func (e *Encoder) StatsReq(token uint64) error {
 
 // Stats writes a stats reply. Fields cross in serve.Stats declaration
 // order; adding a field there requires appending here, in decodeStats,
-// and bumping Version.
+// and bumping Version — with the new fields gated on the negotiated
+// version (and the decoder's SetVersion) so Stats frames keep crossing
+// to older peers in the layout they expect.
 func (e *Encoder) Stats(token uint64, st serve.Stats) error {
 	e.begin(KindStats)
 	e.appendU64(token)
@@ -452,6 +572,12 @@ func (e *Encoder) Stats(token uint64, st serve.Stats) error {
 	e.appendU64(st.StreamErrors)
 	e.appendI64(int64(st.ModelsCached))
 	e.appendU64(st.StoreErrors)
+	if e.version >= 5 {
+		e.appendU64(st.WindowsSuppressed)
+		e.appendU64(st.AuditSamples)
+		e.appendU64(st.AuditDisagreements)
+		e.appendU64(st.PrefilterDrift)
+	}
 	e.appendU64(st.EventsDropped)
 	e.appendI64(int64(st.QueueDepth))
 	e.appendI64(int64(st.Uptime))
@@ -475,13 +601,28 @@ func (e *Encoder) Pong(token uint64) error {
 // Decoder reads frames from an internal bufio.Reader. Not safe for
 // concurrent use; each connection has exactly one read loop.
 type Decoder struct {
-	r   *bufio.Reader
-	buf []byte
+	r       *bufio.Reader
+	buf     []byte
+	version uint32 // negotiated peer version; selects the Stats layout
 }
 
-// NewDecoder returns a decoder framing off r.
+// NewDecoder returns a decoder framing off r. Until SetVersion is
+// called after the Hello exchange, the decoder assumes a same-version
+// peer.
 func NewDecoder(r io.Reader) *Decoder {
-	return &Decoder{r: bufio.NewReaderSize(r, 64<<10)}
+	return &Decoder{r: bufio.NewReaderSize(r, 64<<10), version: Version}
+}
+
+// SetVersion records the negotiated protocol version after the
+// handshake, mirroring Encoder.SetVersion: a v4 peer's Stats frames are
+// then decoded in the v4 layout (without the v5 suppression/audit
+// counters). Hello frames decode identically at every version, so the
+// handshake itself needs no prior SetVersion.
+func (d *Decoder) SetVersion(v uint32) {
+	if v > Version {
+		v = Version
+	}
+	d.version = v
 }
 
 // Next reads and decodes one frame. io.EOF crosses through cleanly on
@@ -505,7 +646,7 @@ func (d *Decoder) Next() (Msg, error) {
 		}
 		return Msg{}, err
 	}
-	return parse(body)
+	return parse(body, d.version)
 }
 
 // reader is a bounds-checked cursor over one frame body: the first
@@ -613,7 +754,7 @@ func (r *reader) qfloats() []float64 {
 	return xs
 }
 
-func parse(body []byte) (Msg, error) {
+func parse(body []byte, version uint32) (Msg, error) {
 	r := &reader{b: body}
 	m := Msg{Kind: Kind(r.u8())}
 	switch m.Kind {
@@ -654,7 +795,25 @@ func parse(body []byte) (Msg, error) {
 		m.ModelVersion = r.u64()
 	case KindStats:
 		m.Token = r.u64()
-		m.Stats = decodeStats(r)
+		m.Stats = decodeStats(r, version)
+	case KindPrefilterDecl:
+		m.Patient = r.str()
+		m.Prefilter.Gate.Factor = r.f64()
+		m.Prefilter.Gate.HistoryWindows = int(r.u32())
+		m.Prefilter.AuditEvery = int(r.u32())
+		m.Prefilter.DriftThreshold = int(r.u32())
+	case KindPushDigest:
+		m.Patient = r.str()
+		m.Digest.Windows = r.u32()
+		m.Digest.SumAmp = r.f64()
+		m.Digest.MinAmp = r.f64()
+		m.Digest.MaxAmp = r.f64()
+	case KindAuditPush:
+		m.Patient = r.str()
+		m.C0 = r.floats()
+		m.C1 = r.floats()
+	case KindAuditRequest:
+		m.Patient = r.str()
 	default:
 		return Msg{}, fmt.Errorf("wire: unknown frame kind %d", uint8(m.Kind))
 	}
@@ -667,7 +826,7 @@ func parse(body []byte) (Msg, error) {
 	return m, nil
 }
 
-func decodeStats(r *reader) serve.Stats {
+func decodeStats(r *reader, version uint32) serve.Stats {
 	var st serve.Stats
 	st.Sessions = int(r.i64())
 	st.StreamsOpen = int(r.i64())
@@ -688,6 +847,12 @@ func decodeStats(r *reader) serve.Stats {
 	st.StreamErrors = r.u64()
 	st.ModelsCached = int(r.i64())
 	st.StoreErrors = r.u64()
+	if version >= 5 {
+		st.WindowsSuppressed = r.u64()
+		st.AuditSamples = r.u64()
+		st.AuditDisagreements = r.u64()
+		st.PrefilterDrift = r.u64()
+	}
 	st.EventsDropped = r.u64()
 	st.QueueDepth = int(r.i64())
 	st.Uptime = time.Duration(r.i64())

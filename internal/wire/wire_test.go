@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"selflearn/internal/rt"
 	"selflearn/internal/serve"
 )
 
@@ -79,6 +80,19 @@ func kindFrames() map[Kind]func(*Encoder) error {
 			return e.ModelPut(11, "chb01", 5, []byte(`{"trees":[],"oob_error":0.5}`))
 		},
 		KindModelAnnounce: func(e *Encoder) error { return e.ModelAnnounce("chb01", 5) },
+		KindPrefilterDecl: func(e *Encoder) error {
+			return e.PrefilterDecl("chb01", serve.PrefilterConfig{
+				Gate:       rt.GateConfig{Factor: 2.5, HistoryWindows: 64},
+				AuditEvery: 32, DriftThreshold: 3,
+			})
+		},
+		KindPushDigest: func(e *Encoder) error {
+			return e.PushDigest("chb01", serve.Digest{Windows: 17, SumAmp: 4.25, MinAmp: 0.125, MaxAmp: 0.75})
+		},
+		KindAuditPush: func(e *Encoder) error {
+			return e.AuditPush("chb01", []float64{1, 2.5, -3}, []float64{0, 1e-300, 9})
+		},
+		KindAuditRequest: func(e *Encoder) error { return e.AuditRequest("chb01") },
 	}
 }
 
